@@ -1,0 +1,541 @@
+// Package mpcrete's root benchmark suite regenerates every table and
+// figure of the paper's evaluation under `go test -bench`. Each
+// benchmark reports the headline quantity of its experiment as a
+// custom metric (speedup, improvement factor, etc.), so the bench
+// output doubles as the numbers tabulated in EXPERIMENTS.md.
+package mpcrete
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpcrete/internal/analysis"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/engine"
+	"mpcrete/internal/experiments"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+// sectionsForBench caches the generated sections.
+var sectionsForBench = map[string]func() *trace.Trace{
+	"rubik":   workloads.Rubik,
+	"tourney": workloads.Tourney,
+	"weaver":  workloads.Weaver,
+}
+
+func benchSpeedup(b *testing.B, tr *trace.Trace, cfg core.Config) {
+	b.Helper()
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		sp, _, _, err = core.Speedup(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// BenchmarkFig51ZeroOverhead regenerates Figure 5-1: speedups with
+// zero message-passing overheads.
+func BenchmarkFig51ZeroOverhead(b *testing.B) {
+	for name, gen := range sectionsForBench {
+		tr := gen()
+		for _, p := range []int{8, 16, 32} {
+			b.Run(fmt.Sprintf("%s/p%d", name, p), func(b *testing.B) {
+				benchSpeedup(b, tr, core.Config{
+					MatchProcs: p,
+					Costs:      core.DefaultCosts(),
+					Latency:    core.NectarLatency(),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig52OverheadSweep regenerates Figure 5-2: the impact of
+// the Table 5-1 message-processing overheads at 32 processors.
+func BenchmarkFig52OverheadSweep(b *testing.B) {
+	for name, gen := range sectionsForBench {
+		tr := gen()
+		for _, ov := range core.OverheadRuns() {
+			b.Run(fmt.Sprintf("%s/%s", name, ov.Name), func(b *testing.B) {
+				benchSpeedup(b, tr, core.Config{
+					MatchProcs: 32,
+					Costs:      core.DefaultCosts(),
+					Overhead:   ov,
+					Latency:    core.NectarLatency(),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTable52Activations regenerates Table 5-2: the activation
+// counts of the three sections (reported as metrics).
+func BenchmarkTable52Activations(b *testing.B) {
+	for name, gen := range sectionsForBench {
+		b.Run(name, func(b *testing.B) {
+			var s trace.Stats
+			for i := 0; i < b.N; i++ {
+				s = gen().Stats()
+			}
+			b.ReportMetric(float64(s.LeftActivations), "left")
+			b.ReportMetric(float64(s.RightActivations), "right")
+		})
+	}
+}
+
+// BenchmarkFig54Unsharing regenerates Figure 5-4: Weaver speedups
+// with the unsharing transformation (run2 overheads, 32 processors).
+func BenchmarkFig54Unsharing(b *testing.B) {
+	weaver := workloads.Weaver()
+	unshared := trace.SplitFanout(weaver, 10, 4)
+	cfg := core.Config{
+		MatchProcs: 32,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("base", func(b *testing.B) { benchSpeedup(b, weaver, cfg) })
+	b.Run("unshared", func(b *testing.B) { benchSpeedup(b, unshared, cfg) })
+}
+
+// BenchmarkFig55Distribution regenerates Figure 5-5: the left-token
+// distribution across 16 processors for Rubik, reporting the max/mean
+// imbalance of the first cycle.
+func BenchmarkFig55Distribution(b *testing.B) {
+	var d experiments.Fig55Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig55()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	max, sum := 0, 0
+	for _, v := range d.Cycle1 {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	b.ReportMetric(float64(max)*float64(len(d.Cycle1))/float64(sum), "max/mean")
+}
+
+// BenchmarkFig56CopyConstraint regenerates Figure 5-6: Tourney with
+// copy-and-constraint on the cross-product node (run2, 32 procs).
+func BenchmarkFig56CopyConstraint(b *testing.B) {
+	tourney := workloads.Tourney()
+	cc := trace.ScatterNode(tourney, workloads.TourneyHotNode, 8)
+	cfg := core.Config{
+		MatchProcs: 32,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("base", func(b *testing.B) { benchSpeedup(b, tourney, cfg) })
+	b.Run("copy-and-constraint", func(b *testing.B) { benchSpeedup(b, cc, cfg) })
+}
+
+// BenchmarkGreedyDistribution regenerates the Section 5.2.2
+// distribution-strategy comparison (the paper's ~1.4x greedy gain).
+func BenchmarkGreedyDistribution(b *testing.B) {
+	for name, gen := range sectionsForBench {
+		tr := gen()
+		base := core.Config{MatchProcs: 16, Costs: core.DefaultCosts(), Latency: core.NectarLatency()}
+		b.Run(name+"/roundrobin", func(b *testing.B) { benchSpeedup(b, tr, base) })
+		b.Run(name+"/random", func(b *testing.B) {
+			cfg := base
+			cfg.Partition = sched.Random(tr.NBuckets, 16, 12345)
+			benchSpeedup(b, tr, cfg)
+		})
+		b.Run(name+"/greedy", func(b *testing.B) {
+			cfg := base
+			cfg.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), tr.NBuckets, 16)
+			benchSpeedup(b, tr, cfg)
+		})
+	}
+}
+
+// BenchmarkProbModel regenerates the Section 5.2.2 balls-in-bins
+// analysis, reporting the speedup bound at P=16.
+func BenchmarkProbModel(b *testing.B) {
+	m := sched.Model{Buckets: 512, Active: 64, Procs: 16}
+	var r sched.Result
+	for i := 0; i < b.N; i++ {
+		r = m.MonteCarlo(2000, 7)
+	}
+	b.ReportMetric(r.SpeedupBound, "bound")
+	b.ReportMetric(m.PEven(), "P(even)")
+}
+
+// BenchmarkGenerations regenerates the Section 1 motivation: the same
+// mapping on first-generation vs new-generation MPC hardware.
+func BenchmarkGenerations(b *testing.B) {
+	for i, m := range experiments.Machines() {
+		m := m
+		_ = i
+		b.Run(m.Name, func(b *testing.B) {
+			benchSpeedup(b, workloads.Rubik(), core.Config{
+				MatchProcs: 32,
+				Costs:      core.DefaultCosts(),
+				Overhead:   m.Overhead,
+				Latency:    m.Latency,
+				Topology:   m.Topology,
+				PerHop:     m.PerHop,
+			})
+		})
+	}
+}
+
+// Ablation benchmarks: design choices called out in DESIGN.md.
+
+// BenchmarkAblationRootGranularity compares the paper's grouped,
+// broadcast-and-filter root distribution against centralized constant
+// tests with per-root messages.
+func BenchmarkAblationRootGranularity(b *testing.B) {
+	tr := workloads.Rubik()
+	cfg := core.Config{
+		MatchProcs: 16,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[2],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("grouped", func(b *testing.B) { benchSpeedup(b, tr, cfg) })
+	b.Run("central", func(b *testing.B) {
+		c := cfg
+		c.CentralRoots = true
+		benchSpeedup(b, tr, c)
+	})
+}
+
+// BenchmarkAblationBroadcast compares hardware and software broadcast
+// of the cycle packet.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	tr := workloads.Weaver()
+	cfg := core.Config{
+		MatchProcs: 32,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[3],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("hardware", func(b *testing.B) { benchSpeedup(b, tr, cfg) })
+	b.Run("software", func(b *testing.B) {
+		c := cfg
+		c.SoftwareBroadcast = true
+		benchSpeedup(b, tr, c)
+	})
+}
+
+// BenchmarkAblationProcessorPairs compares the Fig 3-3 single-
+// processor mapping with the Fig 3-2 processor-pair mapping at equal
+// partition count (the pair machine uses twice the processors).
+func BenchmarkAblationProcessorPairs(b *testing.B) {
+	tr := workloads.Rubik()
+	cfg := core.Config{
+		MatchProcs: 16,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("single", func(b *testing.B) { benchSpeedup(b, tr, cfg) })
+	b.Run("pairs", func(b *testing.B) {
+		c := cfg
+		c.Pairs = true
+		benchSpeedup(b, tr, c)
+	})
+}
+
+// BenchmarkAblationHashedMemories compares hashed token memories
+// against the classic linear memories (NBuckets=1) in the sequential
+// matcher — the data-structure choice the whole mapping rests on. The
+// workload is a discriminating equijoin over large memories, where the
+// paper cites up to a 10x reduction in token comparisons; a
+// cross-product join would show no difference by construction.
+func BenchmarkAblationHashedMemories(b *testing.B) {
+	prog, err := ops5.ParseProgram(`
+(p link (node ^id <v>) (edge ^from <v>) --> (halt))
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 600
+	for _, bench := range []struct {
+		name     string
+		nbuckets int
+	}{{"hashed1024", 1024}, {"linear", 1}} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net, err := rete.Compile(prog.Productions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := rete.NewMatcher(net, rete.MatcherOptions{NBuckets: bench.nbuckets})
+				id := 1
+				add := func(w *ops5.WME) {
+					w.ID, w.TimeTag = id, id
+					id++
+					m.Apply([]rete.Change{{Tag: rete.Add, WME: w}})
+				}
+				for j := 0; j < n; j++ {
+					add(ops5.NewWME("node", "id", j))
+				}
+				for j := 0; j < n; j++ {
+					add(ops5.NewWME("edge", "from", j, "to", (j+1)%n))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSharing compares shared and unshared network
+// compilation for the sequential engine.
+func BenchmarkAblationSharing(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		disable bool
+	}{{"shared", false}, {"unshared", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := ops5.ParseProgram(workloads.BlocksWorld)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := engine.New(prog, engine.Options{DisableSharing: bench.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wmes, err := ops5.ParseWMEs(workloads.BlocksWorldWMEs(6))
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.InsertWMEs(wmes...)
+				if _, err := e.Run(200); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialEngine measures interpreter throughput on the
+// counter chain (MRA cycles per second).
+func BenchmarkSequentialEngine(b *testing.B) {
+	prog, err := ops5.ParseProgram(workloads.CounterChain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e, err := engine.New(prog, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.MakeWME("counter", "value", 0, "limit", 100)
+		if _, err := e.Run(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelRuntime measures the real goroutine runtime against
+// the sequential matcher on a cross-product burst.
+func BenchmarkParallelRuntime(b *testing.B) {
+	prog, err := ops5.ParseProgram(workloads.TourneyLike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkChanges := func() []rete.Change {
+		wmes, err := ops5.ParseWMEs(workloads.TourneyLikeWMEs(30, 25))
+		if err != nil {
+			b.Fatal(err)
+		}
+		changes := make([]rete.Change, len(wmes))
+		for i, w := range wmes {
+			w.ID, w.TimeTag = i+1, i+1
+			changes[i] = rete.Change{Tag: rete.Add, WME: w}
+		}
+		return changes
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, err := rete.Compile(prog.Productions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := rete.NewMatcher(net, rete.MatcherOptions{})
+			m.Apply(mkChanges())
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net, err := rete.Compile(prog.Productions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := parallel.New(net, parallel.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt.Apply(mkChanges())
+				rt.Close()
+			}
+		})
+	}
+}
+
+// Infrastructure benchmarks: the codecs, the analyzer, and live
+// bucket migration.
+
+// BenchmarkTraceCodec measures trace serialization round-trips on the
+// largest section.
+func BenchmarkTraceCodec(b *testing.B) {
+	tr := workloads.Tourney()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "bytes")
+}
+
+// BenchmarkNetworkCodec measures compiled-network serialization on the
+// configurator program.
+func BenchmarkNetworkCodec(b *testing.B) {
+	prog, err := ops5.ParseProgram(workloads.Configurator)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := rete.Compile(prog.Productions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := rete.EncodeNetwork(&buf, net); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rete.DecodeNetwork(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "bytes")
+}
+
+// BenchmarkAnalysis measures the Section 5.2 analyzer over the heavy
+// Tourney trace.
+func BenchmarkAnalysis(b *testing.B) {
+	tr := workloads.Tourney()
+	for i := 0; i < b.N; i++ {
+		if r := analysis.Analyze(tr, analysis.Options{}); len(r.HotNodes) == 0 {
+			b.Fatal("analysis lost the hot node")
+		}
+	}
+}
+
+// BenchmarkRepartition measures live bucket migration in the goroutine
+// runtime — the cost the paper declared prohibitive.
+func BenchmarkRepartition(b *testing.B) {
+	prog, err := ops5.ParseProgram(workloads.TourneyLike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := rete.Compile(prog.Productions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := parallel.New(net, parallel.Options{Workers: 4, NBuckets: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	wmes, err := ops5.ParseWMEs(workloads.TourneyLikeWMEs(20, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var changes []rete.Change
+	for i, w := range wmes {
+		w.ID, w.TimeTag = i+1, i+1
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+	}
+	rt.Apply(changes)
+	parts := []sched.Partition{
+		sched.Random(256, 4, 1),
+		sched.Random(256, 4, 2),
+	}
+	b.ResetTimer()
+	var moved int
+	for i := 0; i < b.N; i++ {
+		st, err := rt.Repartition(parts[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		moved = st.EntriesMoved
+	}
+	b.ReportMetric(float64(moved), "entries")
+}
+
+// BenchmarkQueens measures the sequential engine on the backtracking
+// n-queens search (the heaviest bundled OPS5 program).
+func BenchmarkQueens(b *testing.B) {
+	prog, err := ops5.ParseProgram(workloads.Queens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wmeSrc := workloads.QueensWMEs(6)
+	for i := 0; i < b.N; i++ {
+		e, err := engine.New(prog, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wmes, err := ops5.ParseWMEs(wmeSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.InsertWMEs(wmes...)
+		fired, err := e.Run(50000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !e.Halted() {
+			b.Fatalf("did not halt after %d firings", fired)
+		}
+	}
+}
+
+// BenchmarkContinuum regenerates the Section 6 continuum-of-mappings
+// comparison at 32 processors.
+func BenchmarkContinuum(b *testing.B) {
+	tr := workloads.Rubik()
+	base := core.Config{
+		MatchProcs: 32,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("replicated", func(b *testing.B) {
+		cfg := base
+		cfg.Replicated = true
+		benchSpeedup(b, tr, cfg)
+	})
+	b.Run("distributed", func(b *testing.B) { benchSpeedup(b, tr, base) })
+	b.Run("master-copy", func(b *testing.B) {
+		cfg := base
+		cfg.Partition = make(sched.Partition, tr.NBuckets)
+		benchSpeedup(b, tr, cfg)
+	})
+}

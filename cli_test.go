@@ -1,0 +1,106 @@
+package mpcrete
+
+// End-to-end tests of the command-line tools: each binary is run via
+// `go run` against real inputs, exercising flag parsing, file I/O, and
+// the full pipeline (program -> trace -> simulation -> analysis).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool invokes `go run ./cmd/<tool> args...` and returns combined
+// output.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+
+	// 1. ops5run executes a program and records a trace.
+	prog := filepath.Join(dir, "count.ops5")
+	wmes := filepath.Join(dir, "count.wmes")
+	tracePath := filepath.Join(dir, "count.trace")
+	if err := os.WriteFile(prog, []byte(`
+(p count-up
+    (counter ^value <v> ^limit <l>)
+    (counter ^value < <l>)
+    -->
+    (write tick <v>)
+    (modify 1 ^value (compute <v> + 1)))
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wmes, []byte("(counter ^value 0 ^limit 3)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "ops5run", "-program", prog, "-wmes", wmes, "-trace", tracePath, "-v")
+	for _, want := range []string{"tick 0", "tick 1", "tick 2", "fired 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ops5run output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 2. mpcsim replays the recorded trace.
+	out = runTool(t, "mpcsim", "-trace", tracePath, "-procs", "4", "-overhead", "run2")
+	for _, want := range []string{"speedup:", "makespan:", "network idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mpcsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISectionsAndAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	tourney := filepath.Join(dir, "tourney.trace")
+
+	out := runTool(t, "tracegen", "-section", "tourney", "-o", tourney)
+	if !strings.Contains(out, "10667L/83R") {
+		t.Errorf("tracegen stats missing Table 5-2 counts:\n%s", out)
+	}
+
+	out = runTool(t, "traceanalyze", "-trace", tourney, "-tune", "-procs", "8")
+	for _, want := range []string{"cross-product", "copy-and-constraint", "speedup at 8 processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traceanalyze output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Simulate with the pair mapping and a topology for flag coverage.
+	out = runTool(t, "mpcsim", "-trace", tourney, "-procs", "4", "-pairs", "-topology", "mesh", "-perhop", "0.2")
+	if !strings.Contains(out, "pairs=true") {
+		t.Errorf("mpcsim pairs output:\n%s", out)
+	}
+}
+
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := runTool(t, "experiments", "-table", "5-2")
+	for _, want := range []string{"rubik", "2388", "6114", "tourney", "10667"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments table 5-2 missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, "experiments", "-exp", "probmodel")
+	if !strings.Contains(out, "P(even)") {
+		t.Errorf("probmodel output:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section (see EXPERIMENTS.md for paper-vs-measured
+// commentary).
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig 5-1        (also: 5-2, 5-4, 5-5, 5-6)
+//	experiments -table 5-1      (also: 5-2)
+//	experiments -exp greedy     (also: probmodel, ablations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcrete/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (5-1, 5-2, 5-3, 5-4, 5-5, 5-6)")
+	table := flag.String("table", "", "table to regenerate (5-1, 5-2)")
+	exp := flag.String("exp", "", "analysis to run (greedy, probmodel, generations, dips, continuum, ablations)")
+	all := flag.Bool("all", false, "regenerate everything")
+	procs := flag.Int("procs", 16, "processor count for greedy/ablation analyses")
+	flag.Parse()
+
+	if !*all && *fig == "" && *table == "" && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+
+	if *all || *table == "5-1" {
+		experiments.RenderTable51(w)
+	}
+	if *all || *table == "5-2" {
+		experiments.RenderTable52(w)
+	}
+	if *all || *fig == "5-1" {
+		run("fig 5-1", func() error {
+			series, err := experiments.Fig51()
+			if err != nil {
+				return err
+			}
+			experiments.RenderSeries(w, "Fig 5-1: speedups with zero message-passing overheads", series)
+			return nil
+		})
+	}
+	if *all || *fig == "5-2" {
+		run("fig 5-2", func() error {
+			data, err := experiments.Fig52()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig52(w, data)
+			return nil
+		})
+	}
+	if *all || *fig == "5-3" {
+		run("fig 5-3", func() error {
+			return experiments.RenderFig53(w)
+		})
+	}
+	if *all || *fig == "5-4" {
+		run("fig 5-4", func() error {
+			series, err := experiments.Fig54()
+			if err != nil {
+				return err
+			}
+			experiments.RenderSeries(w, "Fig 5-4: Weaver speedups with unsharing (run2 overheads)", series)
+			return nil
+		})
+	}
+	if *all || *fig == "5-5" {
+		run("fig 5-5", func() error {
+			d, err := experiments.Fig55()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig55(w, d)
+			return nil
+		})
+	}
+	if *all || *fig == "5-6" {
+		run("fig 5-6", func() error {
+			series, err := experiments.Fig56()
+			if err != nil {
+				return err
+			}
+			experiments.RenderSeries(w, "Fig 5-6: Tourney speedups with copy-and-constraint (run2 overheads)", series)
+			return nil
+		})
+	}
+	if *all || *exp == "greedy" {
+		run("greedy", func() error {
+			rs, err := experiments.GreedyExperiment(*procs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderGreedy(w, rs)
+			return nil
+		})
+	}
+	if *all || *exp == "probmodel" {
+		experiments.RenderProbModel(w, experiments.ProbModel())
+	}
+	if *all || *exp == "dips" {
+		run("dips", func() error {
+			dips, err := experiments.Dips("rubik", 40)
+			if err != nil {
+				return err
+			}
+			experiments.RenderDips(w, "rubik", dips, 40)
+			return nil
+		})
+	}
+	if *all || *exp == "continuum" {
+		run("continuum", func() error {
+			r, err := experiments.Continuum("rubik")
+			if err != nil {
+				return err
+			}
+			experiments.RenderContinuum(w, r)
+			return nil
+		})
+	}
+	if *all || *exp == "generations" {
+		run("generations", func() error {
+			rs, err := experiments.Generations()
+			if err != nil {
+				return err
+			}
+			experiments.RenderGenerations(w, rs)
+			return nil
+		})
+	}
+	if *all || *exp == "ablations" {
+		run("ablations", func() error {
+			rs, err := experiments.Ablations(*procs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblations(w, rs, *procs)
+			return nil
+		})
+	}
+}

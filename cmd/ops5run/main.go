@@ -1,0 +1,107 @@
+// Command ops5run executes an OPS5 program under the sequential
+// match-resolve-act interpreter, optionally recording a hash-table
+// activity trace for the MPC simulator.
+//
+// Usage:
+//
+//	ops5run -program rules.ops5 -wmes initial.wmes [-cycles 1000]
+//	        [-strategy lex|mea] [-trace out.trace] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcrete/internal/engine"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/trace"
+)
+
+func main() {
+	programPath := flag.String("program", "", "OPS5 program file (required)")
+	wmePath := flag.String("wmes", "", "initial working-memory file")
+	cycles := flag.Int("cycles", 10000, "cycle limit")
+	strategy := flag.String("strategy", "lex", "conflict resolution: lex or mea")
+	tracePath := flag.String("trace", "", "write the hash-table activity trace here")
+	nbuckets := flag.Int("buckets", 0, "hash-table buckets (power of two; default 1024)")
+	verbose := flag.Bool("v", false, "print summary statistics")
+	watch := flag.Int("watch", 0, "OPS5 watch level: 1 = firings, 2 = + wme changes")
+	dotPath := flag.String("dot", "", "write the compiled Rete network as Graphviz DOT here")
+	flag.Parse()
+
+	if *programPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	fatal("read program", err)
+	prog, err := ops5.ParseProgram(string(src))
+	fatal("parse program", err)
+
+	opts := engine.Options{Output: os.Stdout, NBuckets: *nbuckets, Watch: *watch}
+	switch strings.ToLower(*strategy) {
+	case "lex":
+		opts.Strategy = engine.LEX
+	case "mea":
+		opts.Strategy = engine.MEA
+	default:
+		fatal("strategy", fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(strings.TrimSuffix(*programPath, ".ops5"), *nbuckets)
+		opts.Listener = rec
+	}
+
+	e, err := engine.New(prog, opts)
+	fatal("compile", err)
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		fatal("create dot", err)
+		fatal("write dot", rete.WriteDOT(f, e.Network()))
+		fatal("close dot", f.Close())
+	}
+
+	if *wmePath != "" {
+		wsrc, err := os.ReadFile(*wmePath)
+		fatal("read wmes", err)
+		wmes, err := ops5.ParseWMEs(string(wsrc))
+		fatal("parse wmes", err)
+		e.InsertWMEs(wmes...)
+	}
+
+	fired, err := e.Run(*cycles)
+	if err == engine.ErrCycleLimit {
+		fmt.Fprintf(os.Stderr, "ops5run: cycle limit %d reached\n", *cycles)
+	} else {
+		fatal("run", err)
+	}
+
+	if *verbose {
+		s := e.Network().Stats()
+		fmt.Fprintf(os.Stderr, "ops5run: %d productions, %d alpha patterns, %d joins, %d negatives\n",
+			len(prog.Productions), s.AlphaPatterns, s.JoinNodes, s.NegativeNodes)
+		fmt.Fprintf(os.Stderr, "ops5run: fired %d, wm size %d, halted %v\n", fired, e.WMCount(), e.Halted())
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		fatal("create trace", err)
+		fatal("encode trace", trace.Encode(f, rec.Trace()))
+		fatal("close trace", f.Close())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ops5run: %s\n", rec.Trace())
+		}
+	}
+}
+
+func fatal(what string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ops5run: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Command traceanalyze runs the Section 5.2 bottleneck analysis over a
+// trace and optionally applies the recommended countermeasures,
+// reporting the simulated speedup before and after.
+//
+// Usage:
+//
+//	traceanalyze -trace tourney.trace
+//	traceanalyze -trace tourney.trace -tune -procs 32 -o tuned.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcrete/internal/analysis"
+	"mpcrete/internal/core"
+	"mpcrete/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (required)")
+	tune := flag.Bool("tune", false, "apply recommended transformations and compare speedups")
+	procs := flag.Int("procs", 32, "processors for the before/after comparison")
+	out := flag.String("o", "", "write the tuned trace here")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	fatal(err)
+	tr, err := trace.Decode(f)
+	fatal(err)
+	fatal(f.Close())
+
+	tuned, report := analysis.AutoTune(tr, analysis.Options{})
+	report.Render(os.Stdout)
+
+	if *tune {
+		cfg := core.Config{
+			MatchProcs: *procs,
+			Costs:      core.DefaultCosts(),
+			Overhead:   core.OverheadRuns()[1],
+			Latency:    core.NectarLatency(),
+		}
+		before, _, _, err := core.Speedup(tr, cfg)
+		fatal(err)
+		after, _, _, err := core.Speedup(tuned, cfg)
+		fatal(err)
+		fmt.Printf("\nspeedup at %d processors (run2 overheads): %.2f -> %.2f (%.2fx)\n",
+			*procs, before, after, after/before)
+		if *out != "" {
+			of, err := os.Create(*out)
+			fatal(err)
+			fatal(trace.Encode(of, tuned))
+			fatal(of.Close())
+			fmt.Printf("tuned trace written to %s\n", *out)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command tracegen emits hash-table activity traces: either one of
+// the calibrated characteristic sections (rubik, tourney, weaver) or
+// a trace recorded from a bundled demo program.
+//
+// Usage:
+//
+//	tracegen -section rubik -o rubik.trace
+//	tracegen -demo blocks -o blocks.trace
+//	tracegen -section weaver -split 4 -o weaver-unshared.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+func main() {
+	section := flag.String("section", "", "calibrated section: rubik, tourney, or weaver")
+	demo := flag.String("demo", "", "record a demo program run: blocks, tourney-like, or counter")
+	out := flag.String("o", "", "output file (default stdout)")
+	split := flag.Int("split", 0, "apply the unsharing transformation with this many copies")
+	scatter := flag.Int("scatter", 0, "apply copy-and-constraint with this many copies (tourney)")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *section != "":
+		switch *section {
+		case "rubik":
+			tr = workloads.Rubik()
+		case "tourney":
+			tr = workloads.Tourney()
+		case "weaver":
+			tr = workloads.Weaver()
+		default:
+			fatal(fmt.Errorf("unknown section %q", *section))
+		}
+	case *demo != "":
+		var err error
+		switch *demo {
+		case "blocks":
+			tr, _, err = workloads.RecordRun("blocks", workloads.BlocksWorld, workloads.BlocksWorldWMEs(6), 200)
+		case "tourney-like":
+			tr, _, err = workloads.RecordRun("tourney-like", workloads.TourneyLike, workloads.TourneyLikeWMEs(8, 6), 200)
+		case "counter":
+			tr, _, err = workloads.RecordRun("counter", workloads.CounterChain, "(counter ^value 0 ^limit 20)", 100)
+		case "queens":
+			tr, _, err = workloads.RecordRun("queens", workloads.Queens, workloads.QueensWMEs(6), 50000)
+		case "monkey":
+			tr, _, err = workloads.RecordRun("monkey", workloads.MonkeyBananas, workloads.MonkeyBananasWMEs, 50)
+		case "configurator":
+			tr, _, err = workloads.RecordRun("configurator", workloads.Configurator,
+				workloads.ConfiguratorWMEs(
+					workloads.ConfiguratorOrder{ID: "ord-1", CPUs: 2, Disks: 6, PowerMax: 300},
+					workloads.ConfiguratorOrder{ID: "ord-2", CPUs: 4, Disks: 9, PowerMax: 200},
+				), 2000)
+		default:
+			err = fmt.Errorf("unknown demo %q", *demo)
+		}
+		fatal(err)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *split > 1 {
+		tr = trace.SplitFanout(tr, 10, *split)
+	}
+	if *scatter > 1 {
+		tr = trace.ScatterNode(tr, workloads.TourneyHotNode, *scatter)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	fatal(trace.Encode(w, tr))
+	fmt.Fprintf(os.Stderr, "tracegen: %s\n", tr)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Blocksworld: run the classic blocks-world OPS5 program end to end —
+// interpret it, record the hash-table activity trace of its match
+// phases, and replay that trace on the simulated message-passing
+// computer, exactly the paper's methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/workloads"
+)
+
+func main() {
+	// 1. Run the real program with a trace recorder attached.
+	tr, e, err := workloads.RecordRun("blocks", workloads.BlocksWorld, workloads.BlocksWorldWMEs(8), 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: fired %d, halted %v, wm size %d\n", e.Fired(), e.Halted(), e.WMCount())
+	fmt.Printf("recorded: %s\n\n", tr)
+
+	// 2. Replay the recorded trace on MPC models of increasing size.
+	fmt.Println("procs  speedup  makespan(µs)  messages")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		cfg := core.Config{
+			MatchProcs: p,
+			Costs:      core.DefaultCosts(),
+			Overhead:   core.OverheadRuns()[1], // 5/3 µs
+			Latency:    core.NectarLatency(),
+		}
+		sp, res, _, err := core.Speedup(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %7.2f  %12.1f  %8d\n", p, sp, res.Makespan.Microseconds(), res.Net.Messages)
+	}
+}

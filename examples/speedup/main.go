@@ -1,0 +1,57 @@
+// Speedup: sweep the Rubik characteristic section across machine
+// sizes and message-overhead settings — the Fig 5-1 / Fig 5-2
+// experiment in miniature — and show the effect of the off-line greedy
+// bucket distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/workloads"
+)
+
+func main() {
+	tr := workloads.Rubik()
+	fmt.Printf("%s\n\n", tr)
+
+	fmt.Println("speedup by processors and message overhead (round-robin buckets):")
+	fmt.Printf("%5s", "procs")
+	for _, ov := range core.OverheadRuns() {
+		fmt.Printf("  %8s", ov.Name)
+	}
+	fmt.Println()
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		fmt.Printf("%5d", p)
+		for _, ov := range core.OverheadRuns() {
+			cfg := core.Config{
+				MatchProcs: p,
+				Costs:      core.DefaultCosts(),
+				Overhead:   ov,
+				Latency:    core.NectarLatency(),
+			}
+			sp, _, _, err := core.Speedup(tr, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.2f", sp)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nbucket distribution strategies at 16 processors (zero overheads):")
+	base := core.Config{MatchProcs: 16, Costs: core.DefaultCosts(), Latency: core.NectarLatency()}
+	rr, _, _, err := core.Speedup(tr, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy := base
+	greedy.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), tr.NBuckets, 16)
+	gr, _, _, err := core.Speedup(tr, greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  round-robin: %.2f   greedy (oracle): %.2f   improvement: %.2fx\n", rr, gr, gr/rr)
+}

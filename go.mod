@@ -1,0 +1,3 @@
+module mpcrete
+
+go 1.22

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+func TestAnalyzeTourneyFindsCrossProduct(t *testing.T) {
+	r := Analyze(workloads.Tourney(), Options{})
+	if len(r.HotNodes) == 0 {
+		t.Fatal("no hot nodes detected")
+	}
+	hn := r.HotNodes[0]
+	if hn.Node != workloads.TourneyHotNode || hn.Bucket != workloads.TourneyHotBucket {
+		t.Errorf("hot node = %+v, want node %d bucket %d", hn, workloads.TourneyHotNode, workloads.TourneyHotBucket)
+	}
+	if hn.Share < 0.95 {
+		t.Errorf("share = %v", hn.Share)
+	}
+	// The multiple-modify effect at the same site.
+	if len(r.ModifyEffects) == 0 {
+		t.Fatal("multiple-modify effect not detected")
+	}
+	if me := r.ModifyEffects[0]; me.Node != workloads.TourneyHotNode {
+		t.Errorf("modify effect = %+v", me)
+	}
+	// A copy-and-constraint suggestion targets the hot node.
+	found := false
+	for _, s := range r.Suggestions {
+		if s.Kind == SuggestCopyAndConstrain && s.Node == workloads.TourneyHotNode {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no copy-and-constraint suggestion in %v", r.Suggestions)
+	}
+}
+
+func TestAnalyzeWeaverFindsFanoutAndSmallCycles(t *testing.T) {
+	r := Analyze(workloads.Weaver(), Options{})
+	if len(r.Fanouts) == 0 {
+		t.Fatal("fan-out bottleneck not detected")
+	}
+	if r.Fanouts[0].MaxFanout != 40 {
+		t.Errorf("max fanout = %d, want 40", r.Fanouts[0].MaxFanout)
+	}
+	smalls := 0
+	for _, c := range r.Cycles {
+		if c.Small {
+			smalls++
+		}
+	}
+	// Cycles 0, 2, 3 are ≤100 tokens; the hot cycle (~150) exceeds the
+	// paper's small-cycle bound.
+	if smalls != 3 {
+		t.Errorf("small cycles = %d, want 3", smalls)
+	}
+	if r.Cycles[1].Small {
+		t.Error("the hot cycle should not be flagged small")
+	}
+	unshare, cluster := false, false
+	for _, s := range r.Suggestions {
+		switch s.Kind {
+		case SuggestUnshare:
+			unshare = true
+		case SuggestCluster:
+			cluster = true
+		}
+	}
+	if !unshare || !cluster {
+		t.Errorf("want unshare and cluster suggestions, got %v", r.Suggestions)
+	}
+}
+
+func TestAnalyzeRubikFindsImbalanceNotCrossProduct(t *testing.T) {
+	r := Analyze(workloads.Rubik(), Options{})
+	if len(r.HotNodes) != 0 {
+		t.Errorf("rubik should have no cross-product nodes, got %v", r.HotNodes)
+	}
+	if len(r.Fanouts) != 0 {
+		t.Errorf("rubik should have no fan-out bottlenecks, got %v", r.Fanouts)
+	}
+	// The left-cluster imbalance shows up as redistribute suggestions.
+	redistributes := 0
+	for _, s := range r.Suggestions {
+		if s.Kind == SuggestRedistribute {
+			redistributes++
+		}
+	}
+	if redistributes == 0 {
+		t.Errorf("no redistribute suggestion for rubik's clustered lefts: %v", r.Suggestions)
+	}
+}
+
+func TestAutoTuneImprovesSimulatedSpeedup(t *testing.T) {
+	for _, gen := range []func() *trace.Trace{workloads.Tourney, workloads.Weaver} {
+		tr := gen()
+		tuned, report := AutoTune(tr, Options{})
+		if tuned == tr {
+			t.Fatalf("%s: autotune did not transform", tr.Name)
+		}
+		if err := tuned.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{
+			MatchProcs: 32,
+			Costs:      core.DefaultCosts(),
+			Overhead:   core.OverheadRuns()[1],
+			Latency:    core.NectarLatency(),
+		}
+		base, _, _, err := core.Speedup(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, _, _, err := core.Speedup(tuned, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after <= base {
+			t.Errorf("%s: autotune %.2f -> %.2f, want improvement (report: %+v)", tr.Name, base, after, report.Suggestions)
+		}
+	}
+}
+
+func TestAutoTuneLeavesCleanTraceAlone(t *testing.T) {
+	// A trace with no hot nodes or fan-out sites is returned as-is.
+	tr := &trace.Trace{
+		Name:     "clean",
+		NBuckets: 64,
+		Cycles: []*trace.Cycle{{
+			Changes: 1,
+			Roots: []*trace.Activation{
+				{Node: 1, Side: trace.RightSide, Bucket: 3},
+				{Node: 2, Side: trace.RightSide, Bucket: 5},
+			},
+		}},
+	}
+	tuned, _ := AutoTune(tr, Options{})
+	if tuned != tr {
+		t.Error("clean trace was transformed")
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	var buf bytes.Buffer
+	_, r := AutoTune(workloads.Tourney(), Options{})
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"analysis of tourney", "cross-product", "multiple-modify", "suggestions", "copy-and-constraint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeNetworkStaticIssues(t *testing.T) {
+	srcs := []string{
+		`(p cross (a ^x <u>) (b ^y <w>) --> (halt))`, // no eq test
+		`(p ok (a ^x <u>) (c ^x <u>) --> (halt))`,    // discriminated
+	}
+	var prods []*ops5.Production
+	for _, src := range srcs {
+		p, err := ops5.ParseProduction(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prods = append(prods, p)
+	}
+	net, err := rete.Compile(prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := AnalyzeNetwork(net, 4)
+	ccFound := false
+	for _, is := range issues {
+		if is.Kind == SuggestCopyAndConstrain {
+			ccFound = true
+		}
+	}
+	if !ccFound {
+		t.Errorf("static analysis missed the cross-product join: %v", issues)
+	}
+	// The discriminated join must not be flagged.
+	if len(issues) != 1 {
+		t.Errorf("issues = %v, want exactly the cross-product", issues)
+	}
+
+	// Shared high-fan-out node gets an unshare warning.
+	var fanProds []*ops5.Production
+	for i := 0; i < 6; i++ {
+		p, err := ops5.ParseProduction(fmt.Sprintf(
+			`(p f%d (a ^x <v>) (b ^x <v>) (c ^k %d) --> (halt))`, i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fanProds = append(fanProds, p)
+	}
+	fnet, err := rete.Compile(fanProds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshare := false
+	for _, is := range AnalyzeNetwork(fnet, 4) {
+		if is.Kind == SuggestUnshare {
+			unshare = true
+		}
+	}
+	if !unshare {
+		t.Error("static analysis missed the shared fan-out node")
+	}
+}

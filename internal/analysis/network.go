@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mpcrete/internal/rete"
+)
+
+// NetworkIssue is a static (compile-time) warning about a Rete
+// network: unlike the trace analysis, it needs no execution data, so
+// it can run when a program is loaded — the moment the paper's
+// source-level transformations would be applied.
+type NetworkIssue struct {
+	Kind   SuggestionKind
+	Node   int
+	Reason string
+}
+
+// AnalyzeNetwork inspects a compiled network for structural causes of
+// the paper's pathologies:
+//
+//   - a join with no equality tests cannot be discriminated by the
+//     hash function: every token it receives lands in one bucket
+//     (candidate for copy-and-constraint, before any token flows);
+//   - a two-input node with a large successor fan-out will serialize
+//     successor generation at one bucket site (candidate for
+//     unsharing or dummy nodes).
+func AnalyzeNetwork(net *rete.Network, fanoutThreshold int) []NetworkIssue {
+	if fanoutThreshold <= 0 {
+		fanoutThreshold = 4
+	}
+	var issues []NetworkIssue
+	for _, n := range net.Nodes {
+		if !n.IsTwoInput() || n.Detached() {
+			continue
+		}
+		if n.Kind == rete.KindJoin && len(n.EqTests) == 0 {
+			issues = append(issues, NetworkIssue{
+				Kind: SuggestCopyAndConstrain,
+				Node: n.ID,
+				Reason: fmt.Sprintf("join node %d tests no variable for equality: all its tokens hash to one bucket",
+					n.ID),
+			})
+		}
+		if len(n.Succs) > fanoutThreshold {
+			issues = append(issues, NetworkIssue{
+				Kind: SuggestUnshare,
+				Node: n.ID,
+				Reason: fmt.Sprintf("node %d feeds %d successors: successor generation serializes at its bucket sites",
+					n.ID, len(n.Succs)),
+			})
+		}
+	}
+	return issues
+}

@@ -1,0 +1,78 @@
+// Package core implements the paper's primary contribution: the
+// mapping of Rete match onto a message-passing computer through a
+// concurrent distributed hash table (Section 3), and the trace-driven
+// simulation of that mapping (Sections 4-5).
+//
+// The simulated variation is the Fig 3-3 mapping: one control
+// processor plus P match processors. Each MRA cycle the control
+// processor broadcasts the cycle's wme changes; every match processor
+// evaluates all constant tests (duplicated on purpose — the
+// coarse-granularity, zero-communication path) and processes, as one
+// grouped unit, the root activations whose hash buckets it owns.
+// Successor (left) tokens are fine-grained: each travels to the
+// processor owning its bucket, as a message when remote. Production
+// instantiations are sent to the control processor. The processor-pair
+// mapping of Fig 3-2 is available as a variant.
+package core
+
+import (
+	"mpcrete/internal/simnet"
+)
+
+// CostModel holds the node-activation cost estimates of Section 4,
+// profiled from the Encore/PSM-E implementations.
+type CostModel struct {
+	// ConstTests is the time for one processor to evaluate all the
+	// constant test nodes for a cycle's wme changes.
+	ConstTests simnet.Time
+	// LeftAddDel is the time to add or delete one left token.
+	LeftAddDel simnet.Time
+	// RightAddDel is the time to add or delete one right token.
+	RightAddDel simnet.Time
+	// PerSuccessor is the comparison time per successor token
+	// generated.
+	PerSuccessor simnet.Time
+}
+
+// DefaultCosts returns the paper's estimates: 30, 32, 16, 16 µs.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ConstTests:   simnet.US(30),
+		LeftAddDel:   simnet.US(32),
+		RightAddDel:  simnet.US(16),
+		PerSuccessor: simnet.US(16),
+	}
+}
+
+// AddDel returns the add/delete cost for a token on the given side.
+func (c CostModel) AddDel(left bool) simnet.Time {
+	if left {
+		return c.LeftAddDel
+	}
+	return c.RightAddDel
+}
+
+// OverheadSetting is one row of Table 5-1: a message-processing
+// overhead breakdown into send and receive components.
+type OverheadSetting struct {
+	Name string
+	Send simnet.Time
+	Recv simnet.Time
+}
+
+// Total returns send + receive overhead.
+func (o OverheadSetting) Total() simnet.Time { return o.Send + o.Recv }
+
+// OverheadRuns reproduces Table 5-1 exactly.
+func OverheadRuns() []OverheadSetting {
+	return []OverheadSetting{
+		{Name: "run1", Send: 0, Recv: 0},
+		{Name: "run2", Send: simnet.US(5), Recv: simnet.US(3)},
+		{Name: "run3", Send: simnet.US(10), Recv: simnet.US(6)},
+		{Name: "run4", Send: simnet.US(20), Recv: simnet.US(12)},
+	}
+}
+
+// NectarLatency is the interconnection-network latency the Nectar
+// group supplied: 0.5 µs.
+func NectarLatency() simnet.Time { return simnet.US(0.5) }

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+
+	"mpcrete/internal/sched"
+	"mpcrete/internal/simnet"
+	"mpcrete/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// MatchProcs is the number of hash-table partitions P. In the
+	// default (Fig 3-3) mapping each partition is one processor; with
+	// Pairs set (Fig 3-2) each partition is a left/right processor
+	// pair, so the machine has 2P match processors.
+	MatchProcs int
+	// Costs is the node-activation cost model (DefaultCosts()).
+	Costs CostModel
+	// Overhead is the message-processing overhead setting (Table 5-1).
+	Overhead OverheadSetting
+	// Latency is the interconnection-network latency (NectarLatency()).
+	Latency simnet.Time
+	// Topology and PerHop model distance-sensitive networks; nil
+	// Topology is the wormhole-style distance-insensitive default.
+	Topology simnet.Topology
+	// PerHop is the added transit time per hop under Topology.
+	PerHop simnet.Time
+	// Contention models finite link bandwidth (requires a
+	// RoutedTopology); the paper's simulator assumed infinite
+	// bandwidth, which Section 5.1 justifies by the observed 97-98%
+	// network idleness — a claim this switch lets us verify.
+	Contention bool
+	// Partition maps bucket index -> partition slot; length must equal
+	// the trace's NBuckets. Defaults to round-robin when nil.
+	Partition sched.Partition
+	// PerCycle optionally overrides Partition cycle by cycle (the
+	// off-line greedy redistribution experiment).
+	PerCycle []sched.Partition
+	// SoftwareBroadcast serializes the cycle-start broadcast into
+	// point-to-point sends.
+	SoftwareBroadcast bool
+	// CentralRoots is an ablation of the multiple-granularity design:
+	// instead of every match processor duplicating the constant tests
+	// and keeping its own roots, the control processor evaluates the
+	// constant tests and ships every root activation as an individual
+	// message (the centralized alpha variant of Section 3.2).
+	CentralRoots bool
+	// Pairs selects the Fig 3-2 processor-pair mapping.
+	Pairs bool
+	// Replicated selects the Section 6 continuum's first extreme: every
+	// match processor holds a full copy of both hash tables. Tokens
+	// are generated once (on the bucket's home processor) but every
+	// copy must store every token, so each left token is broadcast and
+	// every processor pays its add/delete cost — the "continuous
+	// updates among the various copies" the paper anticipates. The
+	// other extreme (single master copy) needs no switch: pass a
+	// Partition assigning every bucket to slot 0.
+	Replicated bool
+}
+
+// Result reports a simulated run.
+type Result struct {
+	Makespan   simnet.Time
+	CycleTimes []simnet.Time
+	Net        simnet.Stats
+	// LeftActsPerSlot[c][s] counts left activations processed by
+	// partition slot s during cycle c (the Fig 5-5 distribution).
+	LeftActsPerSlot [][]int
+	// ActsPerSlot counts all activations per slot per cycle.
+	ActsPerSlot [][]int
+	// Insts is the total number of instantiation messages delivered to
+	// the control processor.
+	Insts int
+}
+
+// payloads
+
+type bcastStart struct{ cycle int } // injected on the control processor
+type cyclePacket struct{ cycle int }
+type actTask struct {
+	cycle int
+	act   *trace.Activation
+}
+type pairCompare struct {
+	cycle int
+	act   *trace.Activation
+	root  bool
+}
+type instMsg struct{}
+
+// simulator carries the run state shared by the handler closures.
+type simulator struct {
+	tr  *trace.Trace
+	cfg Config
+	sim *simnet.Sim
+	res *Result
+}
+
+// Simulate replays a hash-table activity trace against the mapping.
+func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MatchProcs <= 0 {
+		return nil, fmt.Errorf("core: MatchProcs = %d", cfg.MatchProcs)
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = sched.RoundRobin(tr.NBuckets, cfg.MatchProcs)
+	}
+	if len(cfg.Partition) != tr.NBuckets {
+		return nil, fmt.Errorf("core: partition covers %d buckets, trace has %d", len(cfg.Partition), tr.NBuckets)
+	}
+	if err := cfg.Partition.Validate(cfg.MatchProcs); err != nil {
+		return nil, err
+	}
+	if cfg.PerCycle != nil && len(cfg.PerCycle) != len(tr.Cycles) {
+		return nil, fmt.Errorf("core: %d per-cycle partitions for %d cycles", len(cfg.PerCycle), len(tr.Cycles))
+	}
+	if cfg.PerCycle != nil {
+		for ci, p := range cfg.PerCycle {
+			if len(p) != tr.NBuckets {
+				return nil, fmt.Errorf("core: per-cycle partition %d covers %d buckets", ci, len(p))
+			}
+			if err := p.Validate(cfg.MatchProcs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.CentralRoots && cfg.Pairs {
+		return nil, fmt.Errorf("core: CentralRoots is not defined for the pair mapping")
+	}
+	if cfg.Replicated && (cfg.Pairs || cfg.CentralRoots) {
+		return nil, fmt.Errorf("core: Replicated excludes Pairs and CentralRoots")
+	}
+	if cfg.Replicated && cfg.PerCycle != nil {
+		return nil, fmt.Errorf("core: Replicated tables have no per-cycle distribution")
+	}
+	if cfg.Contention {
+		if _, ok := cfg.Topology.(simnet.RoutedTopology); !ok {
+			return nil, fmt.Errorf("core: Contention requires a routed topology")
+		}
+	}
+
+	s := &simulator{tr: tr, cfg: cfg, res: &Result{}}
+	nprocs := 1 + cfg.MatchProcs
+	if cfg.Pairs {
+		nprocs = 1 + 2*cfg.MatchProcs
+	}
+	s.sim = simnet.New(simnet.Config{
+		Procs:             nprocs,
+		SendOverhead:      cfg.Overhead.Send,
+		RecvOverhead:      cfg.Overhead.Recv,
+		Latency:           cfg.Latency,
+		Topology:          cfg.Topology,
+		PerHop:            cfg.PerHop,
+		Contention:        cfg.Contention,
+		SoftwareBroadcast: cfg.SoftwareBroadcast,
+	}, s.handle)
+
+	for range tr.Cycles {
+		s.res.LeftActsPerSlot = append(s.res.LeftActsPerSlot, make([]int, cfg.MatchProcs))
+		s.res.ActsPerSlot = append(s.res.ActsPerSlot, make([]int, cfg.MatchProcs))
+	}
+
+	for ci := range tr.Cycles {
+		start := s.sim.Now()
+		s.sim.Inject(0, bcastStart{cycle: ci}, start)
+		end := s.sim.Run()
+		s.res.CycleTimes = append(s.res.CycleTimes, end-start)
+	}
+	s.res.Makespan = s.sim.Now()
+	s.res.Net = s.sim.Stats()
+	return s.res, nil
+}
+
+// partition returns the bucket map in force for a cycle.
+func (s *simulator) partition(cycle int) sched.Partition {
+	if s.cfg.PerCycle != nil {
+		return s.cfg.PerCycle[cycle]
+	}
+	return s.cfg.Partition
+}
+
+// Processor layout: 0 is control. Single mapping: slot s -> proc 1+s.
+// Pair mapping: slot s -> left proc 1+2s, right proc 2+2s.
+
+func (s *simulator) leftProcOf(slot int) int {
+	if s.cfg.Pairs {
+		return 1 + 2*slot
+	}
+	return 1 + slot
+}
+
+func (s *simulator) rightProcOf(slot int) int {
+	if s.cfg.Pairs {
+		return 2 + 2*slot
+	}
+	return 1 + slot
+}
+
+// slotOfProc inverts the layout for match processors.
+func (s *simulator) slotOfProc(proc int) int {
+	if s.cfg.Pairs {
+		return (proc - 1) / 2
+	}
+	return proc - 1
+}
+
+// isRightMember reports whether proc is the right member of its pair.
+func (s *simulator) isRightMember(proc int) bool {
+	return s.cfg.Pairs && (proc-1)%2 == 1
+}
+
+// otherMatchProcs lists the match processors other than `self`.
+func (s *simulator) otherMatchProcs(self int) []int {
+	var out []int
+	for _, id := range s.matchProcIDs() {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (s *simulator) matchProcIDs() []int {
+	n := s.cfg.MatchProcs
+	if s.cfg.Pairs {
+		n *= 2
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = 1 + i
+	}
+	return ids
+}
+
+func (s *simulator) handle(ctx *simnet.Ctx, p simnet.Payload) {
+	switch v := p.(type) {
+	case bcastStart:
+		s.handleCycleStart(ctx, v.cycle)
+	case cyclePacket:
+		s.handlePacket(ctx, v.cycle)
+	case actTask:
+		s.handleActivation(ctx, v.cycle, v.act, false)
+	case pairCompare:
+		s.compareAndGenerate(ctx, v.cycle, v.act)
+	case instMsg:
+		s.res.Insts++ // control bookkeeping; conflict resolution is out of match scope
+	default:
+		panic(fmt.Sprintf("core: unknown payload %T", p))
+	}
+}
+
+// handleCycleStart runs on the control processor.
+func (s *simulator) handleCycleStart(ctx *simnet.Ctx, cycle int) {
+	cy := s.tr.Cycles[cycle]
+	if !s.cfg.CentralRoots {
+		ctx.Broadcast(s.matchProcIDs(), cyclePacket{cycle: cycle})
+		return
+	}
+	// Centralized-alpha ablation: control evaluates the constant tests
+	// itself and ships each root activation to its owner.
+	ctx.Busy(s.cfg.Costs.ConstTests)
+	part := s.partition(cycle)
+	for _, root := range cy.Roots {
+		ctx.Send(s.leftProcOf(part[root.Bucket]), actTask{cycle: cycle, act: root})
+	}
+	// Root instantiations (single-CE productions) stay on control.
+	ctx.Busy(simnet.Time(cy.RootInsts) * s.cfg.Costs.PerSuccessor)
+	s.res.Insts += cy.RootInsts
+}
+
+// handlePacket runs on every match processor at cycle start: evaluate
+// all constant tests, then process owned roots as one grouped unit.
+func (s *simulator) handlePacket(ctx *simnet.Ctx, cycle int) {
+	cy := s.tr.Cycles[cycle]
+	ctx.Busy(s.cfg.Costs.ConstTests)
+	part := s.partition(cycle)
+	me := s.slotOfProc(ctx.Proc())
+	rightMember := s.isRightMember(ctx.Proc())
+	for _, root := range cy.Roots {
+		if part[root.Bucket] != me {
+			// Replicated tables: every copy stores every token, even
+			// those whose home (generating) processor is elsewhere.
+			if s.cfg.Replicated {
+				ctx.Busy(s.cfg.Costs.AddDel(root.Side == trace.LeftSide))
+			}
+			continue
+		}
+		if !s.cfg.Pairs {
+			s.handleActivation(ctx, cycle, root, true)
+			continue
+		}
+		// Pair mapping: both members hold the token already (both ran
+		// the constant tests), so no intra-pair forward is needed for
+		// roots. The member owning the token's own side stores it; the
+		// other member compares against the opposite bucket and
+		// generates the successors.
+		isLeftToken := root.Side == trace.LeftSide
+		switch {
+		case isLeftToken && !rightMember:
+			ctx.Busy(s.cfg.Costs.LeftAddDel)
+			s.countAct(cycle, me, root)
+		case isLeftToken && rightMember:
+			s.compareAndGenerate(ctx, cycle, root)
+		case !isLeftToken && rightMember:
+			ctx.Busy(s.cfg.Costs.RightAddDel)
+			s.countAct(cycle, me, root)
+		default: // right token, left member
+			s.compareAndGenerate(ctx, cycle, root)
+		}
+	}
+	// Root instantiations are deduplicated onto slot 0 (left member in
+	// pair mode), which forwards them to the control processor.
+	if me == 0 && !rightMember && cy.RootInsts > 0 {
+		for i := 0; i < cy.RootInsts; i++ {
+			ctx.Busy(s.cfg.Costs.PerSuccessor)
+			ctx.Send(0, instMsg{})
+		}
+	}
+}
+
+// countAct records distribution statistics for an activation.
+func (s *simulator) countAct(cycle, slot int, a *trace.Activation) {
+	s.res.ActsPerSlot[cycle][slot]++
+	if a.Side == trace.LeftSide {
+		s.res.LeftActsPerSlot[cycle][slot]++
+	}
+}
+
+// handleActivation performs a full node activation in the single-
+// processor-per-slot mapping: store the token, compare with the
+// opposite bucket, and emit the successors (16 µs each), routing each
+// to the processor owning its bucket.
+func (s *simulator) handleActivation(ctx *simnet.Ctx, cycle int, a *trace.Activation, grouped bool) {
+	me := s.slotOfProc(ctx.Proc())
+	if s.cfg.Replicated && !grouped && s.partition(cycle)[a.Bucket] != me {
+		// A replica update: store the token, generate nothing.
+		ctx.Busy(s.cfg.Costs.AddDel(a.Side == trace.LeftSide))
+		return
+	}
+	if s.cfg.Pairs && !grouped {
+		// Non-root left token arriving at the pair's left processor:
+		// store locally, forward to the right member for comparison.
+		s.countAct(cycle, me, a)
+		ctx.Busy(s.cfg.Costs.LeftAddDel)
+		if a.Successors() > 0 {
+			ctx.Send(s.rightProcOf(me), pairCompare{cycle: cycle, act: a})
+		}
+		return
+	}
+	s.countAct(cycle, me, a)
+	ctx.Busy(s.cfg.Costs.AddDel(a.Side == trace.LeftSide))
+	s.emitSuccessors(ctx, cycle, a)
+}
+
+// compareAndGenerate is the comparison half of an activation: the
+// per-successor work plus routing. In the pair mapping it runs on the
+// member opposite the stored side; in the single mapping it is inlined
+// by handleActivation.
+func (s *simulator) compareAndGenerate(ctx *simnet.Ctx, cycle int, a *trace.Activation) {
+	s.emitSuccessors(ctx, cycle, a)
+}
+
+func (s *simulator) emitSuccessors(ctx *simnet.Ctx, cycle int, a *trace.Activation) {
+	part := s.partition(cycle)
+	if s.cfg.Replicated {
+		for _, child := range a.Children {
+			ctx.Busy(s.cfg.Costs.PerSuccessor)
+			// Update every copy: one broadcast to the other match
+			// processors plus the local store/processing.
+			if dests := s.otherMatchProcs(ctx.Proc()); len(dests) > 0 {
+				ctx.Broadcast(dests, actTask{cycle: cycle, act: child})
+			}
+			ctx.Local(actTask{cycle: cycle, act: child})
+		}
+		for i := 0; i < a.Insts; i++ {
+			ctx.Busy(s.cfg.Costs.PerSuccessor)
+			ctx.Send(0, instMsg{})
+		}
+		return
+	}
+	for _, child := range a.Children {
+		ctx.Busy(s.cfg.Costs.PerSuccessor)
+		dest := s.leftProcOf(part[child.Bucket])
+		if dest == ctx.Proc() {
+			ctx.Local(actTask{cycle: cycle, act: child})
+		} else {
+			// Left tokens always travel to the owning slot's left
+			// processor (communication is restricted to it), even from
+			// the right member of the same pair.
+			ctx.Send(dest, actTask{cycle: cycle, act: child})
+		}
+	}
+	for i := 0; i < a.Insts; i++ {
+		ctx.Busy(s.cfg.Costs.PerSuccessor)
+		ctx.Send(0, instMsg{})
+	}
+}
+
+// Baseline returns the configuration of the speedup base case: a
+// single match processor with zero message-processing overheads (the
+// paper's denominator for every speedup figure).
+func Baseline(cfg Config) Config {
+	base := cfg
+	base.MatchProcs = 1
+	base.Overhead = OverheadSetting{Name: "base"}
+	base.Partition = nil
+	base.PerCycle = nil
+	base.Pairs = false
+	base.CentralRoots = false
+	base.Replicated = false
+	return base
+}
+
+// Speedup simulates the trace under cfg and under the baseline and
+// returns base-makespan / cfg-makespan along with both results.
+func Speedup(tr *trace.Trace, cfg Config) (float64, *Result, *Result, error) {
+	res, err := Simulate(tr, cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	base, err := Simulate(tr, Baseline(cfg))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if res.Makespan == 0 {
+		return 1, res, base, nil
+	}
+	return float64(base.Makespan) / float64(res.Makespan), res, base, nil
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcrete/internal/sched"
+	"mpcrete/internal/simnet"
+	"mpcrete/internal/trace"
+)
+
+// act builds a trace activation.
+func act(side, tag byte, bucket int, insts int, children ...*trace.Activation) *trace.Activation {
+	a := &trace.Activation{Node: bucket, Bucket: bucket, Insts: insts, Children: children}
+	if side == 'L' {
+		a.Side = trace.LeftSide
+	} else {
+		a.Side = trace.RightSide
+	}
+	if tag == '-' {
+		a.Tag = trace.DeleteTag
+	}
+	return a
+}
+
+func singleCycle(nbuckets int, roots ...*trace.Activation) *trace.Trace {
+	return &trace.Trace{
+		Name:     "unit",
+		NBuckets: nbuckets,
+		Cycles:   []*trace.Cycle{{Changes: 1, Roots: roots}},
+	}
+}
+
+func baseCfg(procs int) Config {
+	return Config{
+		MatchProcs: procs,
+		Costs:      DefaultCosts(),
+		Latency:    NectarLatency(),
+	}
+}
+
+func TestSimulateSingleRightRoot(t *testing.T) {
+	tr := singleCycle(8, act('R', '+', 0, 0))
+	res, err := Simulate(tr, baseCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast departs at 0, arrives 0.5µs; constant tests 30µs; one
+	// right add 16µs -> 46.5µs.
+	if want := simnet.US(46.5); res.Makespan != want {
+		t.Errorf("makespan = %vµs, want 46.5", res.Makespan.Microseconds())
+	}
+	if res.ActsPerSlot[0][0] != 1 || res.LeftActsPerSlot[0][0] != 0 {
+		t.Errorf("activation counts = %v / %v", res.ActsPerSlot, res.LeftActsPerSlot)
+	}
+}
+
+func TestSimulateLeftRootCost(t *testing.T) {
+	tr := singleCycle(8, act('L', '+', 0, 0))
+	res, err := Simulate(tr, baseCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simnet.US(62.5); res.Makespan != want { // 0.5 + 30 + 32
+		t.Errorf("makespan = %vµs, want 62.5", res.Makespan.Microseconds())
+	}
+}
+
+func TestSimulateParallelRoots(t *testing.T) {
+	var roots []*trace.Activation
+	for b := 0; b < 8; b++ {
+		roots = append(roots, act('R', '+', b, 0))
+	}
+	tr := singleCycle(8, roots...)
+	// One processor: serial adds.
+	res1, err := Simulate(tr, baseCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simnet.US(0.5 + 30 + 8*16); res1.Makespan != want {
+		t.Fatalf("P=1 makespan = %vµs", res1.Makespan.Microseconds())
+	}
+	// Eight processors, round-robin: one add each.
+	res8, err := Simulate(tr, baseCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simnet.US(0.5 + 30 + 16); res8.Makespan != want {
+		t.Fatalf("P=8 makespan = %vµs", res8.Makespan.Microseconds())
+	}
+	sp, _, _, err := Speedup(tr, baseCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(res1.Makespan) / float64(res8.Makespan)
+	if sp != want {
+		t.Errorf("speedup = %v, want %v", sp, want)
+	}
+}
+
+func TestSimulateChildRouting(t *testing.T) {
+	// A right root on slot 0 generating two left children owned by
+	// slot 1 (bucket 1). With zero overheads the children travel with
+	// only latency.
+	root := act('R', '+', 0, 0, act('L', '+', 1, 0), act('L', '+', 1, 0))
+	tr := singleCycle(2, root)
+	res, err := Simulate(tr, baseCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0: 30 + 16 (add) + 2*16 (successors) done at 78.5µs.
+	// Child 1 departs at 62.5+0.5=63, child 2 at 79.
+	// Slot 1 finished constant tests at 30.5, processes child 1 at 63
+	// for 32µs -> 95, child 2 arrives 79, runs 95..127.
+	if want := simnet.US(127); res.Makespan != want {
+		t.Errorf("makespan = %vµs, want 127", res.Makespan.Microseconds())
+	}
+	if res.Net.Messages < 2 {
+		t.Errorf("messages = %d, want >= 2", res.Net.Messages)
+	}
+	if res.LeftActsPerSlot[0][1] != 2 {
+		t.Errorf("slot 1 left acts = %v", res.LeftActsPerSlot)
+	}
+}
+
+func TestSimulateInstantiationsReachControl(t *testing.T) {
+	root := act('R', '+', 0, 2, act('L', '+', 1, 1))
+	tr := singleCycle(2, root)
+	tr.Cycles[0].RootInsts = 3
+	for _, pairs := range []bool{false, true} {
+		cfg := baseCfg(2)
+		cfg.Pairs = pairs
+		res, err := Simulate(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Insts != 6 { // 2 + 1 + 3 root insts
+			t.Errorf("pairs=%v: insts = %d, want 6", pairs, res.Insts)
+		}
+	}
+}
+
+func TestSimulateActivationConservation(t *testing.T) {
+	// Total counted activations must equal the trace stats regardless
+	// of processor count, mapping, or partition strategy.
+	rng := rand.New(rand.NewSource(3))
+	var gen func(depth int) *trace.Activation
+	nb := 64
+	gen = func(depth int) *trace.Activation {
+		side := byte('L')
+		if rng.Intn(2) == 0 {
+			side = 'R'
+		}
+		a := act(side, '+', rng.Intn(nb), rng.Intn(2))
+		if depth < 3 {
+			for i := 0; i < rng.Intn(3); i++ {
+				a.Children = append(a.Children, gen(depth+1))
+			}
+		}
+		return a
+	}
+	tr := &trace.Trace{Name: "rand", NBuckets: nb}
+	for c := 0; c < 3; c++ {
+		cy := &trace.Cycle{Changes: 2}
+		for r := 0; r < 5; r++ {
+			cy.Roots = append(cy.Roots, gen(0))
+		}
+		tr.Cycles = append(tr.Cycles, cy)
+	}
+	want := tr.Stats()
+
+	for _, cfg := range []Config{
+		baseCfg(1), baseCfg(4), baseCfg(16),
+		func() Config { c := baseCfg(4); c.Pairs = true; return c }(),
+		func() Config { c := baseCfg(4); c.CentralRoots = true; return c }(),
+		func() Config {
+			c := baseCfg(4)
+			c.Partition = sched.Random(nb, 4, 5)
+			return c
+		}(),
+		func() Config {
+			c := baseCfg(4)
+			c.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), nb, 4)
+			return c
+		}(),
+	} {
+		res, err := Simulate(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, left := 0, 0
+		for ci := range res.ActsPerSlot {
+			for s := range res.ActsPerSlot[ci] {
+				total += res.ActsPerSlot[ci][s]
+				left += res.LeftActsPerSlot[ci][s]
+			}
+		}
+		if total != want.Total || left != want.LeftActivations {
+			t.Errorf("cfg %+v: counted %d/%d acts, want %d/%d", cfg, total, left, want.Total, want.LeftActivations)
+		}
+		if res.Insts != want.Instantiations {
+			t.Errorf("cfg %+v: insts %d, want %d", cfg, res.Insts, want.Instantiations)
+		}
+	}
+}
+
+func TestSimulateOverheadSlowsLeftHeavyTrace(t *testing.T) {
+	// Left-heavy fan-out: one right root spawning 12 remote children.
+	var children []*trace.Activation
+	for i := 0; i < 12; i++ {
+		children = append(children, act('L', '+', 1+i%7, 0))
+	}
+	tr := singleCycle(8, act('R', '+', 0, 0, children...))
+	var last simnet.Time
+	for i, ov := range OverheadRuns() {
+		cfg := baseCfg(8)
+		cfg.Overhead = ov
+		res, err := Simulate(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Makespan <= last {
+			t.Errorf("%s: makespan %v not larger than previous %v", ov.Name, res.Makespan, last)
+		}
+		last = res.Makespan
+	}
+}
+
+func TestSimulateGroupedRootsBeatCentralUnderOverhead(t *testing.T) {
+	// Many small roots: shipping each individually from the control
+	// processor pays per-message overheads that broadcast avoids.
+	var roots []*trace.Activation
+	for b := 0; b < 32; b++ {
+		roots = append(roots, act('R', '+', b%16, 0))
+	}
+	tr := singleCycle(16, roots...)
+	cfg := baseCfg(4)
+	cfg.Overhead = OverheadRuns()[3] // 20/12 µs
+	grouped, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CentralRoots = true
+	central, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.Makespan >= central.Makespan {
+		t.Errorf("grouped %vµs should beat central %vµs", grouped.Makespan.Microseconds(), central.Makespan.Microseconds())
+	}
+}
+
+func TestSimulateGreedyBeatsRoundRobinOnSkew(t *testing.T) {
+	// All activity on buckets congruent to 0 mod 4 -> round-robin with
+	// P=4 puts everything on slot 0; greedy spreads it.
+	var roots []*trace.Activation
+	for i := 0; i < 16; i++ {
+		roots = append(roots, act('L', '+', (i*4)%64, 0))
+	}
+	tr := singleCycle(64, roots...)
+	rr, err := Simulate(tr, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg(4)
+	cfg.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), 64, 4)
+	gr, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Makespan >= rr.Makespan {
+		t.Errorf("greedy %vµs should beat round-robin %vµs", gr.Makespan.Microseconds(), rr.Makespan.Microseconds())
+	}
+}
+
+func TestSimulatePairsRunsAndOverlaps(t *testing.T) {
+	// A left root with successors: in the pair mapping the store and
+	// the successor generation run on different processors.
+	root := act('L', '+', 0, 0, act('L', '+', 1, 0), act('L', '+', 2, 0))
+	tr := singleCycle(4, root)
+	cfg := baseCfg(4)
+	cfg.Pairs = true
+	res, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	// 1 + 2*4 match procs + control.
+	if got := len(res.Net.Procs); got != 9 {
+		t.Errorf("procs = %d, want 9", got)
+	}
+}
+
+func TestSimulateConfigErrors(t *testing.T) {
+	tr := singleCycle(8, act('R', '+', 0, 0))
+	if _, err := Simulate(tr, Config{MatchProcs: 0, Costs: DefaultCosts()}); err == nil {
+		t.Error("MatchProcs=0 accepted")
+	}
+	cfg := baseCfg(2)
+	cfg.Partition = sched.Partition{0, 1} // wrong length
+	if _, err := Simulate(tr, cfg); err == nil {
+		t.Error("short partition accepted")
+	}
+	cfg = baseCfg(2)
+	cfg.Partition = sched.Partition{0, 1, 2, 0, 1, 0, 1, 0} // proc 2 out of range
+	if _, err := Simulate(tr, cfg); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+	cfg = baseCfg(2)
+	cfg.PerCycle = []sched.Partition{}
+	if _, err := Simulate(tr, cfg); err == nil {
+		t.Error("mismatched per-cycle partitions accepted")
+	}
+	cfg = baseCfg(2)
+	cfg.CentralRoots = true
+	cfg.Pairs = true
+	if _, err := Simulate(tr, cfg); err == nil {
+		t.Error("CentralRoots+Pairs accepted")
+	}
+}
+
+func TestNetworkMostlyIdle(t *testing.T) {
+	// Even with heavy messaging the 0.5µs latency keeps the network
+	// idle most of the time (Section 5.1 reports 97-98%).
+	var children []*trace.Activation
+	for i := 0; i < 64; i++ {
+		children = append(children, act('L', '+', i%16, 0))
+	}
+	tr := singleCycle(16, act('R', '+', 0, 0, children...))
+	cfg := baseCfg(8)
+	cfg.Overhead = OverheadRuns()[1]
+	res, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle := res.Net.NetworkIdleFraction(); idle < 0.9 {
+		t.Errorf("network idle = %v, want > 0.9", idle)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	var roots []*trace.Activation
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		r := act('R', '+', rng.Intn(32), rng.Intn(2))
+		for j := 0; j < rng.Intn(4); j++ {
+			r.Children = append(r.Children, act('L', '+', rng.Intn(32), 0))
+		}
+		roots = append(roots, r)
+	}
+	tr := singleCycle(32, roots...)
+	cfg := baseCfg(8)
+	cfg.Overhead = OverheadRuns()[2]
+	a, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Net.Messages != b.Net.Messages {
+		t.Errorf("nondeterministic simulation: %v/%d vs %v/%d", a.Makespan, a.Net.Messages, b.Makespan, b.Net.Messages)
+	}
+}
+
+func TestNetworkNotBottleneckUnderContention(t *testing.T) {
+	// The paper's simulator assumed infinite network bandwidth and
+	// justified it by 97-98% observed idleness. Re-run the left-heavy
+	// fan-out workload on a routed mesh with finite link bandwidth:
+	// makespan must barely move and the contention delay must be a
+	// tiny fraction of it.
+	var children []*trace.Activation
+	for i := 0; i < 64; i++ {
+		children = append(children, act('L', '+', i%16, 0))
+	}
+	tr := singleCycle(16, act('R', '+', 0, 0, children...))
+	base := baseCfg(8)
+	base.Overhead = OverheadRuns()[1]
+	free, err := Simulate(tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Topology = simnet.Mesh2D{W: 3, H: 3}
+	cfg.PerHop = simnet.US(0.2)
+	cfg.Contention = true
+	cont, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := float64(cont.Makespan) / float64(free.Makespan)
+	if slowdown > 1.05 {
+		t.Errorf("contention slows the run %.3fx; the network should not be a bottleneck", slowdown)
+	}
+	if frac := float64(cont.Net.ContentionDelay) / float64(cont.Makespan); frac > 0.02 {
+		t.Errorf("contention delay is %.1f%% of makespan, want < 2%%", 100*frac)
+	}
+}
+
+func TestContentionConfigValidation(t *testing.T) {
+	tr := singleCycle(8, act('R', '+', 0, 0))
+	cfg := baseCfg(2)
+	cfg.Contention = true // no topology
+	if _, err := Simulate(tr, cfg); err == nil {
+		t.Error("contention without routed topology accepted")
+	}
+}
+
+func TestSimulatePairsExactTiming(t *testing.T) {
+	// Fig 3-2 protocol, hand-computed. One left root at bucket 0
+	// (slot 0) generating one child at bucket 1 (slot 1); two slots,
+	// zero overheads, 0.5µs latency.
+	//
+	//   t=0    control broadcasts; arrives everywhere at 0.5.
+	//   30.5   all four match processors finish constant tests.
+	//   slot0 left member: stores the left token (32µs) -> 62.5.
+	//   slot0 right member: compares + generates the successor
+	//          (16µs) -> 46.5, sends it to slot1's LEFT processor;
+	//          arrives 47.
+	//   slot1 left member: stores the child (32µs): 47 -> 79.
+	root := act('L', '+', 0, 0, act('L', '+', 1, 0))
+	tr := singleCycle(2, root)
+	cfg := baseCfg(2)
+	cfg.Pairs = true
+	res, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simnet.US(79); res.Makespan != want {
+		t.Errorf("makespan = %vµs, want 79", res.Makespan.Microseconds())
+	}
+	// The store/generate overlap: in the single mapping the same trace
+	// serializes store (32) + generate (16) + child store (32) on a
+	// critical path through one processor pair of events:
+	// 30.5 + 32 + 16 = 78.5 at slot0, child departs 78.5+0.5=79,
+	// slot1 runs 79..111.
+	single, err := Simulate(tr, baseCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := simnet.US(111); single.Makespan != want {
+		t.Errorf("single-mapping makespan = %vµs, want 111", single.Makespan.Microseconds())
+	}
+	if res.Makespan >= single.Makespan {
+		t.Error("pair mapping should beat the single mapping by overlapping store and compare")
+	}
+}
+
+func TestSimulateCycleTimesSumToMakespan(t *testing.T) {
+	tr := &trace.Trace{
+		Name:     "multi",
+		NBuckets: 8,
+		Cycles: []*trace.Cycle{
+			{Changes: 1, Roots: []*trace.Activation{act('R', '+', 0, 0)}},
+			{Changes: 2, Roots: []*trace.Activation{act('L', '+', 3, 1)}},
+			{Changes: 1},
+		},
+	}
+	res, err := Simulate(tr, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CycleTimes) != 3 {
+		t.Fatalf("cycle times = %v", res.CycleTimes)
+	}
+	var sum simnet.Time
+	for _, ct := range res.CycleTimes {
+		sum += ct
+	}
+	if sum != res.Makespan {
+		t.Errorf("sum of cycle times %v != makespan %v", sum, res.Makespan)
+	}
+}

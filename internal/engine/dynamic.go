@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+// This file implements dynamic production management: the OPS5 excise
+// action and live production addition. Both operate on a running
+// engine with populated token memories, which is why addition compiles
+// the new production with private two-input nodes and primes them by
+// replaying working memory through them alone (shared nodes' memories
+// must not be touched — they are already correct).
+
+// ExciseProduction removes a production from the running system: its
+// network nodes are detached (shared prefixes survive) and its
+// instantiations leave the conflict set.
+func (e *Engine) ExciseProduction(name string) error {
+	if err := e.net.Excise(name); err != nil {
+		return err
+	}
+	delete(e.spec, name)
+	for key, in := range e.conflict {
+		if in.Prod.Name == name {
+			delete(e.conflict, key)
+		}
+	}
+	for i, p := range e.prog.Productions {
+		if p.Name == name {
+			e.prog.Productions = append(e.prog.Productions[:i], e.prog.Productions[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// AddProductionLive adds a production to the running system. Existing
+// working memory is matched immediately: instantiations over current
+// wmes enter the conflict set before the next cycle. Requires the
+// sequential matcher (the distributed runtime does not support live
+// network changes).
+func (e *Engine) AddProductionLive(p *ops5.Production) error {
+	m, ok := e.matcher.(*rete.Matcher)
+	if !ok {
+		return fmt.Errorf("engine: live production addition requires the sequential matcher, have %T", e.matcher)
+	}
+	nodes, err := e.net.AddProductionPrivate(p)
+	if err != nil {
+		return err
+	}
+	e.spec[p.Name] = specificity(p)
+	e.prog.Productions = append(e.prog.Productions, p)
+
+	allowed := make(map[*rete.Node]bool, len(nodes))
+	for _, n := range nodes {
+		allowed[n] = true
+	}
+	// Replay live working memory, deterministically ordered, through
+	// the new nodes only.
+	ids := make([]int, 0, len(e.wm))
+	for id := range e.wm {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	changes := make([]rete.Change, 0, len(ids))
+	for _, id := range ids {
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: e.wm[id]})
+	}
+	for _, ic := range m.ApplyFiltered(changes, func(n *rete.Node) bool { return allowed[n] }) {
+		key := ic.Key()
+		if ic.Tag == rete.Add {
+			e.conflict[key] = &Instantiation{
+				Prod:     ic.Prod,
+				WMEs:     ic.WMEs,
+				TimeTags: ic.TimeTags,
+				key:      key,
+				spec:     e.spec[ic.Prod.Name],
+			}
+		} else {
+			delete(e.conflict, key)
+		}
+	}
+	return nil
+}

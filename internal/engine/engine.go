@@ -1,0 +1,512 @@
+// Package engine implements the OPS5 interpreter: the match-resolve-act
+// (MRA) cycle of Section 2.1 of the paper, on top of the hashed-memory
+// Rete matcher. It supports the LEX and MEA conflict-resolution
+// strategies, executes right-hand-side actions, and exposes hooks for
+// the hash-table activity trace recorder.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+// Strategy selects the conflict-resolution strategy.
+type Strategy uint8
+
+const (
+	// LEX orders instantiations by recency of their time tags
+	// (compared as sorted descending sequences), then by specificity.
+	LEX Strategy = iota
+	// MEA first compares the recency of the wme matching the first
+	// condition element, then falls back to LEX ordering.
+	MEA
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == MEA {
+		return "MEA"
+	}
+	return "LEX"
+}
+
+// MatchApplier is the match-phase implementation the engine drives
+// once per MRA cycle. The sequential rete.Matcher and the distributed
+// parallel.Runtime both satisfy it, so an engine can run its match
+// phase on the goroutine machine unchanged.
+type MatchApplier interface {
+	Apply(changes []rete.Change) []rete.InstChange
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Strategy is the conflict-resolution strategy (default LEX).
+	Strategy Strategy
+	// NBuckets sizes the matcher's global hash tables (default
+	// rete.DefaultNBuckets; 1 gives linear memories).
+	NBuckets int
+	// Listener observes match activity (e.g. a trace recorder).
+	Listener rete.Listener
+	// Output receives the text of write actions (default: discarded).
+	Output io.Writer
+	// DisableSharing compiles the network without node sharing.
+	DisableSharing bool
+	// Matcher, when non-nil, supplies the match implementation (e.g. a
+	// parallel.Runtime over the same network); NBuckets and Listener
+	// are then ignored — configure them on the supplied matcher.
+	Matcher MatchApplier
+	// Watch sets the OPS5 watch level written to Output: 1 prints
+	// production firings with their time tags; 2 also prints every
+	// working-memory change.
+	Watch int
+}
+
+// Instantiation is a conflict-set member.
+type Instantiation struct {
+	Prod *ops5.Production
+	// WMEs are the matched wmes by original CE index (nil for negated
+	// CEs).
+	WMEs []*ops5.WME
+	// TimeTags are sorted ascending.
+	TimeTags []int
+	key      string
+	spec     int // specificity: number of LHS tests
+}
+
+// Key identifies the instantiation (production name + wme IDs).
+func (in *Instantiation) Key() string { return in.key }
+
+// Engine is an OPS5 interpreter instance.
+type Engine struct {
+	prog     *ops5.Program
+	net      *rete.Network
+	matcher  MatchApplier
+	opts     Options
+	wm       map[int]*ops5.WME
+	conflict map[string]*Instantiation
+	pending  []rete.Change
+	spec     map[string]int // production name -> specificity
+	nextID   int
+	timetag  int
+	fired    int
+	halted   bool
+}
+
+// New compiles a program and returns a ready engine.
+func New(prog *ops5.Program, opts Options) (*Engine, error) {
+	net, err := rete.CompileWith(prog.Productions, rete.CompileOptions{DisableSharing: opts.DisableSharing})
+	if err != nil {
+		return nil, err
+	}
+	return NewWithNetwork(prog, net, opts)
+}
+
+// NewWithNetwork builds an engine over a pre-compiled (possibly
+// transformed) network for the same program.
+func NewWithNetwork(prog *ops5.Program, net *rete.Network, opts Options) (*Engine, error) {
+	if opts.Output == nil {
+		opts.Output = io.Discard
+	}
+	matcher := opts.Matcher
+	if matcher == nil {
+		matcher = rete.NewMatcher(net, rete.MatcherOptions{NBuckets: opts.NBuckets, Listener: opts.Listener})
+	}
+	e := &Engine{
+		prog:     prog,
+		net:      net,
+		matcher:  matcher,
+		opts:     opts,
+		wm:       map[int]*ops5.WME{},
+		conflict: map[string]*Instantiation{},
+		spec:     map[string]int{},
+		nextID:   1,
+		timetag:  1,
+	}
+	for _, p := range prog.Productions {
+		e.spec[p.Name] = specificity(p)
+	}
+	return e, nil
+}
+
+// specificity counts the LHS tests of a production: one for each class
+// filter plus one per term.
+func specificity(p *ops5.Production) int {
+	n := 0
+	for _, ce := range p.LHS {
+		n++ // class test
+		for _, at := range ce.Tests {
+			n += len(at.Terms)
+		}
+	}
+	return n
+}
+
+// Network returns the compiled Rete network.
+func (e *Engine) Network() *rete.Network { return e.net }
+
+// Matcher returns the underlying match implementation.
+func (e *Engine) Matcher() MatchApplier { return e.matcher }
+
+// WMCount returns the current working-memory size.
+func (e *Engine) WMCount() int { return len(e.wm) }
+
+// Fired returns the number of instantiations fired so far.
+func (e *Engine) Fired() int { return e.fired }
+
+// Halted reports whether a halt action has executed.
+func (e *Engine) Halted() bool { return e.halted }
+
+// MakeWME schedules a wme addition (an OPS5 top-level make); it takes
+// effect at the next match phase. The returned wme carries its
+// assigned ID and time tag.
+func (e *Engine) MakeWME(class string, pairs ...any) *ops5.WME {
+	w := ops5.NewWME(class, pairs...)
+	return e.addWME(w)
+}
+
+// InsertWMEs schedules pre-built wmes (e.g. parsed by ops5.ParseWMEs).
+func (e *Engine) InsertWMEs(wmes ...*ops5.WME) {
+	for _, w := range wmes {
+		e.addWME(w.Clone())
+	}
+}
+
+func (e *Engine) addWME(w *ops5.WME) *ops5.WME {
+	w.ID = e.nextID
+	e.nextID++
+	w.TimeTag = e.timetag
+	e.timetag++
+	e.pending = append(e.pending, rete.Change{Tag: rete.Add, WME: w})
+	if e.opts.Watch >= 2 {
+		fmt.Fprintf(e.opts.Output, "=>wm: %d: %s\n", w.TimeTag, w)
+	}
+	return w
+}
+
+// removeWME schedules a deletion if the wme is still live.
+func (e *Engine) removeWME(w *ops5.WME) {
+	if w == nil {
+		return
+	}
+	if _, live := e.wm[w.ID]; !live {
+		// Also tolerate deletion of a wme added earlier in this same
+		// act phase (still pending).
+		found := false
+		for _, ch := range e.pending {
+			if ch.Tag == rete.Add && ch.WME.ID == w.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+	}
+	e.pending = append(e.pending, rete.Change{Tag: rete.Delete, WME: w})
+	if e.opts.Watch >= 2 {
+		fmt.Fprintf(e.opts.Output, "<=wm: %d: %s\n", w.TimeTag, w)
+	}
+}
+
+// match runs one match phase over the pending changes, updating
+// working memory and the conflict set.
+func (e *Engine) match() {
+	changes := e.pending
+	e.pending = nil
+	for _, ch := range changes {
+		if ch.Tag == rete.Add {
+			e.wm[ch.WME.ID] = ch.WME
+		} else {
+			delete(e.wm, ch.WME.ID)
+		}
+	}
+	for _, ic := range e.matcher.Apply(changes) {
+		key := ic.Key()
+		if ic.Tag == rete.Add {
+			e.conflict[key] = &Instantiation{
+				Prod:     ic.Prod,
+				WMEs:     ic.WMEs,
+				TimeTags: ic.TimeTags,
+				key:      key,
+				spec:     e.spec[ic.Prod.Name],
+			}
+		} else {
+			delete(e.conflict, key)
+		}
+	}
+}
+
+// ConflictSet returns the current instantiations sorted best-first
+// under the configured strategy.
+func (e *Engine) ConflictSet() []*Instantiation {
+	out := make([]*Instantiation, 0, len(e.conflict))
+	for _, in := range e.conflict {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return e.better(out[i], out[j]) })
+	return out
+}
+
+// Step runs one MRA cycle: match pending changes, resolve, fire.
+// It returns the fired instantiation, or nil when the conflict set is
+// empty or the engine has halted.
+func (e *Engine) Step() (*Instantiation, error) {
+	if e.halted {
+		return nil, nil
+	}
+	e.match()
+	best := e.resolve()
+	if best == nil {
+		return nil, nil
+	}
+	delete(e.conflict, best.key) // refraction
+	if e.opts.Watch >= 1 {
+		fmt.Fprintf(e.opts.Output, "%d. %s %s\n", e.fired+1, best.Prod.Name, tagList(best.TimeTags))
+	}
+	if err := e.act(best); err != nil {
+		return nil, err
+	}
+	e.fired++
+	return best, nil
+}
+
+// ErrCycleLimit is returned by Run when maxCycles fires without the
+// program halting or the conflict set draining.
+var ErrCycleLimit = errors.New("engine: cycle limit reached")
+
+// Run executes MRA cycles until the conflict set is empty, a halt
+// action executes, or maxCycles cycles have fired.
+func (e *Engine) Run(maxCycles int) (fired int, err error) {
+	for i := 0; i < maxCycles; i++ {
+		in, err := e.Step()
+		if err != nil {
+			return fired, err
+		}
+		if in == nil {
+			return fired, nil
+		}
+		fired++
+	}
+	// Distinguish quiescence from hitting the limit: one more match.
+	if e.halted {
+		return fired, nil
+	}
+	e.match()
+	if len(e.conflict) == 0 {
+		return fired, nil
+	}
+	return fired, ErrCycleLimit
+}
+
+// resolve picks the best instantiation under the strategy.
+func (e *Engine) resolve() *Instantiation {
+	var best *Instantiation
+	for _, in := range e.conflict {
+		if best == nil || e.better(in, best) {
+			best = in
+		}
+	}
+	return best
+}
+
+// better reports whether a should fire in preference to b.
+func (e *Engine) better(a, b *Instantiation) bool {
+	if e.opts.Strategy == MEA {
+		at, bt := firstCETag(a), firstCETag(b)
+		if at != bt {
+			return at > bt
+		}
+	}
+	// LEX recency: compare time tags sorted descending.
+	if c := compareRecency(a.TimeTags, b.TimeTags); c != 0 {
+		return c > 0
+	}
+	if a.spec != b.spec {
+		return a.spec > b.spec
+	}
+	// Deterministic final tie-break.
+	if a.Prod.Name != b.Prod.Name {
+		return a.Prod.Name < b.Prod.Name
+	}
+	return a.key < b.key
+}
+
+// tagList renders time tags in the OPS5 watch format ("3 5 7").
+func tagList(tags []int) string {
+	var b strings.Builder
+	for i, tg := range tags {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", tg)
+	}
+	return b.String()
+}
+
+// firstCETag returns the time tag of the wme matching the first
+// condition element (0 when the first CE is negated).
+func firstCETag(in *Instantiation) int {
+	if len(in.WMEs) > 0 && in.WMEs[0] != nil {
+		return in.WMEs[0].TimeTag
+	}
+	return 0
+}
+
+// compareRecency compares two ascending time-tag lists by the OPS5 LEX
+// rule: largest tags first; a longer list wins a tie on the shared
+// prefix... more precisely, compare descending order elementwise; if
+// one list is exhausted, the longer list is MORE recent.
+func compareRecency(a, b []int) int {
+	i, j := len(a)-1, len(b)-1
+	for i >= 0 && j >= 0 {
+		if a[i] != b[j] {
+			if a[i] > b[j] {
+				return 1
+			}
+			return -1
+		}
+		i--
+		j--
+	}
+	switch {
+	case i >= 0:
+		return 1
+	case j >= 0:
+		return -1
+	}
+	return 0
+}
+
+// act executes the RHS of the fired instantiation.
+func (e *Engine) act(in *Instantiation) error {
+	info := e.net.Prods[in.Prod.Name]
+	local := map[string]ops5.Value{}
+
+	lookup := func(v string) (ops5.Value, error) {
+		if val, ok := local[v]; ok {
+			return val, nil
+		}
+		if def, ok := info.VarDefs[v]; ok {
+			w := in.WMEs[def.OrigCE]
+			if w == nil {
+				return ops5.Value{}, fmt.Errorf("engine: %s: variable <%s> bound in negated CE", in.Prod.Name, v)
+			}
+			return w.Get(def.Attr), nil
+		}
+		return ops5.Value{}, fmt.Errorf("engine: %s: unbound variable <%s>", in.Prod.Name, v)
+	}
+
+	var eval func(ex ops5.Expr) (ops5.Value, error)
+	eval = func(ex ops5.Expr) (ops5.Value, error) {
+		switch {
+		case ex.Const != nil:
+			return *ex.Const, nil
+		case ex.Var != "":
+			return lookup(ex.Var)
+		default:
+			acc, err := eval(ex.Operands[0])
+			if err != nil {
+				return ops5.Value{}, err
+			}
+			for i, op := range ex.Ops {
+				rhs, err := eval(ex.Operands[i+1])
+				if err != nil {
+					return ops5.Value{}, err
+				}
+				if acc.Kind != ops5.KindNum || rhs.Kind != ops5.KindNum {
+					return ops5.Value{}, fmt.Errorf("engine: %s: compute on non-numeric values %v, %v", in.Prod.Name, acc, rhs)
+				}
+				switch op {
+				case ops5.ExprAdd:
+					acc = ops5.N(acc.Num + rhs.Num)
+				case ops5.ExprSub:
+					acc = ops5.N(acc.Num - rhs.Num)
+				case ops5.ExprMul:
+					acc = ops5.N(acc.Num * rhs.Num)
+				case ops5.ExprDiv:
+					if rhs.Num == 0 {
+						return ops5.Value{}, fmt.Errorf("engine: %s: division by zero", in.Prod.Name)
+					}
+					acc = ops5.N(acc.Num / rhs.Num)
+				case ops5.ExprMod:
+					if rhs.Num == 0 {
+						return ops5.Value{}, fmt.Errorf("engine: %s: mod by zero", in.Prod.Name)
+					}
+					acc = ops5.N(math.Mod(acc.Num, rhs.Num))
+				}
+			}
+			return acc, nil
+		}
+	}
+
+	for _, a := range in.Prod.RHS {
+		switch a.Kind {
+		case ops5.ActMake:
+			w := &ops5.WME{Class: a.Class, Attrs: make(map[string]ops5.Value, len(a.Assigns))}
+			for _, as := range a.Assigns {
+				v, err := eval(as.Expr)
+				if err != nil {
+					return err
+				}
+				w.Attrs[as.Attr] = v
+			}
+			e.addWME(w)
+		case ops5.ActRemove:
+			for _, idx := range a.CEIndexes {
+				e.removeWME(in.WMEs[idx-1])
+			}
+		case ops5.ActModify:
+			old := in.WMEs[a.CEIndexes[0]-1]
+			if old == nil {
+				return fmt.Errorf("engine: %s: modify of negated CE", in.Prod.Name)
+			}
+			e.removeWME(old)
+			w := old.Clone()
+			w.ID = 0
+			for _, as := range a.Assigns {
+				v, err := eval(as.Expr)
+				if err != nil {
+					return err
+				}
+				w.Attrs[as.Attr] = v
+			}
+			e.addWME(w)
+		case ops5.ActWrite:
+			var parts []string
+			for _, ex := range a.Args {
+				v, err := eval(ex)
+				if err != nil {
+					return err
+				}
+				if v.Equal(ops5.Crlf) {
+					parts = append(parts, "\n")
+				} else {
+					parts = append(parts, v.String())
+				}
+			}
+			if _, err := io.WriteString(e.opts.Output, strings.Join(parts, " ")+"\n"); err != nil {
+				return err
+			}
+		case ops5.ActBind:
+			v, err := eval(a.BindExpr)
+			if err != nil {
+				return err
+			}
+			local[a.Var] = v
+		case ops5.ActExcise:
+			if err := e.ExciseProduction(a.Class); err != nil {
+				return fmt.Errorf("engine: %s: %w", in.Prod.Name, err)
+			}
+		case ops5.ActHalt:
+			e.halted = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/stats"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+// Continuum reproduces the Section 6 closing discussion: the paper
+// places its mapping "near the center of a continuum" whose extremes
+// are (a) the hash tables replicated on every processor — copies must
+// be kept consistent by continuous updates — and (b) a single master
+// copy on one processor, with every other processor contending for
+// it. This experiment implements all three points and compares them
+// on a section.
+type ContinuumResult struct {
+	Section string
+	Series  []SpeedupSeries // replicated, distributed, master
+}
+
+// Continuum sweeps the three mappings over the processor counts.
+func Continuum(section string) (*ContinuumResult, error) {
+	gen := map[string]func() *trace.Trace{
+		"rubik":   workloads.Rubik,
+		"tourney": workloads.Tourney,
+		"weaver":  workloads.Weaver,
+	}[section]
+	if gen == nil {
+		return nil, fmt.Errorf("experiments: unknown section %q", section)
+	}
+	tr := gen()
+
+	mk := func(label string, mutate func(*core.Config)) (SpeedupSeries, error) {
+		s := SpeedupSeries{Label: label}
+		for _, p := range ProcCounts {
+			cfg := core.Config{
+				MatchProcs: p,
+				Costs:      core.DefaultCosts(),
+				Overhead:   core.OverheadRuns()[1],
+				Latency:    core.NectarLatency(),
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			sp, _, _, err := core.Speedup(tr, cfg)
+			if err != nil {
+				return s, err
+			}
+			s.Points = append(s.Points, SpeedupPoint{Procs: p, Speedup: sp})
+		}
+		return s, nil
+	}
+
+	replicated, err := mk("replicated", func(c *core.Config) { c.Replicated = true })
+	if err != nil {
+		return nil, err
+	}
+	distributed, err := mk("distributed", nil)
+	if err != nil {
+		return nil, err
+	}
+	master, err := mk("master-copy", func(c *core.Config) {
+		c.Partition = make(sched.Partition, tr.NBuckets) // everything on slot 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ContinuumResult{
+		Section: section,
+		Series:  []SpeedupSeries{replicated, distributed, master},
+	}, nil
+}
+
+// RenderContinuum prints the comparison.
+func RenderContinuum(w io.Writer, r *ContinuumResult) {
+	fmt.Fprintf(w, "== Sec 6 continuum of mappings: %s (run2 overheads) ==\n", r.Section)
+	header := []string{"procs"}
+	for _, s := range r.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for i, p := range ProcCounts {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.Points[i].Speedup))
+		}
+		rows = append(rows, row)
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,542 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5). Each experiment returns structured
+// data (consumed by the benchmarks and tests) and has a Render
+// function producing the human-readable form (used by
+// cmd/experiments and EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/stats"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+// ProcCounts is the processor sweep used by the speedup figures.
+var ProcCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// SpeedupPoint is one measurement of a speedup curve.
+type SpeedupPoint struct {
+	Procs       int
+	Speedup     float64
+	NetworkIdle float64
+}
+
+// SpeedupSeries is one labelled curve.
+type SpeedupSeries struct {
+	Label  string
+	Points []SpeedupPoint
+}
+
+// sweep runs a processor sweep for a trace under an overhead setting,
+// with optional per-trace config mutation.
+func sweep(tr *trace.Trace, ov core.OverheadSetting, mutate func(*core.Config)) (SpeedupSeries, error) {
+	s := SpeedupSeries{Label: fmt.Sprintf("%s/%s", tr.Name, ov.Name)}
+	for _, p := range ProcCounts {
+		cfg := core.Config{
+			MatchProcs: p,
+			Costs:      core.DefaultCosts(),
+			Overhead:   ov,
+			Latency:    core.NectarLatency(),
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		sp, res, _, err := core.Speedup(tr, cfg)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SpeedupPoint{
+			Procs:       p,
+			Speedup:     sp,
+			NetworkIdle: res.Net.NetworkIdleFraction(),
+		})
+	}
+	return s, nil
+}
+
+// Fig51 reproduces Figure 5-1: speedups with zero message-passing
+// overheads for the three sections.
+func Fig51() ([]SpeedupSeries, error) {
+	var out []SpeedupSeries
+	zero := core.OverheadRuns()[0]
+	for _, tr := range workloads.Sections() {
+		s, err := sweep(tr, zero, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = tr.Name
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table51 reproduces Table 5-1: the overhead settings themselves.
+func Table51() []core.OverheadSetting { return core.OverheadRuns() }
+
+// Fig52 reproduces Figure 5-2: speedups for each section under each
+// overhead run.
+func Fig52() (map[string][]SpeedupSeries, error) {
+	out := map[string][]SpeedupSeries{}
+	for _, tr := range workloads.Sections() {
+		for _, ov := range core.OverheadRuns() {
+			s, err := sweep(tr, ov, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[tr.Name] = append(out[tr.Name], s)
+		}
+	}
+	return out, nil
+}
+
+// Table52Row is one row of Table 5-2.
+type Table52Row struct {
+	Program string
+	Left    int
+	Right   int
+	Total   int
+}
+
+// Table52 reproduces Table 5-2: activation counts per section.
+func Table52() []Table52Row {
+	var rows []Table52Row
+	for _, tr := range workloads.Sections() {
+		s := tr.Stats()
+		rows = append(rows, Table52Row{
+			Program: tr.Name,
+			Left:    s.LeftActivations,
+			Right:   s.RightActivations,
+			Total:   s.Total,
+		})
+	}
+	return rows
+}
+
+// Fig54 reproduces Figure 5-4: Weaver speedups before and after
+// unsharing the multiple-successor bottleneck (fan-out split 4 ways;
+// the trace-level form of the Fig 5-3 transformation).
+func Fig54() ([]SpeedupSeries, error) {
+	weaver := workloads.Weaver()
+	unshared := trace.SplitFanout(weaver, 10, 4)
+	unshared.Name = "weaver-unshared"
+	var out []SpeedupSeries
+	for _, tr := range []*trace.Trace{weaver, unshared} {
+		s, err := sweep(tr, core.OverheadRuns()[1], nil) // 8 µs total, a realistic run
+		if err != nil {
+			return nil, err
+		}
+		s.Label = tr.Name
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig55Data is the Figure 5-5 distribution: left activations per
+// processor for two consecutive Rubik cycles.
+type Fig55Data struct {
+	Procs  int
+	Cycle1 []int
+	Cycle2 []int
+}
+
+// Fig55 reproduces Figure 5-5 at P=16 with round-robin buckets.
+func Fig55() (Fig55Data, error) {
+	tr := workloads.Rubik()
+	cfg := core.Config{
+		MatchProcs: 16,
+		Costs:      core.DefaultCosts(),
+		Latency:    core.NectarLatency(),
+	}
+	res, err := core.Simulate(tr, cfg)
+	if err != nil {
+		return Fig55Data{}, err
+	}
+	return Fig55Data{
+		Procs:  16,
+		Cycle1: res.LeftActsPerSlot[0],
+		Cycle2: res.LeftActsPerSlot[1],
+	}, nil
+}
+
+// Fig56 reproduces Figure 5-6: Tourney speedups before and after
+// copy-and-constraint on the cross-product node (split 8 ways): the
+// split production's copies give the hash function the discrimination
+// the original join lacked, so the hot node's tokens spread over 8
+// buckets.
+func Fig56() ([]SpeedupSeries, error) {
+	tourney := workloads.Tourney()
+	cc := trace.ScatterNode(tourney, workloads.TourneyHotNode, 8)
+	cc.Name = "tourney-c&c"
+	var out []SpeedupSeries
+	for _, tr := range []*trace.Trace{tourney, cc} {
+		s, err := sweep(tr, core.OverheadRuns()[1], nil)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = tr.Name
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Dip is one occurrence of the Fig 5-2 "dips" phenomenon: adding a
+// processor DECREASES the speedup, because the round-robin bucket
+// partition happens to co-locate more of the active buckets at the
+// larger machine size.
+type Dip struct {
+	Procs   int // the machine size where the speedup fell
+	Speedup float64
+	Prev    float64 // speedup at Procs-1
+}
+
+// Dips sweeps processor counts one by one on a section and returns
+// every monotonicity violation (the paper observed these and traced
+// them to uneven active-bucket distribution; Section 5.1).
+func Dips(section string, maxProcs int) ([]Dip, error) {
+	var tr = map[string]func() *trace.Trace{
+		"rubik":   workloads.Rubik,
+		"tourney": workloads.Tourney,
+		"weaver":  workloads.Weaver,
+	}[section]
+	if tr == nil {
+		return nil, fmt.Errorf("experiments: unknown section %q", section)
+	}
+	t := tr()
+	var dips []Dip
+	prev := 0.0
+	for p := 1; p <= maxProcs; p++ {
+		cfg := core.Config{MatchProcs: p, Costs: core.DefaultCosts(), Latency: core.NectarLatency()}
+		sp, _, _, err := core.Speedup(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if p > 1 && sp < prev {
+			dips = append(dips, Dip{Procs: p, Speedup: sp, Prev: prev})
+		}
+		prev = sp
+	}
+	return dips, nil
+}
+
+// RenderDips prints the dip analysis.
+func RenderDips(w io.Writer, section string, dips []Dip, maxProcs int) {
+	fmt.Fprintf(w, "== Fig 5-1/5-2 dips: %s, P=1..%d (round-robin buckets) ==\n", section, maxProcs)
+	if len(dips) == 0 {
+		fmt.Fprintln(w, "no dips")
+		return
+	}
+	rows := [][]string{{"procs", "speedup", "previous"}}
+	for _, d := range dips {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d.Procs),
+			fmt.Sprintf("%.2f", d.Speedup),
+			fmt.Sprintf("%.2f", d.Prev),
+		})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// GreedyResult compares bucket-distribution strategies on one section
+// at a fixed processor count (Section 5.2.2). AggregateGreedy is the
+// realizable variant (one static assignment balanced on total load);
+// Greedy is the paper's per-cycle oracle. The gap between them is the
+// paper's central load-balancing finding: the aggregate is even, the
+// individual cycles are not.
+type GreedyResult struct {
+	Section         string
+	Procs           int
+	RoundRobin      float64 // speedup
+	Random          float64
+	AggregateGreedy float64
+	Greedy          float64
+	// Improvement is Greedy / RoundRobin (the paper measured ~1.4).
+	Improvement float64
+}
+
+// GreedyExperiment runs the distribution-strategy comparison.
+func GreedyExperiment(procs int) ([]GreedyResult, error) {
+	var out []GreedyResult
+	for _, tr := range workloads.Sections() {
+		base := core.Config{
+			MatchProcs: procs,
+			Costs:      core.DefaultCosts(),
+			Latency:    core.NectarLatency(),
+		}
+		rrSp, _, _, err := core.Speedup(tr, base)
+		if err != nil {
+			return nil, err
+		}
+		rnd := base
+		rnd.Partition = sched.Random(tr.NBuckets, procs, 12345)
+		rndSp, _, _, err := core.Speedup(tr, rnd)
+		if err != nil {
+			return nil, err
+		}
+		agg := base
+		agg.Partition = sched.GreedyAggregate(tr.BucketLoad(false), tr.NBuckets, procs)
+		aggSp, _, _, err := core.Speedup(tr, agg)
+		if err != nil {
+			return nil, err
+		}
+		gr := base
+		gr.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), tr.NBuckets, procs)
+		grSp, _, _, err := core.Speedup(tr, gr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GreedyResult{
+			Section:         tr.Name,
+			Procs:           procs,
+			RoundRobin:      rrSp,
+			Random:          rndSp,
+			AggregateGreedy: aggSp,
+			Greedy:          grSp,
+			Improvement:     grSp / rrSp,
+		})
+	}
+	return out, nil
+}
+
+// ProbModelResult holds one row of the Section 5.2.2 model analysis.
+type ProbModelResult struct {
+	Model        sched.Model
+	PEven        float64
+	PAllOnOne    float64
+	EMaxLoad     float64
+	SpeedupBound float64
+	Efficiency   float64
+}
+
+// ProbModel evaluates the balls-in-bins model across the parameter
+// ranges that support the paper's three conclusions.
+func ProbModel() []ProbModelResult {
+	var out []ProbModelResult
+	cases := []sched.Model{
+		{Buckets: 512, Active: 64, Procs: 4},
+		{Buckets: 512, Active: 64, Procs: 16},
+		{Buckets: 512, Active: 64, Procs: 64},
+		{Buckets: 512, Active: 32, Procs: 16},
+		{Buckets: 512, Active: 384, Procs: 16},
+	}
+	for _, m := range cases {
+		mc := m.MonteCarlo(4000, 7)
+		out = append(out, ProbModelResult{
+			Model:        m,
+			PEven:        m.PEven(),
+			PAllOnOne:    m.PAllOnOne(),
+			EMaxLoad:     mc.EMaxLoad,
+			SpeedupBound: mc.SpeedupBound,
+			Efficiency:   mc.SpeedupBound / float64(m.Procs),
+		})
+	}
+	return out
+}
+
+// Ablations compares design choices the mapping depends on, all at the
+// same machine scale: grouped vs centralized root distribution,
+// hardware vs software broadcast, and the Fig 3-2 processor-pair
+// variant (which uses 2P processors for P partitions).
+type AblationRow struct {
+	Name    string
+	Section string
+	Speedup float64
+}
+
+// Ablations runs the design-choice comparisons at the given partition
+// count under the run-2 overheads.
+func Ablations(procs int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, tr := range workloads.Sections() {
+		mk := func(name string, mutate func(*core.Config)) error {
+			cfg := core.Config{
+				MatchProcs: procs,
+				Costs:      core.DefaultCosts(),
+				Overhead:   core.OverheadRuns()[1],
+				Latency:    core.NectarLatency(),
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			sp, _, _, err := core.Speedup(tr, cfg)
+			if err != nil {
+				return err
+			}
+			out = append(out, AblationRow{Name: name, Section: tr.Name, Speedup: sp})
+			return nil
+		}
+		if err := mk("grouped+hw-bcast", nil); err != nil {
+			return nil, err
+		}
+		if err := mk("central-roots", func(c *core.Config) { c.CentralRoots = true }); err != nil {
+			return nil, err
+		}
+		if err := mk("sw-bcast", func(c *core.Config) { c.SoftwareBroadcast = true }); err != nil {
+			return nil, err
+		}
+		if err := mk("processor-pairs", func(c *core.Config) { c.Pairs = true }); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Rendering
+
+// RenderSeries prints speedup curves as an aligned table.
+func RenderSeries(w io.Writer, title string, series []SpeedupSeries) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	header := []string{"procs"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for i, p := range ProcCounts {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].Speedup))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderTable51 prints the overhead settings.
+func RenderTable51(w io.Writer) {
+	fmt.Fprintln(w, "== Table 5-1: message-processing overheads ==")
+	rows := [][]string{{"run", "send", "recv", "total"}}
+	for _, o := range Table51() {
+		rows = append(rows, []string{
+			o.Name,
+			fmt.Sprintf("%.0fus", o.Send.Microseconds()),
+			fmt.Sprintf("%.0fus", o.Recv.Microseconds()),
+			fmt.Sprintf("%.0fus", o.Total().Microseconds()),
+		})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderTable52 prints the activation counts.
+func RenderTable52(w io.Writer) {
+	fmt.Fprintln(w, "== Table 5-2: activations in the three sections ==")
+	rows := [][]string{{"program", "left", "right", "total", "left%"}}
+	for _, r := range Table52() {
+		rows = append(rows, []string{
+			r.Program,
+			fmt.Sprintf("%d", r.Left),
+			fmt.Sprintf("%d", r.Right),
+			fmt.Sprintf("%d", r.Total),
+			fmt.Sprintf("%.0f%%", 100*float64(r.Left)/float64(r.Total)),
+		})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderFig55 prints the distribution bars.
+func RenderFig55(w io.Writer, d Fig55Data) {
+	fmt.Fprintf(w, "== Fig 5-5: Rubik left-token distribution (P=%d) ==\n", d.Procs)
+	stats.Bars(w, "cycle 1:", d.Cycle1, 40)
+	stats.Bars(w, "cycle 2:", d.Cycle2, 40)
+	fmt.Fprintf(w, "cycle-1 max/mean = %.2f, cycle-2 max/mean = %.2f\n\n",
+		safeRatio(stats.Max(d.Cycle1), stats.Mean(d.Cycle1)),
+		safeRatio(stats.Max(d.Cycle2), stats.Mean(d.Cycle2)))
+}
+
+func safeRatio(max int, mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
+// RenderGreedy prints the distribution-strategy comparison.
+func RenderGreedy(w io.Writer, rs []GreedyResult) {
+	fmt.Fprintln(w, "== Sec 5.2.2: bucket distribution strategies ==")
+	rows := [][]string{{"section", "procs", "round-robin", "random", "agg-greedy", "oracle-greedy", "oracle/rr"}}
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Section, fmt.Sprintf("%d", r.Procs),
+			fmt.Sprintf("%.2f", r.RoundRobin),
+			fmt.Sprintf("%.2f", r.Random),
+			fmt.Sprintf("%.2f", r.AggregateGreedy),
+			fmt.Sprintf("%.2f", r.Greedy),
+			fmt.Sprintf("%.2fx", r.Improvement),
+		})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderProbModel prints the model analysis.
+func RenderProbModel(w io.Writer, rs []ProbModelResult) {
+	fmt.Fprintln(w, "== Sec 5.2.2: probabilistic model of active-bucket distribution ==")
+	rows := [][]string{{"buckets", "active", "procs", "P(even)", "P(one-proc)", "E[max]", "bound", "efficiency"}}
+	for _, r := range rs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Model.Buckets),
+			fmt.Sprintf("%d", r.Model.Active),
+			fmt.Sprintf("%d", r.Model.Procs),
+			fmt.Sprintf("%.2e", r.PEven),
+			fmt.Sprintf("%.2e", r.PAllOnOne),
+			fmt.Sprintf("%.1f", r.EMaxLoad),
+			fmt.Sprintf("%.1f", r.SpeedupBound),
+			fmt.Sprintf("%.0f%%", 100*r.Efficiency),
+		})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderAblations prints the design-choice comparison.
+func RenderAblations(w io.Writer, rs []AblationRow, procs int) {
+	fmt.Fprintf(w, "== Ablations (P=%d partitions, run2 overheads) ==\n", procs)
+	rows := [][]string{{"variant", "section", "speedup"}}
+	for _, r := range rs {
+		rows = append(rows, []string{r.Name, r.Section, fmt.Sprintf("%.2f", r.Speedup)})
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}
+
+// RenderFig52 prints the overhead sweep per section, including the
+// speedup retained at the largest machine and the network idle
+// fraction observed.
+func RenderFig52(w io.Writer, data map[string][]SpeedupSeries) {
+	for _, name := range []string{"rubik", "tourney", "weaver"} {
+		RenderSeries(w, "Fig 5-2: "+name+" under overheads", data[name])
+	}
+	fmt.Fprintln(w, "speedup retained at P=32 (run4 vs run1):")
+	for _, name := range []string{"rubik", "tourney", "weaver"} {
+		series := data[name]
+		p32 := indexOfProc(32)
+		if p32 < 0 {
+			continue
+		}
+		base := series[0].Points[p32].Speedup
+		worst := series[len(series)-1].Points[p32].Speedup
+		fmt.Fprintf(w, "  %-8s %.2f -> %.2f (%.0f%% retained, network idle %.1f%%)\n",
+			name, base, worst, 100*worst/base, 100*series[len(series)-1].Points[p32].NetworkIdle)
+	}
+	fmt.Fprintln(w)
+}
+
+func indexOfProc(p int) int {
+	for i, q := range ProcCounts {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}

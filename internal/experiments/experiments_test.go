@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig51Shapes(t *testing.T) {
+	series, err := Fig51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	byName := map[string]SpeedupSeries{}
+	for _, s := range series {
+		byName[s.Label] = s
+		// Speedup at P=1 must be ~1 and grow from there.
+		if sp := s.Points[0].Speedup; sp < 0.99 || sp > 1.01 {
+			t.Errorf("%s: speedup at P=1 = %v", s.Label, sp)
+		}
+		last := s.Points[len(s.Points)-1].Speedup
+		if last < s.Points[0].Speedup {
+			t.Errorf("%s: no speedup at all (%v)", s.Label, last)
+		}
+	}
+	// Paper shape: Rubik has the largest overall speedup; the three
+	// sections reach the 8-12x band the paper reports (we accept a
+	// broad band: > 5x for rubik).
+	best := func(s SpeedupSeries) float64 {
+		b := 0.0
+		for _, p := range s.Points {
+			if p.Speedup > b {
+				b = p.Speedup
+			}
+		}
+		return b
+	}
+	rubik, tourney, weaver := best(byName["rubik"]), best(byName["tourney"]), best(byName["weaver"])
+	if rubik <= tourney || rubik <= weaver {
+		t.Errorf("rubik should lead: rubik=%.1f tourney=%.1f weaver=%.1f", rubik, tourney, weaver)
+	}
+	if rubik < 5 {
+		t.Errorf("rubik best speedup %.1f, want substantial (paper: 8-12)", rubik)
+	}
+	// Tourney is dominated by a single-bucket cross product: it must
+	// show the worst scalability of the three.
+	if tourney >= weaver {
+		t.Errorf("tourney (cross-product) should trail weaver: %.1f vs %.1f", tourney, weaver)
+	}
+}
+
+func TestFig52OverheadOrdering(t *testing.T) {
+	data, err := Fig52()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, series := range data {
+		if len(series) != 4 {
+			t.Fatalf("%s: %d overhead series", name, len(series))
+		}
+		// At every processor count, higher overhead must not raise the
+		// speedup.
+		for pi := range ProcCounts {
+			for oi := 1; oi < len(series); oi++ {
+				lo := series[oi-1].Points[pi].Speedup
+				hi := series[oi].Points[pi].Speedup
+				if hi > lo*1.001 {
+					t.Errorf("%s: overhead run %d beats run %d at P=%d (%.2f > %.2f)",
+						name, oi, oi-1, ProcCounts[pi], hi, lo)
+				}
+			}
+		}
+	}
+	// Loss ordering at P=32 (paper: Rubik ~30%, Tourney ~45%, Weaver
+	// up to 50%): rubik must retain the most speedup under run4.
+	retained := func(name string) float64 {
+		s := data[name]
+		pi := indexOfProc(32)
+		return s[3].Points[pi].Speedup / s[0].Points[pi].Speedup
+	}
+	rr, rt, rw := retained("rubik"), retained("tourney"), retained("weaver")
+	if rr <= rt || rr <= rw {
+		t.Errorf("rubik should lose least to overheads: rubik=%.2f tourney=%.2f weaver=%.2f", rr, rt, rw)
+	}
+}
+
+func TestTable52MatchesPaper(t *testing.T) {
+	rows := Table52()
+	want := map[string][3]int{
+		"rubik":   {2388, 6114, 8502},
+		"tourney": {10667, 83, 10750},
+		"weaver":  {338, 78, 416},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Program]
+		if !ok {
+			t.Errorf("unexpected program %s", r.Program)
+			continue
+		}
+		if r.Left != w[0] || r.Right != w[1] || r.Total != w[2] {
+			t.Errorf("%s: %d/%d/%d, want %v", r.Program, r.Left, r.Right, r.Total, w)
+		}
+	}
+}
+
+func TestFig54UnsharingImproves(t *testing.T) {
+	series, err := Fig54()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatal("want base + unshared")
+	}
+	// At larger machines the unshared trace must beat the base
+	// substantially (paper: "a substantial improvement").
+	pi := indexOfProc(32)
+	base, unshared := series[0].Points[pi].Speedup, series[1].Points[pi].Speedup
+	if unshared <= base*1.15 {
+		t.Errorf("unsharing: %.2f -> %.2f, want > 15%% improvement", base, unshared)
+	}
+}
+
+func TestFig55Alternation(t *testing.T) {
+	d, err := Fig55()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cycle1) != 16 || len(d.Cycle2) != 16 {
+		t.Fatalf("proc counts = %d/%d", len(d.Cycle1), len(d.Cycle2))
+	}
+	// Uneven distribution within each cycle...
+	if max, mean := maxOf(d.Cycle1), meanOf(d.Cycle1); float64(max) < 1.5*mean {
+		t.Errorf("cycle 1 not skewed: max=%d mean=%.1f", max, mean)
+	}
+	// ...and busy/idle alternation across cycles: processors busy in
+	// cycle 1 are (mostly) different from those busy in cycle 2.
+	flips := 0
+	for i := range d.Cycle1 {
+		busy1, busy2 := d.Cycle1[i] > 0, d.Cycle2[i] > 0
+		if busy1 != busy2 {
+			flips++
+		}
+	}
+	if flips < 4 {
+		t.Errorf("only %d processors flip busy/idle between cycles", flips)
+	}
+}
+
+func TestFig56CopyConstraintImproves(t *testing.T) {
+	series, err := Fig56()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := indexOfProc(32)
+	base, cc := series[0].Points[pi].Speedup, series[1].Points[pi].Speedup
+	if cc <= base {
+		t.Errorf("copy-and-constraint: %.2f -> %.2f, want improvement", base, cc)
+	}
+}
+
+func TestGreedyExperimentImprovement(t *testing.T) {
+	rs, err := GreedyExperiment(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]GreedyResult{}
+	for _, r := range rs {
+		byName[r.Section] = r
+		if r.Greedy < r.RoundRobin*0.99 {
+			t.Errorf("%s: greedy %.2f worse than round-robin %.2f", r.Section, r.Greedy, r.RoundRobin)
+		}
+	}
+	// Rubik's clustered left activity is where the paper's ~1.4x
+	// showed up; require a visible gain there.
+	if r := byName["rubik"]; r.Improvement < 1.1 {
+		t.Errorf("rubik greedy improvement = %.2fx, want > 1.1x (paper: ~1.4x)", r.Improvement)
+	}
+}
+
+func TestProbModelConclusions(t *testing.T) {
+	rs := ProbModel()
+	if len(rs) != 5 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.PEven >= 0.01 {
+			t.Errorf("%+v: P(even) = %v, want < 1%%", r.Model, r.PEven)
+		}
+	}
+	// Efficiency falls with processors (rows 0,1,2 share A=64).
+	if !(rs[0].Efficiency > rs[1].Efficiency && rs[1].Efficiency > rs[2].Efficiency) {
+		t.Errorf("efficiency should fall with procs: %v %v %v", rs[0].Efficiency, rs[1].Efficiency, rs[2].Efficiency)
+	}
+	// More active buckets -> better efficiency (rows 3 vs 4, P=16).
+	if rs[4].Efficiency <= rs[3].Efficiency {
+		t.Errorf("dense should beat sparse: %v vs %v", rs[4].Efficiency, rs[3].Efficiency)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rs, err := Ablations(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 12 {
+		t.Fatalf("rows = %d, want 4 variants x 3 sections", len(rs))
+	}
+	get := func(name, section string) float64 {
+		for _, r := range rs {
+			if r.Name == name && r.Section == section {
+				return r.Speedup
+			}
+		}
+		t.Fatalf("missing %s/%s", name, section)
+		return 0
+	}
+	// Grouped roots must beat centralized alpha on the right-heavy
+	// Rubik section (thousands of per-root messages otherwise).
+	if g, c := get("grouped+hw-bcast", "rubik"), get("central-roots", "rubik"); g <= c {
+		t.Errorf("grouped %.2f should beat central %.2f on rubik", g, c)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable51(&buf)
+	RenderTable52(&buf)
+	series, err := Fig51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSeries(&buf, "Fig 5-1", series)
+	d, err := Fig55()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFig55(&buf, d)
+	out := buf.String()
+	for _, want := range []string{"Table 5-1", "Table 5-2", "Fig 5-1", "Fig 5-5", "rubik", "tourney", "weaver"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanOf(xs []int) float64 {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// TestDipsPhenomenon reproduces the Section 5.1 remark: "there are
+// dips in the speedup graphs showing a decrease in the speedup with
+// an increase in the number of processors".
+func TestDipsPhenomenon(t *testing.T) {
+	dips, err := Dips("rubik", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dips) == 0 {
+		t.Fatal("no dips found on rubik; the partition-imbalance effect should produce some")
+	}
+	for _, d := range dips {
+		if d.Speedup >= d.Prev {
+			t.Errorf("bogus dip %+v", d)
+		}
+	}
+	if _, err := Dips("nope", 4); err == nil {
+		t.Error("unknown section accepted")
+	}
+}
+
+// TestContinuum reproduces the Section 6 closing argument: the
+// distributed mapping sits between two losing extremes — replicated
+// tables (every copy pays every store) and a single master copy
+// (everything serializes on one processor).
+func TestContinuum(t *testing.T) {
+	r, err := Continuum("rubik")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := indexOfProc(32)
+	replicated := r.Series[0].Points[pi].Speedup
+	distributed := r.Series[1].Points[pi].Speedup
+	master := r.Series[2].Points[pi].Speedup
+	if !(distributed > replicated && distributed > master) {
+		t.Errorf("distributed %.2f should beat replicated %.2f and master %.2f",
+			distributed, replicated, master)
+	}
+	// The master copy cannot exceed ~1 (all match work on one
+	// processor, minus the constant-test duplication).
+	if master > 1.5 {
+		t.Errorf("master-copy speedup = %.2f, want ~1", master)
+	}
+	// Replication caps hard: every processor pays every store, so the
+	// speedup bound is total/storework regardless of P.
+	if replicated > distributed/1.5 {
+		t.Errorf("replicated %.2f should trail distributed %.2f clearly", replicated, distributed)
+	}
+	if _, err := Continuum("nope"); err == nil {
+		t.Error("unknown section accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/simnet"
+	"mpcrete/internal/stats"
+	"mpcrete/internal/workloads"
+)
+
+// Machine describes one generation of message-passing computer for the
+// Section 1 motivation experiment: the paper argues that first-
+// generation MPCs (Cosmic-Cube class, ~2 ms store-and-forward network
+// latency, ~300 µs message handling) could not exploit the ~100-
+// instruction granularity of production-system match, while the new
+// generation (wormhole routing, 0.5 µs latency, single-digit-µs
+// handling) can.
+type Machine struct {
+	Name     string
+	Overhead core.OverheadSetting
+	Latency  simnet.Time
+	Topology simnet.Topology
+	PerHop   simnet.Time
+}
+
+// Machines returns the generations compared: the Cosmic-Cube-class
+// first generation, a mid-generation mesh with wormhole routing, and
+// the Nectar-class machine the paper simulates.
+func Machines() []Machine {
+	return []Machine{
+		{
+			Name:     "first-gen (cosmic-cube class)",
+			Overhead: core.OverheadSetting{Name: "1st-gen", Send: simnet.US(200), Recv: simnet.US(100)},
+			Latency:  simnet.US(100),
+			Topology: simnet.Hypercube{},
+			PerHop:   simnet.US(700), // ~2 ms across a few store-and-forward hops
+		},
+		{
+			Name:     "wormhole mesh",
+			Overhead: core.OverheadRuns()[2], // 16 µs
+			Latency:  simnet.US(0.5),
+			Topology: simnet.Mesh2D{W: 8, H: 8},
+			PerHop:   simnet.US(0.2),
+		},
+		{
+			Name:     "nectar class",
+			Overhead: core.OverheadRuns()[1], // 8 µs
+			Latency:  core.NectarLatency(),
+		},
+	}
+}
+
+// GenerationsResult is one machine's speedup curve on Rubik.
+type GenerationsResult struct {
+	Machine Machine
+	Series  SpeedupSeries
+}
+
+// Generations reproduces the paper's Section 1 motivation
+// quantitatively: the same mapping and workload on three machine
+// generations.
+func Generations() ([]GenerationsResult, error) {
+	tr := workloads.Rubik()
+	var out []GenerationsResult
+	for _, m := range Machines() {
+		s := SpeedupSeries{Label: m.Name}
+		for _, p := range ProcCounts {
+			cfg := core.Config{
+				MatchProcs: p,
+				Costs:      core.DefaultCosts(),
+				Overhead:   m.Overhead,
+				Latency:    m.Latency,
+				Topology:   m.Topology,
+				PerHop:     m.PerHop,
+			}
+			sp, res, _, err := core.Speedup(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SpeedupPoint{
+				Procs:       p,
+				Speedup:     sp,
+				NetworkIdle: res.Net.NetworkIdleFraction(),
+			})
+		}
+		out = append(out, GenerationsResult{Machine: m, Series: s})
+	}
+	return out, nil
+}
+
+// RenderGenerations prints the generation comparison.
+func RenderGenerations(w io.Writer, rs []GenerationsResult) {
+	fmt.Fprintln(w, "== Sec 1 motivation: machine generations (Rubik section) ==")
+	header := []string{"procs"}
+	for _, r := range rs {
+		header = append(header, r.Machine.Name)
+	}
+	rows := [][]string{header}
+	for i, p := range ProcCounts {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, r := range rs {
+			row = append(row, fmt.Sprintf("%.2f", r.Series.Points[i].Speedup))
+		}
+		rows = append(rows, row)
+	}
+	stats.Table(w, rows)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGenerationsMotivation verifies the paper's Section 1 argument
+// quantitatively: first-generation MPCs cannot exploit match-phase
+// parallelism at ~100-instruction granularity, new-generation MPCs
+// can.
+func TestGenerationsMotivation(t *testing.T) {
+	rs, err := Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("machines = %d", len(rs))
+	}
+	best := func(r GenerationsResult) float64 {
+		b := 0.0
+		for _, p := range r.Series.Points {
+			if p.Speedup > b {
+				b = p.Speedup
+			}
+		}
+		return b
+	}
+	firstGen, mesh, nectar := best(rs[0]), best(rs[1]), best(rs[2])
+	// The paper's impossibility claim, quantified: on first-generation
+	// hardware the best achievable speedup is small in absolute terms
+	// and the parallel efficiency is negligible (< 10% of the machine),
+	// so fine-grained match parallelism is not worth the hardware.
+	if firstGen > 4 {
+		t.Errorf("first-generation best speedup = %.2f, want <= 4", firstGen)
+	}
+	p32 := indexOfProc(32)
+	if eff := rs[0].Series.Points[p32].Speedup / 32; eff > 0.10 {
+		t.Errorf("first-generation efficiency at P=32 = %.0f%%, want < 10%%", 100*eff)
+	}
+	if nectar < 8 {
+		t.Errorf("nectar-class best speedup = %.2f, want >= 8", nectar)
+	}
+	if !(nectar > mesh && mesh > firstGen) {
+		t.Errorf("generation ordering broken: %.2f / %.2f / %.2f", firstGen, mesh, nectar)
+	}
+	// First-generation machines should get WORSE than serial at scale
+	// (message handling swamps the 100-instruction tasks).
+	last := rs[0].Series.Points[len(rs[0].Series.Points)-1]
+	first := rs[0].Series.Points[0]
+	if last.Speedup > firstGen {
+		t.Errorf("first-gen should not improve at %d procs", last.Procs)
+	}
+	_ = first
+
+	var buf bytes.Buffer
+	RenderGenerations(&buf, rs)
+	if !strings.Contains(buf.String(), "cosmic-cube") {
+		t.Error("render missing machine names")
+	}
+}

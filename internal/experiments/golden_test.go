@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment output")
+
+// renderAll produces the complete experiment suite output, as
+// cmd/experiments -all does. Every generator and Monte-Carlo run is
+// seeded, so the output is byte-for-byte reproducible.
+func renderAll(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	RenderTable51(&buf)
+	RenderTable52(&buf)
+
+	fig51, err := Fig51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSeries(&buf, "Fig 5-1: speedups with zero message-passing overheads", fig51)
+
+	fig52, err := Fig52()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFig52(&buf, fig52)
+
+	fig54, err := Fig54()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSeries(&buf, "Fig 5-4: Weaver speedups with unsharing (run2 overheads)", fig54)
+
+	fig55, err := Fig55()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFig55(&buf, fig55)
+
+	fig56, err := Fig56()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSeries(&buf, "Fig 5-6: Tourney speedups with copy-and-constraint (run2 overheads)", fig56)
+
+	greedy, err := GreedyExperiment(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderGreedy(&buf, greedy)
+
+	RenderProbModel(&buf, ProbModel())
+
+	gens, err := Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderGenerations(&buf, gens)
+
+	abl, err := Ablations(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderAblations(&buf, abl, 16)
+	return buf.Bytes()
+}
+
+// TestGoldenOutput pins the full experiment suite byte-for-byte.
+// Regenerate with: go test ./internal/experiments -run TestGolden -update
+func TestGoldenOutput(t *testing.T) {
+	got := renderAll(t)
+	path := filepath.Join("testdata", "experiments_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := splitLines(got), splitLines(want)
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			g, w := "", ""
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Fatalf("experiment output diverged at line %d:\n got: %q\nwant: %q\n(run with -update after intentional changes)", i+1, g, w)
+			}
+		}
+		t.Fatal("outputs differ in length only")
+	}
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, string(b[start:]))
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package ops5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a single test applied to a wme attribute value. Exactly one
+// of Const, Var, or Disj is populated:
+//
+//   - Const: compare the attribute value with a constant via Op.
+//   - Var:   on the variable's first (defining) occurrence in the LHS
+//     with Op == OpEq the attribute value is bound to the variable;
+//     otherwise the attribute value is compared (via Op) with the
+//     value bound at the defining occurrence.
+//   - Disj:  the attribute value must equal one of the listed constants
+//     (the OPS5 <<...>> form; Op is ignored).
+type Term struct {
+	Op    PredOp
+	Const *Value
+	Var   string
+	Disj  []Value
+}
+
+// String renders the term in OPS5 source syntax.
+func (t Term) String() string {
+	var operand string
+	switch {
+	case t.Const != nil:
+		operand = t.Const.String()
+	case t.Var != "":
+		operand = "<" + t.Var + ">"
+	case len(t.Disj) > 0:
+		parts := make([]string, len(t.Disj))
+		for i, v := range t.Disj {
+			parts[i] = v.String()
+		}
+		return "<< " + strings.Join(parts, " ") + " >>"
+	}
+	if t.Op == OpEq {
+		return operand
+	}
+	return t.Op.String() + " " + operand
+}
+
+// AttrTest is the set of tests applied to one attribute of a condition
+// element. A single term is the common case; multiple terms arise from
+// the conjunctive {...} form.
+type AttrTest struct {
+	Attr  string
+	Terms []Term
+}
+
+// String renders the attribute test in OPS5 source syntax.
+func (a AttrTest) String() string {
+	if len(a.Terms) == 1 {
+		return fmt.Sprintf("^%s %s", a.Attr, a.Terms[0])
+	}
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("^%s { %s }", a.Attr, strings.Join(parts, " "))
+}
+
+// CE is a condition element: a class pattern over wmes, optionally
+// negated.
+type CE struct {
+	Class   string
+	Negated bool
+	Tests   []AttrTest
+}
+
+// String renders the condition element in OPS5 source syntax.
+func (c CE) String() string {
+	var b strings.Builder
+	if c.Negated {
+		b.WriteByte('-')
+	}
+	b.WriteByte('(')
+	b.WriteString(c.Class)
+	for _, t := range c.Tests {
+		b.WriteByte(' ')
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ExprOp enumerates the arithmetic operators of the OPS5 compute form.
+type ExprOp uint8
+
+const (
+	ExprAdd ExprOp = iota // +
+	ExprSub               // -
+	ExprMul               // *
+	ExprDiv               // //
+	ExprMod               // \\ (spelled "mod" in this dialect)
+)
+
+var exprNames = [...]string{"+", "-", "*", "//", "mod"}
+
+// String returns the source spelling of the operator.
+func (op ExprOp) String() string { return exprNames[op] }
+
+// Expr is a right-hand-side value expression: a constant, a variable
+// reference, or a left-associated arithmetic chain (compute ...).
+type Expr struct {
+	Const *Value
+	Var   string
+	// For compute chains: Operands[0] op[0] Operands[1] op[1] ... .
+	Operands []Expr
+	Ops      []ExprOp
+}
+
+// String renders the expression in OPS5 source syntax.
+func (e Expr) String() string {
+	switch {
+	case e.Const != nil:
+		return e.Const.String()
+	case e.Var != "":
+		return "<" + e.Var + ">"
+	default:
+		parts := make([]string, 0, 2*len(e.Operands))
+		for i, o := range e.Operands {
+			if i > 0 {
+				parts = append(parts, e.Ops[i-1].String())
+			}
+			parts = append(parts, o.String())
+		}
+		return "(compute " + strings.Join(parts, " ") + ")"
+	}
+}
+
+// ActionKind enumerates RHS action types.
+type ActionKind uint8
+
+const (
+	ActMake ActionKind = iota
+	ActRemove
+	ActModify
+	ActWrite
+	ActBind
+	ActHalt
+	ActExcise
+)
+
+var actNames = [...]string{"make", "remove", "modify", "write", "bind", "halt", "excise"}
+
+// String returns the action keyword.
+func (k ActionKind) String() string { return actNames[k] }
+
+// AttrAssign assigns an expression to an attribute in a make or modify
+// action.
+type AttrAssign struct {
+	Attr string
+	Expr Expr
+}
+
+// Action is a single right-hand-side action.
+type Action struct {
+	Kind ActionKind
+	// CEIndexes holds the 1-based LHS condition-element numbers for
+	// remove; CEIndexes[0] is the target of modify.
+	CEIndexes []int
+	Class     string       // make: class of the new wme
+	Assigns   []AttrAssign // make, modify
+	Args      []Expr       // write
+	Var       string       // bind: variable being bound
+	BindExpr  Expr         // bind: value expression
+}
+
+// String renders the action in OPS5 source syntax.
+func (a Action) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(a.Kind.String())
+	switch a.Kind {
+	case ActMake:
+		b.WriteByte(' ')
+		b.WriteString(a.Class)
+		for _, as := range a.Assigns {
+			fmt.Fprintf(&b, " ^%s %s", as.Attr, as.Expr)
+		}
+	case ActRemove:
+		for _, i := range a.CEIndexes {
+			fmt.Fprintf(&b, " %d", i)
+		}
+	case ActModify:
+		fmt.Fprintf(&b, " %d", a.CEIndexes[0])
+		for _, as := range a.Assigns {
+			fmt.Fprintf(&b, " ^%s %s", as.Attr, as.Expr)
+		}
+	case ActWrite:
+		for _, e := range a.Args {
+			b.WriteByte(' ')
+			b.WriteString(e.String())
+		}
+	case ActBind:
+		fmt.Fprintf(&b, " <%s> %s", a.Var, a.BindExpr)
+	case ActExcise:
+		b.WriteByte(' ')
+		b.WriteString(a.Class)
+	case ActHalt:
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Production is an OPS5 rule: a named left-hand side (condition
+// elements) and right-hand side (actions).
+type Production struct {
+	Name string
+	LHS  []CE
+	RHS  []Action
+}
+
+// String renders the production in OPS5 source syntax.
+func (p *Production) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(p %s", p.Name)
+	for _, ce := range p.LHS {
+		b.WriteString("\n    ")
+		b.WriteString(ce.String())
+	}
+	b.WriteString("\n    -->")
+	for _, a := range p.RHS {
+		b.WriteString("\n    ")
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Program is a parsed OPS5 source file: literalize declarations
+// (recorded but not otherwise required by this implementation) and
+// productions.
+type Program struct {
+	Literalizes map[string][]string // class -> declared attributes
+	Productions []*Production
+}
+
+// Validate checks structural well-formedness of a production:
+// positive first CE sets exist for remove/modify targets, indexes are
+// in range and not negated, and every RHS variable is bound on the LHS
+// (or by an earlier bind action).
+func (p *Production) Validate() error {
+	if len(p.LHS) == 0 {
+		return fmt.Errorf("production %s: empty LHS", p.Name)
+	}
+	positive := false
+	bound := map[string]bool{}
+	for _, ce := range p.LHS {
+		if !ce.Negated {
+			positive = true
+		}
+		for _, at := range ce.Tests {
+			for _, t := range at.Terms {
+				if t.Var != "" && t.Op == OpEq && !ce.Negated {
+					bound[t.Var] = true
+				}
+			}
+		}
+	}
+	if !positive {
+		return fmt.Errorf("production %s: all condition elements are negated", p.Name)
+	}
+	// Negated CEs may only *use* variables bound in positive CEs or
+	// introduce variables scoped to themselves; for this dialect we
+	// additionally allow defining occurrences inside a negated CE (they
+	// act as intra-CE consistency tests).
+	var checkExpr func(e Expr) error
+	checkExpr = func(e Expr) error {
+		if e.Var != "" && !bound[e.Var] {
+			return fmt.Errorf("production %s: unbound RHS variable <%s>", p.Name, e.Var)
+		}
+		for _, o := range e.Operands {
+			if err := checkExpr(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, a := range p.RHS {
+		switch a.Kind {
+		case ActRemove, ActModify:
+			for _, idx := range a.CEIndexes {
+				if idx < 1 || idx > len(p.LHS) {
+					return fmt.Errorf("production %s: %s index %d out of range 1..%d", p.Name, a.Kind, idx, len(p.LHS))
+				}
+				if p.LHS[idx-1].Negated {
+					return fmt.Errorf("production %s: %s targets negated condition element %d", p.Name, a.Kind, idx)
+				}
+			}
+		}
+		for _, as := range a.Assigns {
+			if err := checkExpr(as.Expr); err != nil {
+				return err
+			}
+		}
+		for _, e := range a.Args {
+			if err := checkExpr(e); err != nil {
+				return err
+			}
+		}
+		if a.Kind == ActBind {
+			if err := checkExpr(a.BindExpr); err != nil {
+				return err
+			}
+			bound[a.Var] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package ops5
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types of the OPS5 surface syntax.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokDLAngle // <<
+	tokDRAngle // >>
+	tokAttr    // ^name
+	tokSym     // bare symbol
+	tokNum     // numeric literal
+	tokVar     // <name>
+	tokPred    // one of = <> < <= > >= <=>
+	tokArrow   // -->
+	tokMinus   // - (CE negation / subtraction)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokDLAngle:
+		return "'<<'"
+	case tokDRAngle:
+		return "'>>'"
+	case tokAttr:
+		return "attribute"
+	case tokSym:
+		return "symbol"
+	case tokNum:
+		return "number"
+	case tokVar:
+		return "variable"
+	case tokPred:
+		return "predicate"
+	case tokArrow:
+		return "'-->'"
+	case tokMinus:
+		return "'-'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string  // symbol / attribute / variable name / predicate spelling
+	num  float64 // numeric value for tokNum
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokSym, tokAttr, tokVar, tokPred:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	case tokNum:
+		return fmt.Sprintf("number %g", t.num)
+	default:
+		return t.kind.String()
+	}
+}
+
+// lexer converts OPS5 source text into tokens. Comments run from ';'
+// to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Error reports a lexical or syntactic error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ops5: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ';' { // comment to end of line
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		break
+	}
+}
+
+// isSymChar reports whether c can appear inside a bare symbol.
+func isSymChar(c byte) bool {
+	switch c {
+	case 0, ' ', '\t', '\r', '\n', '(', ')', '{', '}', '^', ';', '<', '>':
+		return false
+	}
+	return true
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '*' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch c {
+	case '(':
+		l.advance()
+		tok.kind = tokLParen
+		return tok, nil
+	case ')':
+		l.advance()
+		tok.kind = tokRParen
+		return tok, nil
+	case '{':
+		l.advance()
+		tok.kind = tokLBrace
+		return tok, nil
+	case '}':
+		l.advance()
+		tok.kind = tokRBrace
+		return tok, nil
+	case '^':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isSymChar(l.peek()) {
+			l.advance()
+		}
+		if l.pos == start {
+			return tok, l.errf("empty attribute name after '^'")
+		}
+		tok.kind = tokAttr
+		tok.text = l.src[start:l.pos]
+		return tok, nil
+	case '=':
+		l.advance()
+		tok.kind = tokPred
+		tok.text = "="
+		return tok, nil
+	case '>':
+		l.advance()
+		switch l.peek() {
+		case '>':
+			l.advance()
+			tok.kind = tokDRAngle
+		case '=':
+			l.advance()
+			tok.kind = tokPred
+			tok.text = ">="
+		default:
+			tok.kind = tokPred
+			tok.text = ">"
+		}
+		return tok, nil
+	case '<':
+		return l.lexAngle(tok)
+	case '-':
+		// '-->' arrow, negative number, or bare minus.
+		if strings.HasPrefix(l.src[l.pos:], "-->") {
+			l.advance()
+			l.advance()
+			l.advance()
+			tok.kind = tokArrow
+			return tok, nil
+		}
+		if d := l.peekAt(1); d >= '0' && d <= '9' || d == '.' && l.peekAt(2) >= '0' && l.peekAt(2) <= '9' {
+			return l.lexNumber(tok)
+		}
+		l.advance()
+		tok.kind = tokMinus
+		return tok, nil
+	}
+	if c >= '0' && c <= '9' || c == '+' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' ||
+		c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+		return l.lexNumber(tok)
+	}
+	if isSymChar(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isSymChar(l.peek()) {
+			l.advance()
+		}
+		tok.kind = tokSym
+		tok.text = l.src[start:l.pos]
+		return tok, nil
+	}
+	return tok, l.errf("unexpected character %q", c)
+}
+
+// lexAngle disambiguates the many tokens that begin with '<':
+// '<<', '<=>', '<=', '<>', '<' (predicate), and '<var>' variables.
+func (l *lexer) lexAngle(tok token) (token, error) {
+	l.advance() // consume '<'
+	switch l.peek() {
+	case '<':
+		l.advance()
+		tok.kind = tokDLAngle
+		return tok, nil
+	case '=':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			tok.kind = tokPred
+			tok.text = "<=>"
+			return tok, nil
+		}
+		tok.kind = tokPred
+		tok.text = "<="
+		return tok, nil
+	case '>':
+		l.advance()
+		tok.kind = tokPred
+		tok.text = "<>"
+		return tok, nil
+	}
+	if isIdentStart(l.peek()) {
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '>' && isSymChar(l.peek()) {
+			l.advance()
+		}
+		if l.peek() != '>' {
+			return tok, l.errf("unterminated variable <%s", l.src[start:l.pos])
+		}
+		name := l.src[start:l.pos]
+		l.advance() // consume '>'
+		tok.kind = tokVar
+		tok.text = name
+		return tok, nil
+	}
+	tok.kind = tokPred
+	tok.text = "<"
+	return tok, nil
+}
+
+func (l *lexer) lexNumber(tok token) (token, error) {
+	start := l.pos
+	if c := l.peek(); c == '+' || c == '-' {
+		l.advance()
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c >= '0' && c <= '9' {
+			l.advance()
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos > start {
+			// exponent part
+			save := l.pos
+			l.advance()
+			if c2 := l.peek(); c2 == '+' || c2 == '-' {
+				l.advance()
+			}
+			if d := l.peek(); d < '0' || d > '9' {
+				l.pos = save // not an exponent after all
+				break
+			}
+			for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+				l.advance()
+			}
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return tok, l.errf("bad number %q", text)
+	}
+	tok.kind = tokNum
+	tok.num = f
+	return tok, nil
+}

@@ -1,0 +1,116 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+)
+
+// lexAll drains the lexer, returning rendered tokens.
+func lexAll(t *testing.T, src string) []string {
+	t.Helper()
+	l := newLexer(src)
+	var out []string
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok.String())
+	}
+}
+
+func TestLexerAngleDisambiguation(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		// <x> is a variable; <> is a predicate; << >> are disjunction
+		// brackets; <= and <=> are predicates; bare < is a predicate.
+		{"<x>", []string{`variable "x"`}},
+		{"<>", []string{`predicate "<>"`}},
+		{"<= <=> <", []string{`predicate "<="`, `predicate "<=>"`, `predicate "<"`}},
+		{"<< on off >>", []string{"'<<'", `symbol "on"`, `symbol "off"`, "'>>'"}},
+		{"> >= >>", []string{`predicate ">"`, `predicate ">="`, "'>>'"}},
+		{"<long-name2>", []string{`variable "long-name2"`}},
+	}
+	for _, c := range cases {
+		got := lexAll(t, c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("lex %q = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("lex %q token %d = %s, want %s", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestLexerMinusForms(t *testing.T) {
+	// '-->' is the arrow; '-5' and '-.5' are numbers; lone '-' is the
+	// negation marker; '-foo' lexes as the marker then a symbol (a
+	// minus binds to a following digit only).
+	got := lexAll(t, "--> -5 -.5 - -foo")
+	want := []string{"'-->'", "number -5", "number -0.5", "'-'", "'-'", `symbol "foo"`}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexerCommentsAndWhitespace(t *testing.T) {
+	got := lexAll(t, "a ; rest of line ignored\n\t b;x\nc")
+	want := []string{`symbol "a"`, `symbol "b"`, `symbol "c"`}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexerAttributes(t *testing.T) {
+	got := lexAll(t, "^color ^x-y2 ^a*b")
+	want := []string{`attribute "color"`, `attribute "x-y2"`, `attribute "a*b"`}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Empty attribute name errors.
+	l := newLexer("^ foo")
+	if _, err := l.next(); err == nil {
+		t.Error("empty attribute accepted")
+	}
+}
+
+func TestLexerExponentBacktrack(t *testing.T) {
+	// "1e" followed by a non-digit is the number 1 then a symbol.
+	got := lexAll(t, "1e 2e+ 3e5")
+	want := []string{"number 1", `symbol "e"`, "number 2", `symbol "e+"`, "number 300000"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	l := newLexer("a\n  bb")
+	tok, err := l.next()
+	if err != nil || tok.line != 1 || tok.col != 1 {
+		t.Errorf("first token at %d:%d", tok.line, tok.col)
+	}
+	tok, err = l.next()
+	if err != nil || tok.line != 2 || tok.col != 3 {
+		t.Errorf("second token at %d:%d, want 2:3", tok.line, tok.col)
+	}
+}

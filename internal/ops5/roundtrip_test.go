@@ -1,0 +1,122 @@
+package ops5
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomProductionAST builds a random but valid production AST
+// directly, exercising printer/parser corners the textual generators
+// miss.
+func randomProductionAST(rng *rand.Rand, name string) *Production {
+	classes := []string{"alpha", "beta", "gamma"}
+	attrs := []string{"x", "y", "z"}
+	vars := []string{"u", "v", "w"}
+	ops := []PredOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpSameType}
+
+	randConst := func() Value {
+		if rng.Intn(2) == 0 {
+			return S([]string{"on", "off", "red-7", "k*"}[rng.Intn(4)])
+		}
+		return N(float64(rng.Intn(20)) - 5)
+	}
+
+	randTerm := func(allowDisj bool) Term {
+		switch {
+		case allowDisj && rng.Intn(6) == 0:
+			n := 1 + rng.Intn(3)
+			var d []Value
+			for i := 0; i < n; i++ {
+				d = append(d, randConst())
+			}
+			return Term{Op: OpEq, Disj: d}
+		case rng.Intn(2) == 0:
+			v := randConst()
+			return Term{Op: ops[rng.Intn(len(ops))], Const: &v}
+		default:
+			return Term{Op: ops[rng.Intn(len(ops))], Var: vars[rng.Intn(len(vars))]}
+		}
+	}
+
+	p := &Production{Name: name}
+	nce := 1 + rng.Intn(3)
+	// Guarantee a positive CE binding every variable so RHS lookups
+	// validate: the first CE binds u, v, w.
+	first := CE{Class: classes[0]}
+	for i, v := range vars {
+		first.Tests = append(first.Tests, AttrTest{Attr: attrs[i], Terms: []Term{{Op: OpEq, Var: v}}})
+	}
+	p.LHS = append(p.LHS, first)
+	for c := 1; c < nce; c++ {
+		ce := CE{Class: classes[rng.Intn(len(classes))], Negated: rng.Intn(4) == 0}
+		for _, attr := range attrs {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			nterm := 1 + rng.Intn(2)
+			at := AttrTest{Attr: attr}
+			for i := 0; i < nterm; i++ {
+				at.Terms = append(at.Terms, randTerm(nterm == 1))
+			}
+			ce.Tests = append(ce.Tests, at)
+		}
+		p.LHS = append(p.LHS, ce)
+	}
+
+	randExpr := func() Expr {
+		switch rng.Intn(3) {
+		case 0:
+			v := randConst()
+			return Expr{Const: &v}
+		case 1:
+			return Expr{Var: vars[rng.Intn(len(vars))]}
+		default:
+			one, two := N(float64(rng.Intn(9)+1)), Expr{Var: vars[rng.Intn(len(vars))]}
+			return Expr{
+				Operands: []Expr{{Const: &one}, two},
+				Ops:      []ExprOp{[]ExprOp{ExprAdd, ExprSub, ExprMul, ExprDiv, ExprMod}[rng.Intn(5)]},
+			}
+		}
+	}
+
+	nact := 1 + rng.Intn(3)
+	for a := 0; a < nact; a++ {
+		switch rng.Intn(5) {
+		case 0:
+			p.RHS = append(p.RHS, Action{Kind: ActMake, Class: classes[rng.Intn(3)],
+				Assigns: []AttrAssign{{Attr: attrs[rng.Intn(3)], Expr: randExpr()}}})
+		case 1:
+			p.RHS = append(p.RHS, Action{Kind: ActRemove, CEIndexes: []int{1}})
+		case 2:
+			p.RHS = append(p.RHS, Action{Kind: ActModify, CEIndexes: []int{1},
+				Assigns: []AttrAssign{{Attr: attrs[rng.Intn(3)], Expr: randExpr()}}})
+		case 3:
+			p.RHS = append(p.RHS, Action{Kind: ActWrite, Args: []Expr{randExpr(), randExpr()}})
+		default:
+			p.RHS = append(p.RHS, Action{Kind: ActHalt})
+		}
+	}
+	return p
+}
+
+// TestRandomASTPrintParseRoundTrip: print(parse(print(ast))) is
+// idempotent and parse never fails on printed output.
+func TestRandomASTPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 300; i++ {
+		p := randomProductionAST(rng, "rt")
+		if err := p.Validate(); err != nil {
+			// The generator can produce all-negated later CEs only;
+			// first CE is always positive, so Validate must pass.
+			t.Fatalf("generated invalid production: %v\n%s", err, p)
+		}
+		src := p.String()
+		q, err := ParseProduction(src)
+		if err != nil {
+			t.Fatalf("parse of printed production failed: %v\n%s", err, src)
+		}
+		if q.String() != src {
+			t.Fatalf("round trip not idempotent:\n%s\n%s", src, q.String())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package ops5 implements the subset of the OPS5 production-system
+// language used throughout this repository: typed values, working-memory
+// elements (wmes), condition elements, productions, right-hand-side
+// actions, and a parser for the textual OPS5 syntax.
+//
+// The subset matches Section 2.1 of Tambe, Acharya & Gupta
+// (CMU-CS-89-129): constant tests, equality (variable) tests, predicate
+// tests (=, <>, <, <=, >, >=, <=>), conjunctive tests {...}, disjunctive
+// tests <<...>>, negated condition elements, and the make / remove /
+// modify / write / bind / halt actions.
+package ops5
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the two OPS5 scalar types.
+type Kind uint8
+
+const (
+	// KindNil is the zero Value; it compares unequal to every symbol
+	// and number and is what a wme reports for an absent attribute.
+	KindNil Kind = iota
+	// KindSym is a symbolic atom.
+	KindSym
+	// KindNum is a numeric atom. OPS5 does not distinguish integer and
+	// floating-point atoms for matching purposes, so a single float64
+	// representation is used.
+	KindNum
+)
+
+// Value is an OPS5 scalar: a symbol, a number, or nil (absent).
+// The zero value is the nil value.
+type Value struct {
+	Kind Kind
+	Sym  string
+	Num  float64
+}
+
+// S returns a symbol value.
+func S(s string) Value { return Value{Kind: KindSym, Sym: s} }
+
+// Crlf is the distinguished symbol produced by the (crlf) form in
+// write actions; the engine prints it as a newline.
+var Crlf = S("(crlf)")
+
+// N returns a numeric value.
+func N(f float64) Value { return Value{Kind: KindNum, Num: f} }
+
+// Nil reports whether v is the nil (absent) value.
+func (v Value) Nil() bool { return v.Kind == KindNil }
+
+// Equal reports OPS5 equality: same kind and same atom.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindSym:
+		return v.Sym == w.Sym
+	case KindNum:
+		return v.Num == w.Num
+	default:
+		return true // both nil
+	}
+}
+
+// SameType implements the OPS5 <=> predicate: both symbolic or both
+// numeric. Nil values have no type and satisfy <=> with nothing.
+func (v Value) SameType(w Value) bool {
+	return v.Kind != KindNil && v.Kind == w.Kind
+}
+
+// Compare orders two values. Numeric comparison applies when both are
+// numbers; symbols compare lexicographically; otherwise ok is false
+// (OPS5 relational predicates fail on mixed or nil operands).
+func (v Value) Compare(w Value) (cmp int, ok bool) {
+	switch {
+	case v.Kind == KindNum && w.Kind == KindNum:
+		switch {
+		case v.Num < w.Num:
+			return -1, true
+		case v.Num > w.Num:
+			return 1, true
+		}
+		return 0, true
+	case v.Kind == KindSym && w.Kind == KindSym:
+		return strings.Compare(v.Sym, w.Sym), true
+	}
+	return 0, false
+}
+
+// String renders the value in OPS5 source syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindSym:
+		return v.Sym
+	case KindNum:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return "nil"
+	}
+}
+
+// Key returns a canonical encoding of the value, distinct across kinds,
+// suitable for use as part of a hash key.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindSym:
+		return "s:" + v.Sym
+	case KindNum:
+		return "n:" + strconv.FormatFloat(v.Num, 'b', -1, 64)
+	default:
+		return "_"
+	}
+}
+
+// PredOp enumerates the OPS5 predicate operators.
+type PredOp uint8
+
+const (
+	OpEq       PredOp = iota // =   (also implicit for bare constants/variables)
+	OpNe                     // <>
+	OpLt                     // <
+	OpLe                     // <=
+	OpGt                     // >
+	OpGe                     // >=
+	OpSameType               // <=>
+)
+
+var predNames = [...]string{"=", "<>", "<", "<=", ">", ">=", "<=>"}
+
+// String returns the OPS5 spelling of the operator.
+func (op PredOp) String() string {
+	if int(op) < len(predNames) {
+		return predNames[op]
+	}
+	return fmt.Sprintf("PredOp(%d)", uint8(op))
+}
+
+// Apply evaluates `a op b`. Relational operators require comparable
+// (same-kind, non-nil) operands and are false otherwise, matching OPS5.
+func (op PredOp) Apply(a, b Value) bool {
+	switch op {
+	case OpEq:
+		return a.Equal(b)
+	case OpNe:
+		return !a.Equal(b)
+	case OpSameType:
+		return a.SameType(b)
+	}
+	cmp, ok := a.Compare(b)
+	if !ok {
+		return false
+	}
+	switch op {
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package ops5
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{S("blue"), S("blue"), true},
+		{S("blue"), S("red"), false},
+		{N(3), N(3), true},
+		{N(3), N(3.5), false},
+		{S("3"), N(3), false},
+		{Value{}, Value{}, true},
+		{Value{}, S(""), false},
+		{S(""), S(""), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if cmp, ok := N(1).Compare(N(2)); !ok || cmp >= 0 {
+		t.Errorf("1 < 2 expected, got cmp=%d ok=%v", cmp, ok)
+	}
+	if cmp, ok := S("b").Compare(S("a")); !ok || cmp <= 0 {
+		t.Errorf("b > a expected, got cmp=%d ok=%v", cmp, ok)
+	}
+	if _, ok := S("a").Compare(N(1)); ok {
+		t.Error("mixed-kind comparison should fail")
+	}
+	if _, ok := (Value{}).Compare(Value{}); ok {
+		t.Error("nil comparison should fail")
+	}
+}
+
+func TestPredOpApply(t *testing.T) {
+	cases := []struct {
+		op   PredOp
+		a, b Value
+		want bool
+	}{
+		{OpEq, S("x"), S("x"), true},
+		{OpNe, S("x"), S("x"), false},
+		{OpNe, S("x"), S("y"), true},
+		{OpNe, S("x"), N(1), true}, // unequal kinds are <>
+		{OpLt, N(1), N(2), true},
+		{OpLt, N(2), N(1), false},
+		{OpLe, N(2), N(2), true},
+		{OpGt, N(3), N(2), true},
+		{OpGe, N(2), N(3), false},
+		{OpLt, S("a"), N(1), false}, // relational on mixed kinds fails
+		{OpSameType, N(1), N(9), true},
+		{OpSameType, N(1), S("a"), false},
+		{OpSameType, Value{}, Value{}, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("(%v %s %v) = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	// Distinct values must have distinct keys; equal values equal keys.
+	f := func(a, b float64, s1, s2 string) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		vs := []Value{N(a), N(b), S(s1), S(s2), {}}
+		for i := range vs {
+			for j := range vs {
+				if vs[i].Equal(vs[j]) != (vs[i].Key() == vs[j].Key()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolNumberKeyCollision(t *testing.T) {
+	// A symbol spelled like a number must not collide with the number.
+	if S("3").Key() == N(3).Key() {
+		t.Error("symbol \"3\" and number 3 share a key")
+	}
+}
+
+func TestPredOpString(t *testing.T) {
+	want := map[PredOp]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpSameType: "<=>"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}

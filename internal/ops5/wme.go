@@ -1,0 +1,93 @@
+package ops5
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WME is a working-memory element: a class name plus a set of
+// attribute-value pairs. Each wme carries a unique ID (assigned by the
+// working memory that owns it) and a time tag (the cycle on which it
+// was created), which conflict resolution uses for recency ordering.
+type WME struct {
+	ID      int
+	TimeTag int
+	Class   string
+	Attrs   map[string]Value
+}
+
+// NewWME builds a wme from alternating attribute/value arguments.
+// It is a convenience for tests and examples:
+//
+//	NewWME("block", "name", S("b1"), "color", S("blue"))
+func NewWME(class string, pairs ...any) *WME {
+	if len(pairs)%2 != 0 {
+		panic("ops5.NewWME: odd number of attribute/value arguments")
+	}
+	w := &WME{Class: class, Attrs: make(map[string]Value, len(pairs)/2)}
+	for i := 0; i < len(pairs); i += 2 {
+		attr, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("ops5.NewWME: attribute %d is %T, want string", i/2, pairs[i]))
+		}
+		switch v := pairs[i+1].(type) {
+		case Value:
+			w.Attrs[attr] = v
+		case string:
+			w.Attrs[attr] = S(v)
+		case int:
+			w.Attrs[attr] = N(float64(v))
+		case float64:
+			w.Attrs[attr] = N(v)
+		default:
+			panic(fmt.Sprintf("ops5.NewWME: value for ^%s is %T", attr, pairs[i+1]))
+		}
+	}
+	return w
+}
+
+// Get returns the value of an attribute, or the nil Value if absent.
+func (w *WME) Get(attr string) Value { return w.Attrs[attr] }
+
+// Clone returns a deep copy of the wme (same class and attributes,
+// same ID and time tag). Modify actions clone before rewriting.
+func (w *WME) Clone() *WME {
+	c := &WME{ID: w.ID, TimeTag: w.TimeTag, Class: w.Class, Attrs: make(map[string]Value, len(w.Attrs))}
+	for k, v := range w.Attrs {
+		c.Attrs[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two wmes have the same class and attributes
+// (IDs and time tags are ignored; used to locate duplicates).
+func (w *WME) Equal(o *WME) bool {
+	if w.Class != o.Class || len(w.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for k, v := range w.Attrs {
+		if !v.Equal(o.Attrs[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the wme in OPS5 source syntax with attributes sorted
+// for determinism: (block ^color blue ^name b1).
+func (w *WME) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(w.Class)
+	attrs := make([]string, 0, len(w.Attrs))
+	for a := range w.Attrs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " ^%s %s", a, w.Attrs[a])
+	}
+	b.WriteByte(')')
+	return b.String()
+}

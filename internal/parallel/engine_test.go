@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"mpcrete/internal/engine"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/workloads"
+)
+
+// TestEngineOnParallelRuntime runs complete OPS5 programs with the
+// match phase on the goroutine runtime and checks that the firing
+// sequence is identical to the sequential engine's: conflict sets are
+// equal after every match phase, and conflict resolution is a pure
+// function of the set.
+func TestEngineOnParallelRuntime(t *testing.T) {
+	cases := []struct {
+		name, program, wmes string
+		cycles              int
+	}{
+		{"blocks", workloads.BlocksWorld, workloads.BlocksWorldWMEs(6), 300},
+		{"tourney-like", workloads.TourneyLike, workloads.TourneyLikeWMEs(7, 5), 300},
+		{"counter", workloads.CounterChain, "(counter ^value 0 ^limit 15)", 100},
+		{"monkey", workloads.MonkeyBananas, workloads.MonkeyBananasWMEs, 50},
+		{"queens", workloads.Queens, workloads.QueensWMEs(5), 20000},
+		{"configurator", workloads.Configurator,
+			workloads.ConfiguratorWMEs(
+				workloads.ConfiguratorOrder{ID: "a", CPUs: 2, Disks: 5, PowerMax: 100},
+				workloads.ConfiguratorOrder{ID: "b", CPUs: 1, Disks: 2, PowerMax: 80},
+			), 2000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			run := func(par bool, workers int) (string, int, bool) {
+				prog, err := ops5.ParseProgram(c.program)
+				if err != nil {
+					t.Fatal(err)
+				}
+				net, err := rete.Compile(prog.Productions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out bytes.Buffer
+				opts := engine.Options{Output: &out}
+				if par {
+					rt, err := New(net, Options{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer rt.Close()
+					opts.Matcher = rt
+				}
+				e, err := engine.NewWithNetwork(prog, net, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wmes, err := ops5.ParseWMEs(c.wmes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.InsertWMEs(wmes...)
+				fired, err := e.Run(c.cycles)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out.String(), fired, e.Halted()
+			}
+
+			seqOut, seqFired, seqHalted := run(false, 0)
+			for _, workers := range []int{1, 3, 6} {
+				parOut, parFired, parHalted := run(true, workers)
+				if parFired != seqFired || parHalted != seqHalted {
+					t.Fatalf("workers=%d: fired/halted %d/%v, sequential %d/%v",
+						workers, parFired, parHalted, seqFired, seqHalted)
+				}
+				if parOut != seqOut {
+					t.Fatalf("workers=%d: output diverged:\n--- sequential ---\n%s--- parallel ---\n%s",
+						workers, seqOut, parOut)
+				}
+			}
+		})
+	}
+}

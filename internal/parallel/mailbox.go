@@ -1,0 +1,71 @@
+package parallel
+
+import "sync"
+
+// mailbox is an unbounded FIFO message queue. Unbounded matters: with
+// bounded channels, two workers exchanging cross-product bursts can
+// fill each other's inboxes and deadlock; the paper's cross-product
+// section routinely aims thousands of tokens at one bucket owner.
+// Per-sender FIFO order is preserved, which the runtime relies on for
+// add-before-delete ordering of same-token activations.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	head   int // consumed prefix length
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues a message; it never blocks.
+func (m *mailbox) push(msg message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		panic("parallel: send on closed mailbox")
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// pop dequeues the next message, blocking until one is available or
+// the mailbox closes (ok == false).
+func (m *mailbox) pop() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.queue) {
+		return message{}, false
+	}
+	msg := m.queue[m.head]
+	m.queue[m.head] = message{} // release payload references promptly
+	m.head++
+	// Compact once the consumed prefix dominates, so a long-lived
+	// mailbox's backing array stays proportional to its live contents.
+	if m.head > 64 && m.head*2 >= len(m.queue) {
+		n := copy(m.queue, m.queue[m.head:])
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = message{}
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	return msg, true
+}
+
+// close wakes all blocked readers; pending messages are still
+// delivered before pop reports closure.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"fmt"
+
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
+)
+
+// MigrationStats reports the cost of one Repartition call — the
+// quantity the paper declined to pay ("moving hash-buckets around to
+// change the token distribution is too costly", Section 5.2.2). The
+// runtime implements migration so the cost can be measured instead of
+// assumed.
+type MigrationStats struct {
+	// BucketsMoved is the number of bucket pairs that changed owner.
+	BucketsMoved int
+	// EntriesMoved is the number of stored tokens (left + right)
+	// shipped between workers.
+	EntriesMoved int
+	// Messages is the number of migration messages exchanged.
+	Messages int
+}
+
+// migration protocol messages (handled in worker.loop).
+type migrateOut struct {
+	// moves maps bucket -> new owner for buckets this worker loses.
+	moves map[int]int
+}
+
+type migrateIn struct {
+	contents *rete.BucketContents
+}
+
+// Repartition changes the bucket-to-worker assignment of a quiescent
+// runtime, migrating stored tokens to their new owners, and returns
+// the measured cost. It must be called between Apply calls.
+func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) {
+	if rt.closed {
+		return MigrationStats{}, fmt.Errorf("parallel: Repartition after Close")
+	}
+	if len(newPart) != rt.opts.NBuckets {
+		return MigrationStats{}, fmt.Errorf("parallel: partition covers %d buckets, want %d", len(newPart), rt.opts.NBuckets)
+	}
+	if err := newPart.Validate(rt.opts.Workers); err != nil {
+		return MigrationStats{}, err
+	}
+
+	// Plan the moves per losing worker.
+	perWorker := make([]map[int]int, rt.opts.Workers)
+	var stats MigrationStats
+	for b := range newPart {
+		oldOwner, newOwner := rt.opts.Partition[b], newPart[b]
+		if oldOwner == newOwner {
+			continue
+		}
+		if perWorker[oldOwner] == nil {
+			perWorker[oldOwner] = map[int]int{}
+		}
+		perWorker[oldOwner][b] = newOwner
+		stats.BucketsMoved++
+	}
+
+	// Execute: each losing worker extracts and ships; receivers inject.
+	// The work counter provides the barrier.
+	for w, moves := range perWorker {
+		if moves == nil {
+			continue
+		}
+		rt.counter.Add(1)
+		rt.controlCounts().IncSent()
+		rt.workers[w].inbox.push(message{kind: msgMigrateOut, migrate: &migrateOut{moves: moves}})
+	}
+	rt.counter.Wait()
+
+	// Collect measured costs from the workers.
+	for _, w := range rt.workers {
+		stats.EntriesMoved += w.migratedEntries
+		stats.Messages += w.migrationMsgs
+		w.migratedEntries, w.migrationMsgs = 0, 0
+	}
+	rt.opts.Partition = newPart
+	return stats, nil
+}
+
+// handleMigrateOut runs on the losing worker: extract each bucket and
+// ship its contents to the new owner.
+func (w *worker) handleMigrateOut(m *migrateOut) {
+	rt := w.rt
+	// Deterministic order for reproducible message counts.
+	buckets := make([]int, 0, len(m.moves))
+	for b := range m.moves {
+		buckets = append(buckets, b)
+	}
+	for i := 1; i < len(buckets); i++ {
+		for j := i; j > 0 && buckets[j] < buckets[j-1]; j-- {
+			buckets[j], buckets[j-1] = buckets[j-1], buckets[j]
+		}
+	}
+	for _, b := range buckets {
+		bc := w.proc.ExtractBucket(b)
+		if bc.Entries() == 0 {
+			continue // nothing stored; ownership transfer is free
+		}
+		w.migratedEntries += bc.Entries()
+		w.migrationMsgs++
+		rt.counter.Add(1)
+		rt.counts[w.id].IncSent()
+		rt.workers[m.moves[b]].inbox.push(message{kind: msgMigrateIn, inject: &migrateIn{contents: bc}})
+	}
+}

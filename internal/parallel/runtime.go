@@ -1,0 +1,371 @@
+// Package parallel is a real (not simulated) implementation of the
+// paper's distributed hash-table mapping: match processors are
+// goroutines, messages are mailbox sends, and each worker owns a
+// partition of the global left/right hash-bucket space. It realizes
+// the Fig 3-3 variation — the control goroutine broadcasts each
+// cycle's wme changes, every worker runs all constant tests and keeps
+// the root activations whose buckets it owns, and successor (left)
+// tokens travel to the worker owning their bucket.
+//
+// This is the "real implementation" the paper planned as future work
+// (on Nectar), transplanted to a shared-nothing goroutine machine. It
+// includes the distributed termination detection the paper's simulator
+// replaced with oracle knowledge: a counting detector by default, or
+// Mattern's four-counter method (package termdet).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/termdet"
+)
+
+// Detector selects the termination-detection scheme.
+type Detector uint8
+
+const (
+	// CountingDetector uses an outstanding-work counter.
+	CountingDetector Detector = iota
+	// FourCounterDetector uses Mattern's four-counter polling method.
+	FourCounterDetector
+)
+
+// Options configure a Runtime.
+type Options struct {
+	// Workers is the number of match goroutines (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// NBuckets sizes the hash-bucket space (default
+	// rete.DefaultNBuckets).
+	NBuckets int
+	// Partition maps bucket -> worker (default round-robin).
+	Partition sched.Partition
+	// Detector selects the termination-detection scheme.
+	Detector Detector
+}
+
+// message is the worker-mailbox protocol.
+type message struct {
+	kind    msgKind
+	changes []rete.Change   // msgCycle
+	act     rete.Activation // msgAct
+	migrate *migrateOut     // msgMigrateOut
+	inject  *migrateIn      // msgMigrateIn
+}
+
+type msgKind uint8
+
+const (
+	msgCycle msgKind = iota
+	msgAct
+	msgMigrateOut
+	msgMigrateIn
+	msgStop
+)
+
+// Stats reports per-worker work counts (snapshot).
+type Stats struct {
+	// Processed[w] counts activations performed by worker w.
+	Processed []int64
+	// MsgsSent[w] counts activation messages worker w sent to other
+	// workers.
+	MsgsSent []int64
+	// Insts counts instantiation deltas delivered to the control
+	// goroutine over all cycles (before netting).
+	Insts int64
+}
+
+// Runtime is a parallel match engine over one compiled network. Apply
+// is the match phase of the MRA cycle; resolve and act remain the
+// caller's job, as on the control processor of the paper's mapping.
+type Runtime struct {
+	net  *rete.Network
+	opts Options
+
+	workers []*worker
+	instCh  chan rete.InstChange
+
+	counter *termdet.Counter
+	counts  []*termdet.ChannelCounts // one per worker + control last
+	four    *termdet.FourCounter
+
+	instWG sync.WaitGroup
+	instMu sync.Mutex
+	insts  []rete.InstChange
+
+	processed []atomic.Int64
+	msgsSent  []atomic.Int64
+	instCount atomic.Int64
+
+	closed bool
+}
+
+type worker struct {
+	id    int
+	rt    *Runtime
+	proc  *rete.Processor
+	inbox *mailbox
+	done  sync.WaitGroup
+
+	// migration accounting, read by Repartition after its barrier.
+	migratedEntries int
+	migrationMsgs   int
+}
+
+// New creates and starts a runtime. Close must be called to stop the
+// worker goroutines.
+func New(net *rete.Network, opts Options) (*Runtime, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("parallel: Workers = %d", opts.Workers)
+	}
+	if opts.NBuckets == 0 {
+		opts.NBuckets = rete.DefaultNBuckets
+	}
+	if opts.Partition == nil {
+		opts.Partition = sched.RoundRobin(opts.NBuckets, opts.Workers)
+	}
+	if len(opts.Partition) != opts.NBuckets {
+		return nil, fmt.Errorf("parallel: partition covers %d buckets, want %d", len(opts.Partition), opts.NBuckets)
+	}
+	if err := opts.Partition.Validate(opts.Workers); err != nil {
+		return nil, err
+	}
+
+	rt := &Runtime{
+		net:       net,
+		opts:      opts,
+		instCh:    make(chan rete.InstChange, 4096),
+		counter:   termdet.NewCounter(),
+		processed: make([]atomic.Int64, opts.Workers),
+		msgsSent:  make([]atomic.Int64, opts.Workers),
+	}
+	for i := 0; i <= opts.Workers; i++ {
+		rt.counts = append(rt.counts, &termdet.ChannelCounts{})
+	}
+	rt.four = termdet.NewFourCounter(rt.counts)
+
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{
+			id:    i,
+			rt:    rt,
+			proc:  rete.NewProcessor(net, opts.NBuckets),
+			inbox: newMailbox(),
+		}
+		rt.workers = append(rt.workers, w)
+		w.done.Add(1)
+		go w.loop()
+	}
+
+	rt.instWG.Add(1)
+	go rt.collectInsts()
+	return rt, nil
+}
+
+// controlCounts returns the control goroutine's message counters.
+func (rt *Runtime) controlCounts() *termdet.ChannelCounts {
+	return rt.counts[len(rt.counts)-1]
+}
+
+// collectInsts is the control processor's conflict-set intake.
+func (rt *Runtime) collectInsts() {
+	defer rt.instWG.Done()
+	for ic := range rt.instCh {
+		rt.instMu.Lock()
+		rt.insts = append(rt.insts, ic)
+		rt.instMu.Unlock()
+		rt.controlCounts().IncRecv()
+		rt.counter.Done()
+	}
+}
+
+// Apply runs one parallel match phase and returns the conflict-set
+// deltas, netted per instantiation and deterministically ordered
+// (delivery order across workers is not deterministic; the netted set
+// is).
+func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
+	if rt.closed {
+		panic("parallel: Apply after Close")
+	}
+	rt.instMu.Lock()
+	rt.insts = nil
+	rt.instMu.Unlock()
+
+	// Broadcast the cycle packet.
+	for _, w := range rt.workers {
+		rt.counter.Add(1)
+		rt.controlCounts().IncSent()
+		w.inbox.push(message{kind: msgCycle, changes: changes})
+	}
+
+	// Wait for global quiescence.
+	if rt.opts.Detector == FourCounterDetector {
+		rt.four.WaitTerminated(runtime.Gosched)
+	}
+	rt.counter.Wait()
+
+	rt.instMu.Lock()
+	raw := rt.insts
+	rt.insts = nil
+	rt.instMu.Unlock()
+	return netInsts(raw)
+}
+
+// Stats snapshots per-worker counters.
+func (rt *Runtime) Stats() Stats {
+	s := Stats{
+		Processed: make([]int64, len(rt.processed)),
+		MsgsSent:  make([]int64, len(rt.msgsSent)),
+		Insts:     rt.instCount.Load(),
+	}
+	for i := range rt.processed {
+		s.Processed[i] = rt.processed[i].Load()
+		s.MsgsSent[i] = rt.msgsSent[i].Load()
+	}
+	return s
+}
+
+// Close stops the workers and the collector. The runtime cannot be
+// reused.
+func (rt *Runtime) Close() {
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, w := range rt.workers {
+		w.inbox.push(message{kind: msgStop})
+	}
+	for _, w := range rt.workers {
+		w.done.Wait()
+	}
+	close(rt.instCh)
+	rt.instWG.Wait()
+}
+
+// loop is the worker goroutine: one match processor of the mapping.
+func (w *worker) loop() {
+	defer w.done.Done()
+	rt := w.rt
+	for {
+		msg, ok := w.inbox.pop()
+		if !ok || msg.kind == msgStop {
+			return
+		}
+		switch msg.kind {
+		case msgCycle:
+			// Constant tests run on every worker (duplicated work, the
+			// coarse granularity of Section 3.2); only locally-owned
+			// roots are processed.
+			for _, ch := range msg.changes {
+				for _, act := range w.proc.RootActivations(ch) {
+					if rt.opts.Partition[w.proc.Bucket(act)] == w.id {
+						w.process(act)
+					}
+				}
+			}
+		case msgAct:
+			w.process(msg.act)
+		case msgMigrateOut:
+			w.handleMigrateOut(msg.migrate)
+		case msgMigrateIn:
+			w.proc.InjectBucket(msg.inject.contents)
+		}
+		rt.counts[w.id].IncRecv()
+		rt.counter.Done()
+	}
+}
+
+// sendInst forwards an instantiation delta to the control goroutine.
+func (w *worker) sendInst(ic rete.InstChange) {
+	rt := w.rt
+	rt.counter.Add(1)
+	rt.counts[w.id].IncSent()
+	rt.instCount.Add(1)
+	rt.instCh <- ic
+}
+
+// process performs one activation, routing successors to the workers
+// owning their buckets. Locally-owned successors are processed
+// recursively — the zero-message fast path of the fine granularity.
+func (w *worker) process(act rete.Activation) {
+	rt := w.rt
+	if act.Node.Kind == rete.KindProduction {
+		// A root activation of a single-CE production.
+		w.sendInst(w.proc.BuildInst(act))
+		return
+	}
+	rt.processed[w.id].Add(1)
+
+	w.proc.Process(act,
+		func(child rete.Activation) {
+			if child.Node.Kind == rete.KindProduction {
+				w.sendInst(w.proc.BuildInst(child))
+				return
+			}
+			owner := rt.opts.Partition[w.proc.Bucket(child)]
+			if owner == w.id {
+				w.process(child)
+				return
+			}
+			rt.counter.Add(1)
+			rt.counts[w.id].IncSent()
+			rt.msgsSent[w.id].Add(1)
+			rt.workers[owner].inbox.push(message{kind: msgAct, act: child})
+		},
+		func(rete.InstChange) {
+			panic("parallel: unexpected instantiation emission")
+		})
+}
+
+// netInsts nets raw deltas per instantiation key: within one match
+// phase an instantiation may be added and deleted several times (e.g.
+// through negative-node transients whose interleaving is
+// order-dependent); only the net effect is meaningful, and netting
+// makes the result independent of worker scheduling.
+func netInsts(raw []rete.InstChange) []rete.InstChange {
+	type acc struct {
+		net  int
+		last rete.InstChange
+	}
+	byKey := map[string]*acc{}
+	var keys []string
+	for _, ic := range raw {
+		k := ic.Key()
+		a, ok := byKey[k]
+		if !ok {
+			a = &acc{}
+			byKey[k] = a
+			keys = append(keys, k)
+		}
+		if ic.Tag == rete.Add {
+			a.net++
+		} else {
+			a.net--
+		}
+		a.last = ic
+	}
+	sort.Strings(keys)
+	var out []rete.InstChange
+	for _, k := range keys {
+		a := byKey[k]
+		switch {
+		case a.net > 0:
+			ic := a.last
+			ic.Tag = rete.Add
+			out = append(out, ic)
+		case a.net < 0:
+			ic := a.last
+			ic.Tag = rete.Delete
+			out = append(out, ic)
+		}
+	}
+	return out
+}

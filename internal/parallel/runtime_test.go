@@ -1,0 +1,253 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+func compileProds(t *testing.T, srcs ...string) (*rete.Network, []*ops5.Production) {
+	t.Helper()
+	var prods []*ops5.Production
+	for _, src := range srcs {
+		p, err := ops5.ParseProduction(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prods = append(prods, p)
+	}
+	net, err := rete.Compile(prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, prods
+}
+
+// applyDeltas folds conflict-set deltas into a set.
+func applyDeltas(cs map[string]bool, deltas []rete.InstChange) {
+	for _, ic := range deltas {
+		if ic.Tag == rete.Add {
+			cs[ic.Key()] = true
+		} else {
+			delete(cs, ic.Key())
+		}
+	}
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelMatchesSequentialBlocksLike(t *testing.T) {
+	srcs := []string{
+		`(p join (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))`,
+		`(p neg (a ^x <v>) -(d ^x <v>) --> (halt))`,
+		`(p solo (e ^k 1) --> (halt))`,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, det := range []Detector{CountingDetector, FourCounterDetector} {
+			t.Run(fmt.Sprintf("w%d-det%d", workers, det), func(t *testing.T) {
+				net, _ := compileProds(t, srcs...)
+				seqNet, _ := compileProds(t, srcs...)
+				seq := rete.NewMatcher(seqNet, rete.MatcherOptions{NBuckets: 64})
+				rt, err := New(net, Options{Workers: workers, NBuckets: 64, Detector: det})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+
+				seqCS, parCS := map[string]bool{}, map[string]bool{}
+				id := 1
+				step := func(tag rete.Tag, w *ops5.WME) {
+					ch := []rete.Change{{Tag: tag, WME: w}}
+					applyDeltas(seqCS, seq.Apply(ch))
+					applyDeltas(parCS, rt.Apply(ch))
+					if !setsEqual(seqCS, parCS) {
+						t.Fatalf("divergence after %v %v:\nseq: %v\npar: %v", tag, w, seqCS, parCS)
+					}
+				}
+				mk := func(class string, x int) *ops5.WME {
+					w := ops5.NewWME(class, "x", x)
+					if class == "e" {
+						w = ops5.NewWME(class, "k", x)
+					}
+					w.ID, w.TimeTag = id, id
+					id++
+					return w
+				}
+				var live []*ops5.WME
+				rng := rand.New(rand.NewSource(17))
+				for i := 0; i < 60; i++ {
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						j := rng.Intn(len(live))
+						step(rete.Delete, live[j])
+						live = append(live[:j], live[j+1:]...)
+					} else {
+						w := mk([]string{"a", "b", "c", "d", "e"}[rng.Intn(5)], rng.Intn(3))
+						step(rete.Add, w)
+						live = append(live, w)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParallelCrossProductBurst(t *testing.T) {
+	// The Tourney pathology: a join with no equality tests sends every
+	// token to one bucket owner. Exercises the unbounded mailbox.
+	net, _ := compileProds(t, `(p cross (a ^x <u>) (b ^y <w>) --> (halt))`)
+	rt, err := New(net, Options{Workers: 4, NBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	cs := map[string]bool{}
+	id := 1
+	var changes []rete.Change
+	for i := 0; i < 40; i++ {
+		w := ops5.NewWME("a", "x", i)
+		w.ID, w.TimeTag = id, id
+		id++
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+		w2 := ops5.NewWME("b", "y", i)
+		w2.ID, w2.TimeTag = id, id
+		id++
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w2})
+	}
+	applyDeltas(cs, rt.Apply(changes))
+	if len(cs) != 1600 {
+		t.Fatalf("cross product = %d, want 1600", len(cs))
+	}
+	st := rt.Stats()
+	var processed int64
+	for _, p := range st.Processed {
+		processed += p
+	}
+	if processed == 0 {
+		t.Error("no activations recorded")
+	}
+}
+
+func TestParallelDeterministicResults(t *testing.T) {
+	// The netted, sorted delta list must be identical across runs even
+	// though scheduling differs.
+	srcs := []string{`(p j (a ^x <v>) (b ^x <v>) --> (halt))`}
+	run := func() []string {
+		net, _ := compileProds(t, srcs...)
+		rt, err := New(net, Options{Workers: 4, NBuckets: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		var changes []rete.Change
+		for i := 1; i <= 30; i++ {
+			w := ops5.NewWME("a", "x", i%5)
+			if i%2 == 0 {
+				w = ops5.NewWME("b", "x", i%5)
+			}
+			w.ID, w.TimeTag = i, i
+			changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+		}
+		var keys []string
+		for _, ic := range rt.Apply(changes) {
+			keys = append(keys, fmt.Sprintf("%s/%s", ic.Key(), ic.Tag))
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelWorkDistribution(t *testing.T) {
+	// With well-hashed tokens, several workers should see work.
+	net, _ := compileProds(t, `(p j (a ^x <v>) (b ^x <v>) --> (halt))`)
+	rt, err := New(net, Options{Workers: 4, NBuckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var changes []rete.Change
+	for i := 1; i <= 200; i++ {
+		class := "a"
+		if i%2 == 0 {
+			class = "b"
+		}
+		w := ops5.NewWME(class, "x", i/2)
+		w.ID, w.TimeTag = i, i
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+	}
+	rt.Apply(changes)
+	busy := 0
+	for _, p := range rt.Stats().Processed {
+		if p > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Errorf("only %d of 4 workers processed activations", busy)
+	}
+}
+
+func TestParallelOptionsValidation(t *testing.T) {
+	net, _ := compileProds(t, `(p j (a ^x 1) --> (halt))`)
+	if _, err := New(net, Options{Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := New(net, Options{Workers: 2, NBuckets: 16, Partition: make([]int, 4)}); err == nil {
+		t.Error("short partition accepted")
+	}
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	net, _ := compileProds(t, `(p j (a ^x 1) --> (halt))`)
+	rt, err := New(net, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rt.Close()
+}
+
+func TestNetInsts(t *testing.T) {
+	p, err := ops5.ParseProduction(`(p x (a ^v 1) --> (halt))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ops5.NewWME("a", "v", 1)
+	w.ID = 7
+	mk := func(tag rete.Tag) rete.InstChange {
+		return rete.InstChange{Tag: tag, Prod: p, WMEs: []*ops5.WME{w}}
+	}
+	// +, -, + nets to a single add.
+	out := netInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete), mk(rete.Add)})
+	if len(out) != 1 || out[0].Tag != rete.Add {
+		t.Errorf("net of +-+ = %v", out)
+	}
+	// +, - cancels.
+	if out := netInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete)}); len(out) != 0 {
+		t.Errorf("net of +- = %v", out)
+	}
+	if out := netInsts(nil); len(out) != 0 {
+		t.Errorf("net of empty = %v", out)
+	}
+}

@@ -1,0 +1,217 @@
+package rete
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mpcrete/internal/ops5"
+)
+
+// roundTripNetwork encodes and decodes a network.
+func roundTripNetwork(t *testing.T, net *Network) *Network {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestNetworkCodecRoundTripStructure(t *testing.T) {
+	net := compileT(t, sharedFanoutProds)
+	got := roundTripNetwork(t, net)
+	if a, b := net.Stats(), got.Stats(); a != b {
+		t.Errorf("stats changed: %+v vs %+v", a, b)
+	}
+	if len(got.ProdOrder) != len(net.ProdOrder) {
+		t.Fatalf("prod order = %v", got.ProdOrder)
+	}
+	for i, name := range net.ProdOrder {
+		if got.ProdOrder[i] != name {
+			t.Errorf("prod order[%d] = %q, want %q", i, got.ProdOrder[i], name)
+		}
+	}
+	// VarDefs and TokenPos survive.
+	for name, info := range net.Prods {
+		gi := got.Prods[name]
+		if gi == nil {
+			t.Fatalf("missing production %s", name)
+		}
+		if len(gi.VarDefs) != len(info.VarDefs) {
+			t.Errorf("%s: vardefs %v vs %v", name, gi.VarDefs, info.VarDefs)
+		}
+		for v, d := range info.VarDefs {
+			if gi.VarDefs[v] != d {
+				t.Errorf("%s: vardef %s = %+v, want %+v", name, v, gi.VarDefs[v], d)
+			}
+		}
+	}
+}
+
+func TestNetworkCodecPreservesMatching(t *testing.T) {
+	wmes := fanoutWMEs()
+	net := compileT(t, sharedFanoutProds)
+	base := runConflictSet(t, net, wmes)
+
+	// Decode a fresh copy (the original already holds token state from
+	// nothing — networks are stateless; memories live in the matcher).
+	got := roundTripNetwork(t, compileT(t, sharedFanoutProds))
+	after := runConflictSet(t, got, wmes)
+	if !conflictSetsEqual(base, after) {
+		t.Errorf("decoded network diverged: %v vs %v", base, after)
+	}
+}
+
+func TestNetworkCodecPreservesTransformations(t *testing.T) {
+	wmes := fanoutWMEs()
+
+	// Transformed network: unshare + dummies + copy-and-constraint on
+	// a second cross-product production.
+	srcs := append([]string{}, sharedFanoutProds...)
+	srcs = append(srcs, `(p cross (a ^x <u>) (c ^k <w>) --> (halt))`)
+	net := compileT(t, srcs)
+	if _, err := net.Unshare(sharedJoin(t, net)); err != nil {
+		t.Fatal(err)
+	}
+	var cross *Node
+	for _, n := range net.Nodes {
+		// The cross production's join: no tests at all (the c^k joins
+		// of the shared productions also lack eq tests but are keyed
+		// to constant-test alphas).
+		if n.Kind == KindJoin && len(n.Tests) == 0 && n.Prod == nil && len(n.Succs) == 1 && n.Succs[0].Prod != nil && n.Succs[0].Prod.Name == "cross" {
+			cross = n
+		}
+	}
+	if cross == nil {
+		t.Fatal("no cross-product join")
+	}
+	if _, err := net.CopyAndConstrain(cross, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runConflictSet(t, net, wmes)
+	got := roundTripNetwork(t, net)
+	// Copy-and-constraint state must survive: each copy accepts a
+	// disjoint share of right wmes.
+	var copies []*Node
+	for _, n := range got.Nodes {
+		if n.Kind == KindJoin && n.copyCount == 3 {
+			copies = append(copies, n)
+		}
+	}
+	if len(copies) != 3 {
+		t.Fatalf("decoded copies = %d", len(copies))
+	}
+	for id := 0; id < 9; id++ {
+		w := ops5.NewWME("c", "k", 1)
+		w.ID = id
+		accepts := 0
+		for _, c := range copies {
+			if c.AcceptsRight(w) {
+				accepts++
+			}
+		}
+		if accepts != 1 {
+			t.Errorf("wme %d accepted by %d decoded copies", id, accepts)
+		}
+	}
+	after := runConflictSet(t, got, wmes)
+	if !conflictSetsEqual(base, after) {
+		t.Errorf("decoded transformed network diverged (%d vs %d)", len(base), len(after))
+	}
+}
+
+func TestNetworkCodecRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		srcs := randomProductions(rng, 1+rng.Intn(4))
+		net := compileT(t, srcs)
+		got := roundTripNetwork(t, net)
+
+		// Drive both with the same random wme stream.
+		var wmes []*ops5.WME
+		id := 1
+		for i := 0; i < 30; i++ {
+			w := ops5.NewWME([]string{"a", "b", "c"}[rng.Intn(3)], "x", rng.Intn(3), "y", rng.Intn(3))
+			w.ID, w.TimeTag = id, id
+			id++
+			wmes = append(wmes, w)
+		}
+		base := runConflictSet(t, net, wmes)
+		after := runConflictSet(t, got, wmes)
+		if !conflictSetsEqual(base, after) {
+			t.Fatalf("trial %d (%v): decoded network diverged", trial, srcs)
+		}
+	}
+}
+
+func TestNetworkCodecErrors(t *testing.T) {
+	if _, err := DecodeNetwork(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DecodeNetwork(strings.NewReader("NOTMAGIC")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	net := compileT(t, sharedFanoutProds)
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(netMagic) + 1, len(full) / 2, len(full) - 1} {
+		if _, err := DecodeNetwork(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestNetworkCodecCompactness(t *testing.T) {
+	// The point of the encoding: small per-node footprint. The
+	// sharedFanoutProds network has 3 joins + 3 production nodes; the
+	// whole serialized network (including production source) must stay
+	// well under a message-passing node's 10-20KB local memory.
+	net := compileT(t, sharedFanoutProds)
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4096 {
+		t.Errorf("encoded network = %d bytes, want < 4096", buf.Len())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	net := compileT(t, sharedFanoutProds)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph rete", "shape=box", "doubleoctagon", "o1", "o2", "o3", "style=dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Detached nodes disappear from the picture.
+	if err := net.Excise("o2"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"o2\"") {
+		t.Error("excised production still rendered")
+	}
+	// Balanced braces make it at least superficially valid DOT.
+	if strings.Count(buf.String(), "{") != strings.Count(buf.String(), "}") {
+		t.Error("unbalanced braces")
+	}
+}

@@ -1,0 +1,362 @@
+package rete
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpcrete/internal/ops5"
+)
+
+// harness couples a matcher with an accumulated conflict set and a
+// mirror of working memory for naive comparison.
+type harness struct {
+	t       *testing.T
+	prods   []*ops5.Production
+	matcher *Matcher
+	wm      map[int]*ops5.WME
+	cs      map[string]bool
+	nextID  int
+}
+
+func newHarness(t *testing.T, nbuckets int, srcs ...string) *harness {
+	t.Helper()
+	var prods []*ops5.Production
+	for _, src := range srcs {
+		p, err := ops5.ParseProduction(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		prods = append(prods, p)
+	}
+	net, err := Compile(prods)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return &harness{
+		t:       t,
+		prods:   prods,
+		matcher: NewMatcher(net, MatcherOptions{NBuckets: nbuckets}),
+		wm:      map[int]*ops5.WME{},
+		cs:      map[string]bool{},
+		nextID:  1,
+	}
+}
+
+func (h *harness) apply(changes ...Change) {
+	h.t.Helper()
+	for _, ch := range changes {
+		if ch.Tag == Add {
+			h.wm[ch.WME.ID] = ch.WME
+		} else {
+			delete(h.wm, ch.WME.ID)
+		}
+	}
+	for _, ic := range h.matcher.Apply(changes) {
+		key := ic.Key()
+		if ic.Tag == Add {
+			if h.cs[key] {
+				h.t.Fatalf("duplicate instantiation %s", key)
+			}
+			h.cs[key] = true
+		} else {
+			if !h.cs[key] {
+				h.t.Fatalf("deletion of absent instantiation %s", key)
+			}
+			delete(h.cs, key)
+		}
+	}
+}
+
+func (h *harness) add(class string, pairs ...any) *ops5.WME {
+	w := ops5.NewWME(class, pairs...)
+	w.ID = h.nextID
+	w.TimeTag = h.nextID
+	h.nextID++
+	h.apply(Change{Tag: Add, WME: w})
+	return w
+}
+
+func (h *harness) remove(w *ops5.WME) { h.apply(Change{Tag: Delete, WME: w}) }
+
+// checkNaive compares the accumulated conflict set with the
+// brute-force reference over the current working memory.
+func (h *harness) checkNaive() {
+	h.t.Helper()
+	wm := make([]*ops5.WME, 0, len(h.wm))
+	for _, w := range h.wm {
+		wm = append(wm, w)
+	}
+	want := naiveMatch(h.prods, wm)
+	for k := range want {
+		if !h.cs[k] {
+			h.t.Fatalf("rete missing instantiation %s (have %v)", k, keys(h.cs))
+		}
+	}
+	for k := range h.cs {
+		if !want[k] {
+			h.t.Fatalf("rete has spurious instantiation %s (want %v)", k, keys(want))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+const blocksProd = `
+(p clear-blue
+    (block ^name <b> ^color blue)
+    (block ^on <b>)
+    (hand ^state free)
+    -->
+    (remove 2))
+`
+
+func TestMatcherBasicJoin(t *testing.T) {
+	h := newHarness(t, 64, blocksProd)
+	b1 := h.add("block", "name", "b1", "color", "blue", "on", "table")
+	h.add("block", "name", "b2", "on", "b1")
+	if len(h.cs) != 0 {
+		t.Fatalf("premature instantiation: %v", keys(h.cs))
+	}
+	hand := h.add("hand", "state", "free")
+	if len(h.cs) != 1 {
+		t.Fatalf("conflict set = %v, want 1 instantiation", keys(h.cs))
+	}
+	h.checkNaive()
+
+	// Deleting the hand wme must retract the instantiation.
+	h.remove(hand)
+	if len(h.cs) != 0 {
+		t.Fatalf("instantiation not retracted: %v", keys(h.cs))
+	}
+	h.checkNaive()
+
+	// Re-adding restores it; removing the blue block retracts again.
+	h.add("hand", "state", "free")
+	if len(h.cs) != 1 {
+		t.Fatal("instantiation not restored")
+	}
+	h.remove(b1)
+	if len(h.cs) != 0 {
+		t.Fatalf("retraction after block removal failed: %v", keys(h.cs))
+	}
+	h.checkNaive()
+}
+
+func TestMatcherSelfJoinSameWME(t *testing.T) {
+	// One wme may match several CEs of the same production.
+	h := newHarness(t, 16, `
+(p pair (item ^v <x>) (item ^v <x>) --> (halt))
+`)
+	h.add("item", "v", 1)
+	// (w1,w1) is a valid instantiation.
+	if len(h.cs) != 1 {
+		t.Fatalf("conflict set = %v, want [(w1,w1)]", keys(h.cs))
+	}
+	h.add("item", "v", 1)
+	// (w1,w1) (w1,w2) (w2,w1) (w2,w2).
+	if len(h.cs) != 4 {
+		t.Fatalf("conflict set size = %d, want 4: %v", len(h.cs), keys(h.cs))
+	}
+	h.checkNaive()
+}
+
+func TestMatcherNegation(t *testing.T) {
+	h := newHarness(t, 16, `
+(p grab
+    (block ^name <b>)
+    -(hand ^holding <b>)
+    -->
+    (halt))
+`)
+	h.add("block", "name", "b1")
+	if len(h.cs) != 1 {
+		t.Fatalf("negated CE with empty memory should match, cs=%v", keys(h.cs))
+	}
+	hold := h.add("hand", "holding", "b1")
+	if len(h.cs) != 0 {
+		t.Fatalf("instantiation should retract when negation matches, cs=%v", keys(h.cs))
+	}
+	h.checkNaive()
+	h.remove(hold)
+	if len(h.cs) != 1 {
+		t.Fatal("instantiation should return when blocker removed")
+	}
+	// A different block is unaffected by a hold on b1.
+	h.add("hand", "holding", "b2")
+	if len(h.cs) != 1 {
+		t.Fatalf("unrelated hold retracted instantiation, cs=%v", keys(h.cs))
+	}
+	h.checkNaive()
+}
+
+func TestMatcherNegationFirstCE(t *testing.T) {
+	// A production may begin with a negated CE.
+	h := newHarness(t, 16, `
+(p idle -(task ^state active) (clock ^t <t>) --> (halt))
+`)
+	h.add("clock", "t", 0)
+	if len(h.cs) != 1 {
+		t.Fatal("want instantiation with no active tasks")
+	}
+	task := h.add("task", "state", "active")
+	if len(h.cs) != 0 {
+		t.Fatal("active task should block")
+	}
+	h.remove(task)
+	if len(h.cs) != 1 {
+		t.Fatal("instantiation should come back")
+	}
+	h.checkNaive()
+}
+
+func TestMatcherPredicates(t *testing.T) {
+	h := newHarness(t, 16, `
+(p bigger (num ^v <x>) (num ^v > <x> ^v <= 10) --> (halt))
+`)
+	h.add("num", "v", 3)
+	h.add("num", "v", 7)
+	h.add("num", "v", 12)
+	// pairs (x=3,7): 7>3 ok; (3,12):12>10 fails; (7,12) fails; (7,3) no; ...
+	if len(h.cs) != 1 {
+		t.Fatalf("cs = %v, want exactly (3,7)", keys(h.cs))
+	}
+	h.checkNaive()
+}
+
+func TestMatcherCrossProductNoEqTests(t *testing.T) {
+	// A join with no variable tested hashes everything to one bucket
+	// (the Tourney pathology) but must still be correct.
+	h := newHarness(t, 64, `
+(p cross (a ^x <u>) (b ^y <w>) --> (halt))
+`)
+	for i := 0; i < 5; i++ {
+		h.add("a", "x", i)
+	}
+	for j := 0; j < 4; j++ {
+		h.add("b", "y", j)
+	}
+	if len(h.cs) != 20 {
+		t.Fatalf("cross product size = %d, want 20", len(h.cs))
+	}
+	h.checkNaive()
+	// The join node must have no equality tests.
+	net := h.matcher.Network()
+	for _, n := range net.Nodes {
+		if n.Kind == KindJoin && len(n.EqTests) != 0 {
+			t.Errorf("node %d has unexpected eq tests %v", n.ID, n.EqTests)
+		}
+	}
+}
+
+func TestHashKeyConsistentAcrossSides(t *testing.T) {
+	// A left token and right wme that pass the equality tests must
+	// hash to the same key.
+	p, err := ops5.ParseProduction(`(p x (a ^k <v>) (b ^k <v>) --> (halt))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Compile([]*ops5.Production{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join *Node
+	for _, n := range net.Nodes {
+		if n.Kind == KindJoin {
+			join = n
+		}
+	}
+	if join == nil {
+		t.Fatal("no join node")
+	}
+	for i := 0; i < 50; i++ {
+		val := ops5.N(float64(i))
+		wa := ops5.NewWME("a", "k", val)
+		wb := ops5.NewWME("b", "k", val)
+		lt := &Token{WMEs: []*ops5.WME{wa}}
+		lk := HashKey(join, Left, lt, nil)
+		rk := HashKey(join, Right, nil, wb)
+		if lk != rk {
+			t.Fatalf("hash mismatch for value %v: left %x right %x", val, lk, rk)
+		}
+	}
+	// Different values should (generally) hash differently.
+	k1 := HashKey(join, Right, nil, ops5.NewWME("b", "k", 1))
+	k2 := HashKey(join, Right, nil, ops5.NewWME("b", "k", 2))
+	if k1 == k2 {
+		t.Error("distinct values collided (possible but FNV should separate 1 and 2)")
+	}
+}
+
+// TestMatcherRandomizedDifferential drives random add/delete sequences
+// through randomly generated productions and checks the conflict set
+// against the brute-force matcher after every cycle, for both hashed
+// and linear (single-bucket) memories.
+func TestMatcherRandomizedDifferential(t *testing.T) {
+	for _, nbuckets := range []int{1, 64} {
+		nbuckets := nbuckets
+		t.Run(fmt.Sprintf("buckets=%d", nbuckets), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 30; trial++ {
+				srcs := randomProductions(rng, 1+rng.Intn(4))
+				h := newHarness(t, nbuckets, srcs...)
+				var live []*ops5.WME
+				for step := 0; step < 40; step++ {
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						i := rng.Intn(len(live))
+						h.remove(live[i])
+						live = append(live[:i], live[i+1:]...)
+					} else {
+						w := h.add(
+							[]string{"a", "b", "c"}[rng.Intn(3)],
+							"x", rng.Intn(3), "y", rng.Intn(3),
+						)
+						live = append(live, w)
+					}
+					h.checkNaive()
+				}
+			}
+		})
+	}
+}
+
+// randomProductions generates small random but valid productions over
+// classes a/b/c, attributes x/y, variables u/v, and values 0..2.
+func randomProductions(rng *rand.Rand, n int) []string {
+	classes := []string{"a", "b", "c"}
+	vars := []string{"<u>", "<v>"}
+	preds := []string{"", "<> ", "> ", "< "}
+	var srcs []string
+	for i := 0; i < n; i++ {
+		nce := 1 + rng.Intn(3)
+		src := fmt.Sprintf("(p r%d", i)
+		for c := 0; c < nce; c++ {
+			neg := c > 0 && rng.Intn(4) == 0
+			ce := ""
+			if neg {
+				ce = "-"
+			}
+			ce += "(" + classes[rng.Intn(3)]
+			for _, attr := range []string{"x", "y"} {
+				switch rng.Intn(4) {
+				case 0: // skip attribute
+				case 1:
+					ce += fmt.Sprintf(" ^%s %d", attr, rng.Intn(3))
+				default:
+					ce += fmt.Sprintf(" ^%s %s%s", attr, preds[rng.Intn(4)], vars[rng.Intn(2)])
+				}
+			}
+			ce += ")"
+			src += " " + ce
+		}
+		src += " --> (halt))"
+		srcs = append(srcs, src)
+	}
+	return srcs
+}

@@ -1,0 +1,122 @@
+package rete
+
+import (
+	"fmt"
+
+	"mpcrete/internal/ops5"
+)
+
+// memEntry is one stored token (left side) or wme (right side) in a
+// hash bucket, qualified by its owning two-input node. Left entries of
+// negative nodes carry the count of matching right tokens.
+type memEntry struct {
+	node  *Node
+	token *Token    // left entries
+	wme   *ops5.WME // right entries
+	count int       // negative-node left entries: matching right wmes
+}
+
+// Memory is one of the two global hash tables (left or right). Buckets
+// hold entries for many nodes; an activation scans only its own bucket,
+// filtering by node identity — exactly the paper's data structure.
+type Memory struct {
+	side    Side
+	buckets [][]*memEntry
+	size    int
+}
+
+// NewMemory creates a memory with the given power-of-two bucket count.
+func NewMemory(side Side, nbuckets int) *Memory {
+	if nbuckets <= 0 || nbuckets&(nbuckets-1) != 0 {
+		panic(fmt.Sprintf("rete: bucket count %d is not a positive power of two", nbuckets))
+	}
+	return &Memory{side: side, buckets: make([][]*memEntry, nbuckets)}
+}
+
+// NBuckets returns the bucket count.
+func (m *Memory) NBuckets() int { return len(m.buckets) }
+
+// Len returns the number of stored entries.
+func (m *Memory) Len() int { return m.size }
+
+// Bucket reduces a 64-bit hash key to a bucket index.
+func (m *Memory) Bucket(key uint64) int { return int(key & uint64(len(m.buckets)-1)) }
+
+// addLeft stores a left token for node n in bucket b and returns the
+// entry (so negative nodes can maintain counts).
+func (m *Memory) addLeft(b int, n *Node, t *Token) *memEntry {
+	e := &memEntry{node: n, token: t}
+	m.buckets[b] = append(m.buckets[b], e)
+	m.size++
+	return e
+}
+
+// addRight stores a right wme for node n in bucket b.
+func (m *Memory) addRight(b int, n *Node, w *ops5.WME) *memEntry {
+	e := &memEntry{node: n, wme: w}
+	m.buckets[b] = append(m.buckets[b], e)
+	m.size++
+	return e
+}
+
+// removeLeft deletes the left entry for node n whose token covers the
+// same wmes as t; it returns the removed entry or nil if absent.
+func (m *Memory) removeLeft(b int, n *Node, t *Token) *memEntry {
+	bucket := m.buckets[b]
+	for i, e := range bucket {
+		if e.node == n && e.token != nil && e.token.Same(t) {
+			m.buckets[b] = append(bucket[:i], bucket[i+1:]...)
+			m.size--
+			return e
+		}
+	}
+	return nil
+}
+
+// removeRight deletes the right entry for node n holding wme id; it
+// returns the removed entry or nil if absent.
+func (m *Memory) removeRight(b int, n *Node, id int) *memEntry {
+	bucket := m.buckets[b]
+	for i, e := range bucket {
+		if e.node == n && e.wme != nil && e.wme.ID == id {
+			m.buckets[b] = append(bucket[:i], bucket[i+1:]...)
+			m.size--
+			return e
+		}
+	}
+	return nil
+}
+
+// scan visits every entry for node n in bucket b.
+func (m *Memory) scan(b int, n *Node, visit func(*memEntry)) {
+	for _, e := range m.buckets[b] {
+		if e.node == n {
+			visit(e)
+		}
+	}
+}
+
+// BucketSizes returns the entry count per bucket (for distribution
+// diagnostics).
+func (m *Memory) BucketSizes() []int {
+	sizes := make([]int, len(m.buckets))
+	for i, b := range m.buckets {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+// extract removes and returns all entries of bucket b (bucket
+// migration support).
+func (m *Memory) extract(b int) []*memEntry {
+	entries := m.buckets[b]
+	m.buckets[b] = nil
+	m.size -= len(entries)
+	return entries
+}
+
+// inject appends entries to bucket b (bucket migration support).
+func (m *Memory) inject(b int, entries []*memEntry) {
+	m.buckets[b] = append(m.buckets[b], entries...)
+	m.size += len(entries)
+}

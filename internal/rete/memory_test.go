@@ -1,0 +1,181 @@
+package rete
+
+import (
+	"testing"
+
+	"mpcrete/internal/ops5"
+)
+
+func mkWME(id int, class string, pairs ...any) *ops5.WME {
+	w := ops5.NewWME(class, pairs...)
+	w.ID, w.TimeTag = id, id
+	return w
+}
+
+func TestMemoryAddRemoveScan(t *testing.T) {
+	m := NewMemory(Right, 8)
+	n1 := &Node{ID: 1, Kind: KindJoin}
+	n2 := &Node{ID: 2, Kind: KindJoin}
+
+	w1, w2 := mkWME(1, "a"), mkWME(2, "a")
+	m.addRight(3, n1, w1)
+	m.addRight(3, n2, w2) // same bucket, different node
+	m.addRight(5, n1, w2)
+
+	if m.Len() != 3 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	// Scan filters by node.
+	var seen []int
+	m.scan(3, n1, func(e *memEntry) { seen = append(seen, e.wme.ID) })
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Errorf("scan(3, n1) = %v", seen)
+	}
+	// Remove is node- and id-specific.
+	if e := m.removeRight(3, n1, 2); e != nil {
+		t.Error("removed wrong entry")
+	}
+	if e := m.removeRight(3, n1, 1); e == nil {
+		t.Error("failed to remove present entry")
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d", m.Len())
+	}
+	// Double remove is nil.
+	if e := m.removeRight(3, n1, 1); e != nil {
+		t.Error("double remove returned entry")
+	}
+}
+
+func TestMemoryLeftTokens(t *testing.T) {
+	m := NewMemory(Left, 4)
+	n := &Node{ID: 7, Kind: KindNegative}
+	t1 := &Token{WMEs: []*ops5.WME{mkWME(1, "a"), mkWME(2, "b")}}
+	t2 := &Token{WMEs: []*ops5.WME{mkWME(1, "a"), mkWME(3, "b")}}
+
+	e1 := m.addLeft(2, n, t1)
+	e1.count = 5
+	m.addLeft(2, n, t2)
+
+	// Removal matches by wme-id sequence.
+	probe := &Token{WMEs: []*ops5.WME{mkWME(1, "a"), mkWME(2, "b")}}
+	got := m.removeLeft(2, n, probe)
+	if got == nil || got.count != 5 {
+		t.Fatalf("removeLeft = %+v", got)
+	}
+	if m.Len() != 1 {
+		t.Errorf("len = %d", m.Len())
+	}
+	// Token with different coverage does not match.
+	if e := m.removeLeft(2, n, probe); e != nil {
+		t.Error("removed absent token")
+	}
+}
+
+func TestMemoryRejectsBadBucketCount(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMemory(%d) should panic", n)
+				}
+			}()
+			NewMemory(Left, n)
+		}()
+	}
+	// Powers of two are fine, including 1.
+	NewMemory(Left, 1)
+	NewMemory(Left, 4096)
+}
+
+func TestBucketSizes(t *testing.T) {
+	m := NewMemory(Right, 4)
+	n := &Node{ID: 1}
+	m.addRight(0, n, mkWME(1, "a"))
+	m.addRight(0, n, mkWME(2, "a"))
+	m.addRight(3, n, mkWME(3, "a"))
+	sizes := m.BucketSizes()
+	want := []int{2, 0, 0, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestTokenOps(t *testing.T) {
+	w1, w2 := mkWME(1, "a"), mkWME(2, "b")
+	t1 := &Token{WMEs: []*ops5.WME{w1}}
+	t2 := t1.Extend(w2)
+	if len(t1.WMEs) != 1 || len(t2.WMEs) != 2 {
+		t.Fatal("extend must not mutate the source token")
+	}
+	if !t2.Same(&Token{WMEs: []*ops5.WME{w1, w2}}) {
+		t.Error("Same failed on identical coverage")
+	}
+	if t2.Same(t1) {
+		t.Error("Same true for different lengths")
+	}
+	if t2.IDKey() != "1,2" {
+		t.Errorf("IDKey = %q", t2.IDKey())
+	}
+	if t2.String() != "[1,2]" {
+		t.Errorf("String = %q", t2.String())
+	}
+}
+
+func TestProcessorRootActivations(t *testing.T) {
+	net := compileT(t, []string{
+		`(p p1 (a ^x 1) (b ^x <v>) --> (halt))`,
+		`(p p2 (a ^x 2) --> (halt))`,
+	})
+	proc := NewProcessor(net, 16)
+
+	// a^x=1 matches p1's first CE only (left activation).
+	acts := proc.RootActivations(Change{Tag: Add, WME: mkWME(1, "a", "x", 1)})
+	if len(acts) != 1 || acts[0].Side != Left || acts[0].Token == nil {
+		t.Fatalf("acts = %+v", acts)
+	}
+	// a^x=2 matches p2 (a production-node left activation).
+	acts = proc.RootActivations(Change{Tag: Add, WME: mkWME(2, "a", "x", 2)})
+	if len(acts) != 1 || acts[0].Node.Kind != KindProduction {
+		t.Fatalf("acts = %+v", acts)
+	}
+	// b matches p1's join right input.
+	acts = proc.RootActivations(Change{Tag: Add, WME: mkWME(3, "b", "x", 9)})
+	if len(acts) != 1 || acts[0].Side != Right || acts[0].WME == nil {
+		t.Fatalf("acts = %+v", acts)
+	}
+	// Unknown class matches nothing.
+	if acts := proc.RootActivations(Change{Tag: Add, WME: mkWME(4, "zzz")}); len(acts) != 0 {
+		t.Fatalf("acts = %+v", acts)
+	}
+}
+
+func TestProcessorProcessEmitsOnlyToCallback(t *testing.T) {
+	net := compileT(t, []string{`(p p1 (a ^x <v>) (b ^x <v>) --> (halt))`})
+	proc := NewProcessor(net, 16)
+
+	var emitted []Activation
+	emit := func(a Activation) { emitted = append(emitted, a) }
+	noInst := func(InstChange) { t.Fatal("unexpected inst") }
+
+	// Right wme first: stored, no matches.
+	for _, a := range proc.RootActivations(Change{Tag: Add, WME: mkWME(1, "b", "x", 5)}) {
+		proc.Process(a, emit, noInst)
+	}
+	if len(emitted) != 0 {
+		t.Fatalf("emitted = %v", emitted)
+	}
+	// Matching left token: emits the joined token to the production
+	// node.
+	for _, a := range proc.RootActivations(Change{Tag: Add, WME: mkWME(2, "a", "x", 5)}) {
+		proc.Process(a, emit, noInst)
+	}
+	if len(emitted) != 1 || emitted[0].Node.Kind != KindProduction {
+		t.Fatalf("emitted = %+v", emitted)
+	}
+	if got := emitted[0].Token.IDKey(); got != "2,1" {
+		t.Errorf("joined token = %q, want \"2,1\" (compiled CE order)", got)
+	}
+}

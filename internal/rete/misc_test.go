@@ -1,0 +1,140 @@
+package rete
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSideTagKindStrings(t *testing.T) {
+	if Left.String() != "L" || Right.String() != "R" {
+		t.Error("side strings")
+	}
+	if Add.String() != "+" || Delete.String() != "-" {
+		t.Error("tag strings")
+	}
+	for k, want := range map[NodeKind]string{
+		KindJoin: "join", KindNegative: "negative", KindDummy: "dummy", KindProduction: "production",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k, want)
+		}
+	}
+}
+
+func TestMatcherCycleCounter(t *testing.T) {
+	net := compileT(t, []string{`(p p1 (a ^x 1) --> (halt))`})
+	m := NewMatcher(net, MatcherOptions{NBuckets: 4})
+	if m.Cycle() != 0 {
+		t.Error("fresh matcher cycle != 0")
+	}
+	m.Apply(nil)
+	m.Apply(nil)
+	if m.Cycle() != 2 {
+		t.Errorf("cycle = %d", m.Cycle())
+	}
+}
+
+func TestProcessorAccessors(t *testing.T) {
+	net := compileT(t, []string{`(p p1 (a ^x 1) --> (halt))`})
+	p := NewProcessor(net, 0) // default bucket count
+	if p.NBuckets() != DefaultNBuckets {
+		t.Errorf("NBuckets = %d", p.NBuckets())
+	}
+	if p.Network() != net {
+		t.Error("Network identity")
+	}
+	left, right := p.Memories()
+	if left.NBuckets() != DefaultNBuckets || right.NBuckets() != DefaultNBuckets {
+		t.Error("memory bucket counts")
+	}
+}
+
+func TestExtractInjectBucketDirect(t *testing.T) {
+	net := compileT(t, []string{`(p p1 (a ^x <v>) -(b ^x <v>) --> (halt))`})
+	src := NewProcessor(net, 16)
+	dst := NewProcessor(net, 16)
+
+	// Populate: one left token (with a negative-node count) and one
+	// right wme in some buckets.
+	var insts []InstChange
+	emit := func(a Activation) {
+		src.Process(a, func(Activation) {}, func(ic InstChange) {})
+	}
+	_ = emit
+	wa := mkWME(1, "a", "x", 5)
+	wb := mkWME(2, "b", "x", 5)
+	for _, ch := range []Change{{Tag: Add, WME: wa}, {Tag: Add, WME: wb}} {
+		for _, act := range src.RootActivations(ch) {
+			var rec func(a Activation)
+			rec = func(a Activation) {
+				if a.Node.Kind == KindProduction {
+					insts = append(insts, src.BuildInst(a))
+					return
+				}
+				src.Process(a, rec, func(InstChange) {})
+			}
+			rec(act)
+		}
+	}
+	left, right := src.Memories()
+	if left.Len() == 0 || right.Len() == 0 {
+		t.Fatalf("populate failed: %d/%d", left.Len(), right.Len())
+	}
+
+	// Move every bucket's contents to dst.
+	total := 0
+	for b := 0; b < 16; b++ {
+		bc := src.ExtractBucket(b)
+		total += bc.Entries()
+		dst.InjectBucket(bc)
+	}
+	if left.Len() != 0 || right.Len() != 0 {
+		t.Error("source memories not emptied")
+	}
+	dl, dr := dst.Memories()
+	if dl.Len() == 0 || dr.Len() == 0 {
+		t.Error("destination memories not populated")
+	}
+	if total != dl.Len()+dr.Len() {
+		t.Errorf("entries moved %d != stored %d", total, dl.Len()+dr.Len())
+	}
+
+	// Negative-node counts survive: deleting the b-wme at dst must
+	// re-propagate the left token (count 1 -> 0).
+	reborn := 0
+	for _, act := range dst.RootActivations(Change{Tag: Delete, WME: wb}) {
+		var rec func(a Activation)
+		rec = func(a Activation) {
+			if a.Node.Kind == KindProduction {
+				if ic := dst.BuildInst(a); ic.Tag == Add {
+					reborn++
+				}
+				return
+			}
+			dst.Process(a, rec, func(InstChange) {})
+		}
+		rec(act)
+	}
+	if reborn != 1 {
+		t.Errorf("negation count lost in migration: reborn = %d, want 1", reborn)
+	}
+}
+
+func TestConstTestString(t *testing.T) {
+	prods := mustParse(t, `(p p1 (a ^x { <v> > 2 } ^y <v> ^z << red 3 >>) --> (halt))`)
+	net, err := Compile(prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.AlphasForClass("a")[0]
+	keys := make([]string, len(a.Tests))
+	for i := range a.Tests {
+		keys[i] = a.Tests[i].key()
+	}
+	joined := strings.Join(keys, " ")
+	for _, want := range []string{"^x>", "<<", "@"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("alpha keys %q missing %q", joined, want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcrete/internal/ops5"
+)
+
+// naiveMatch is a brute-force reference matcher used to validate the
+// Rete implementation: it enumerates every instantiation of every
+// production over the given working memory by backtracking, with the
+// same dialect semantics as the compiler (negated CEs evaluated after
+// all positive CEs under the full positive bindings).
+//
+// It returns the set of instantiation keys in InstChange.Key format.
+func naiveMatch(prods []*ops5.Production, wm []*ops5.WME) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range prods {
+		naiveProduction(p, wm, out)
+	}
+	return out
+}
+
+func naiveProduction(p *ops5.Production, wm []*ops5.WME, out map[string]bool) {
+	var positives, negatives []int
+	for i, ce := range p.LHS {
+		if ce.Negated {
+			negatives = append(negatives, i)
+		} else {
+			positives = append(positives, i)
+		}
+	}
+	bindings := map[string]ops5.Value{}
+	chosen := make(map[int]*ops5.WME) // orig CE index -> wme
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(positives) {
+			for _, ni := range negatives {
+				if naiveAnyMatch(&p.LHS[ni], wm, bindings) {
+					return
+				}
+			}
+			ids := make([]int, 0, len(positives))
+			for _, pi := range positives {
+				ids = append(ids, chosen[pi].ID)
+			}
+			out[fmt.Sprintf("%s%v", p.Name, ids)] = true
+			return
+		}
+		ce := &p.LHS[positives[k]]
+		for _, w := range wm {
+			newly := naiveCEMatch(ce, w, bindings)
+			if newly == nil {
+				continue
+			}
+			chosen[positives[k]] = w
+			rec(k + 1)
+			delete(chosen, positives[k])
+			for _, v := range newly {
+				delete(bindings, v)
+			}
+		}
+	}
+	rec(0)
+}
+
+// naiveCEMatch tests one wme against one CE under the current
+// bindings. On success it ADDS the CE's newly bound variables to
+// bindings and returns their names (for undo); on failure it returns
+// nil and leaves bindings untouched.
+func naiveCEMatch(ce *ops5.CE, w *ops5.WME, bindings map[string]ops5.Value) []string {
+	if w.Class != ce.Class {
+		return nil
+	}
+	local := map[string]ops5.Value{}
+	lookup := func(v string) (ops5.Value, bool) {
+		if val, ok := local[v]; ok {
+			return val, true
+		}
+		val, ok := bindings[v]
+		return val, ok
+	}
+	for _, at := range ce.Tests {
+		val := w.Get(at.Attr)
+		for _, term := range at.Terms {
+			switch {
+			case len(term.Disj) > 0:
+				ok := false
+				for _, d := range term.Disj {
+					if val.Equal(d) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return nil
+				}
+			case term.Const != nil:
+				if !term.Op.Apply(val, *term.Const) {
+					return nil
+				}
+			case term.Var != "":
+				if bound, ok := lookup(term.Var); ok {
+					if !term.Op.Apply(val, bound) {
+						return nil
+					}
+				} else if term.Op == ops5.OpEq {
+					local[term.Var] = val
+				}
+				// Non-equality predicate on an unbound variable
+				// constrains nothing (matches compiler behaviour).
+			}
+		}
+	}
+	newly := make([]string, 0, len(local))
+	for v, val := range local {
+		bindings[v] = val
+		newly = append(newly, v)
+	}
+	sort.Strings(newly)
+	return newly
+}
+
+// naiveAnyMatch reports whether any wme matches the (negated) CE under
+// the current bindings; the CE's own local variables may bind freely.
+func naiveAnyMatch(ce *ops5.CE, wm []*ops5.WME, bindings map[string]ops5.Value) bool {
+	for _, w := range wm {
+		newly := naiveCEMatch(ce, w, bindings)
+		if newly != nil {
+			for _, v := range newly {
+				delete(bindings, v)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,453 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpcrete/internal/ops5"
+)
+
+// NodeKind discriminates the beta-level node types.
+type NodeKind uint8
+
+const (
+	// KindJoin is a standard two-input node testing joint satisfaction
+	// of a positive condition element with the partial instantiation on
+	// its left input.
+	KindJoin NodeKind = iota
+	// KindNegative is the two-input node for a negated condition
+	// element; it propagates left tokens with no matching right token,
+	// using counted left-memory entries.
+	KindNegative
+	// KindDummy is a pass-through node introduced by the dummy-node
+	// transformation (Section 5.2.1, method 2): it forwards left
+	// activations unchanged to a subset of a split node's successors.
+	KindDummy
+	// KindProduction is a terminal node; left activations become
+	// conflict-set insertions and deletions.
+	KindProduction
+)
+
+var kindNames = [...]string{"join", "negative", "dummy", "production"}
+
+// String names the node kind.
+func (k NodeKind) String() string { return kindNames[k] }
+
+// JoinTest is a variable-consistency test at a two-input node: the
+// right wme's RightAttr value is compared (via Op) with the value at
+// (LeftPos, LeftAttr) inside the left token.
+type JoinTest struct {
+	Op        ops5.PredOp
+	RightAttr string
+	LeftPos   int // index into the left token's wme list
+	LeftAttr  string
+}
+
+func (jt JoinTest) key() string {
+	return fmt.Sprintf("%s:%d.%s%s", jt.RightAttr, jt.LeftPos, jt.LeftAttr, jt.Op)
+}
+
+// Eval applies the test given the left token and the right wme.
+func (jt JoinTest) Eval(t *Token, w *ops5.WME) bool {
+	return jt.Op.Apply(w.Get(jt.RightAttr), t.WMEs[jt.LeftPos].Get(jt.LeftAttr))
+}
+
+// Node is a beta-level node of the Rete network. Join and negative
+// nodes are the two-input nodes of the paper; production nodes are
+// terminals; dummy nodes exist only as a transformation product.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Tests are the variable tests of this two-input node. The subset
+	// with Op == OpEq (EqTests) determines the hash bucket.
+	Tests   []JoinTest
+	EqTests []JoinTest
+	// Parent is the node feeding this node's left input; nil when the
+	// left input comes directly from an alpha pattern.
+	Parent *Node
+	Succs  []*Node
+	// Prod is set on production nodes.
+	Prod *ops5.Production
+	// OrigCE is the production-LHS index (0-based, original order) of
+	// the condition element on this node's right input; -1 for
+	// production and dummy nodes.
+	OrigCE int
+	// TokenLen is the number of wmes in this node's output tokens.
+	TokenLen int
+	// LeftLen is the number of wmes in this node's left-input tokens.
+	LeftLen int
+	// copyIndex/copyCount implement copy-and-constraint: when
+	// copyCount > 1 this node is copy copyIndex of a split node and
+	// accepts only right wmes with discriminator % copyCount ==
+	// copyIndex. Zero values mean "not a copy".
+	copyIndex, copyCount int
+	// detached marks nodes excised from the network.
+	detached bool
+
+	shareKey string
+}
+
+// IsTwoInput reports whether the node is a two-input (join or negative)
+// node — the unit the paper's activation counts refer to.
+func (n *Node) IsTwoInput() bool { return n.Kind == KindJoin || n.Kind == KindNegative }
+
+// AcceptsRight reports whether this node accepts a given right wme;
+// only copy-and-constraint copies ever reject one.
+func (n *Node) AcceptsRight(w *ops5.WME) bool {
+	if n.copyCount <= 1 {
+		return true
+	}
+	return w.ID%n.copyCount == n.copyIndex
+}
+
+// VarDef records the defining occurrence of an LHS variable: the
+// original condition-element index and attribute whose value the
+// variable is bound to.
+type VarDef struct {
+	OrigCE int
+	Attr   string
+}
+
+// ProdInfo is the per-production compilation record the engine needs to
+// evaluate right-hand sides.
+type ProdInfo struct {
+	Prod *ops5.Production
+	// Node is the production's terminal node.
+	Node *Node
+	// VarDefs maps each LHS variable to its defining occurrence.
+	VarDefs map[string]VarDef
+	// TokenPos maps original CE index -> position in the terminal
+	// node's token (only positive CEs appear; negated CEs map to -1).
+	TokenPos []int
+}
+
+// Network is a compiled Rete network.
+type Network struct {
+	Nodes   []*Node
+	Alphas  []*AlphaPattern
+	byClass map[string][]*AlphaPattern
+	Prods   map[string]*ProdInfo
+	// ProdOrder lists production names in definition order.
+	ProdOrder []string
+
+	opts CompileOptions
+}
+
+// CompileOptions control network construction.
+type CompileOptions struct {
+	// DisableSharing compiles every production with private alpha
+	// patterns and two-input nodes (the paper's "unsharing",
+	// Section 5.2.1 method 1, applied globally).
+	DisableSharing bool
+}
+
+// NewNetwork returns an empty network ready for AddProduction.
+func NewNetwork(opts CompileOptions) *Network {
+	return &Network{
+		byClass: map[string][]*AlphaPattern{},
+		Prods:   map[string]*ProdInfo{},
+		opts:    opts,
+	}
+}
+
+// Compile builds a network from a set of productions with default
+// options (sharing enabled).
+func Compile(prods []*ops5.Production) (*Network, error) {
+	return CompileWith(prods, CompileOptions{})
+}
+
+// CompileWith builds a network from a set of productions.
+func CompileWith(prods []*ops5.Production, opts CompileOptions) (*Network, error) {
+	net := NewNetwork(opts)
+	for _, p := range prods {
+		if err := net.AddProduction(p); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// TwoInputCount returns the number of two-input (join + negative)
+// nodes in the network.
+func (net *Network) TwoInputCount() int {
+	n := 0
+	for _, nd := range net.Nodes {
+		if nd.IsTwoInput() {
+			n++
+		}
+	}
+	return n
+}
+
+func (net *Network) newNode(kind NodeKind) *Node {
+	n := &Node{ID: len(net.Nodes), Kind: kind, OrigCE: -1}
+	net.Nodes = append(net.Nodes, n)
+	return n
+}
+
+// internAlpha returns a shared alpha pattern for the given class and
+// tests, creating it if necessary.
+func (net *Network) internAlpha(class string, tests []ConstTest) *AlphaPattern {
+	cand := &AlphaPattern{Class: class, Tests: tests}
+	k := cand.key()
+	if !net.opts.DisableSharing {
+		for _, a := range net.byClass[class] {
+			if a.key() == k {
+				return a
+			}
+		}
+	}
+	cand.ID = len(net.Alphas)
+	net.Alphas = append(net.Alphas, cand)
+	net.byClass[class] = append(net.byClass[class], cand)
+	return cand
+}
+
+func (net *Network) addRoute(a *AlphaPattern, n *Node, s Side) {
+	for _, r := range a.Routes {
+		if r.Node == n && r.Side == s {
+			return
+		}
+	}
+	a.Routes = append(a.Routes, AlphaRoute{Node: n, Side: s})
+}
+
+// AddProduction compiles one production into the network, sharing
+// alpha patterns and join-node prefixes with previously added
+// productions where structurally identical.
+func (net *Network) AddProduction(p *ops5.Production) error {
+	_, err := net.addProduction(p, !net.opts.DisableSharing)
+	return err
+}
+
+// AddProductionPrivate compiles one production with private two-input
+// nodes (alpha patterns may still be shared — they are stateless
+// filters). It returns the newly created nodes, which start with empty
+// memories: a live system primes them by replaying working memory
+// through them alone (Matcher.ApplyFiltered), the correct way to add a
+// production to a running Rete without corrupting shared node state.
+func (net *Network) AddProductionPrivate(p *ops5.Production) ([]*Node, error) {
+	before := len(net.Nodes)
+	if _, err := net.addProduction(p, false); err != nil {
+		return nil, err
+	}
+	return net.Nodes[before:], nil
+}
+
+func (net *Network) addProduction(p *ops5.Production, shareJoins bool) (*ProdInfo, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := net.Prods[p.Name]; dup {
+		return nil, fmt.Errorf("rete: duplicate production %q", p.Name)
+	}
+
+	// Compiled CE order: positive CEs in original order, then negated
+	// CEs in original order. A negated CE cannot supply the first left
+	// input, and placing all negations after the positive joins gives
+	// this dialect a simple, order-independent semantics: a negated CE
+	// is satisfied when no wme matches it under the bindings
+	// established by ALL positive CEs (documented in the package
+	// comment; classic OPS5 scopes unbound negated-CE variables to the
+	// CE, which differs only when a variable's defining positive
+	// occurrence follows the negated CE textually).
+	order := make([]int, 0, len(p.LHS))
+	for i, ce := range p.LHS {
+		if !ce.Negated {
+			order = append(order, i)
+		}
+	}
+	for i, ce := range p.LHS {
+		if ce.Negated {
+			order = append(order, i)
+		}
+	}
+
+	info := &ProdInfo{
+		Prod:     p,
+		VarDefs:  map[string]VarDef{},
+		TokenPos: make([]int, len(p.LHS)),
+	}
+	for i := range info.TokenPos {
+		info.TokenPos[i] = -1
+	}
+
+	// varPos maps a bound variable to (token position, attribute).
+	type binding struct {
+		pos  int
+		attr string
+	}
+	varPos := map[string]binding{}
+
+	var cur *Node // node producing the current left tokens (nil before the first join)
+	var leftAlpha *AlphaPattern
+	tokenLen := 0
+
+	attach := func(n *Node) {
+		if cur == nil {
+			net.addRoute(leftAlpha, n, Left)
+		} else {
+			cur.Succs = append(cur.Succs, n)
+		}
+	}
+
+	for seq, orig := range order {
+		ce := &p.LHS[orig]
+		boundOutside := func(v string) bool { _, ok := varPos[v]; return ok }
+		alphaTests, firstAttr := buildAlphaTests(ce, boundOutside)
+		alpha := net.internAlpha(ce.Class, alphaTests)
+
+		if seq == 0 {
+			// First (positive) CE: its alpha output is the left input
+			// of the first two-input node.
+			leftAlpha = alpha
+			for v, attr := range firstAttr {
+				varPos[v] = binding{pos: 0, attr: attr}
+				info.VarDefs[v] = VarDef{OrigCE: orig, Attr: attr}
+			}
+			info.TokenPos[orig] = 0
+			tokenLen = 1
+			continue
+		}
+
+		// Build the join tests for variables already bound.
+		var tests []JoinTest
+		for _, at := range ce.Tests {
+			for _, term := range at.Terms {
+				if term.Var == "" {
+					continue
+				}
+				b, ok := varPos[term.Var]
+				if !ok {
+					continue // defined inside this CE (alpha-level)
+				}
+				tests = append(tests, JoinTest{Op: term.Op, RightAttr: at.Attr, LeftPos: b.pos, LeftAttr: b.attr})
+			}
+		}
+
+		kind := KindJoin
+		if ce.Negated {
+			kind = KindNegative
+		}
+		key := shareKeyFor(cur, leftAlpha, alpha, kind, tests)
+		var node *Node
+		if shareJoins {
+			node = net.findShared(cur, leftAlpha, key)
+		}
+		if node == nil {
+			node = net.newNode(kind)
+			node.Tests = tests
+			for _, t := range tests {
+				if t.Op == ops5.OpEq {
+					node.EqTests = append(node.EqTests, t)
+				}
+			}
+			node.Parent = cur
+			node.OrigCE = orig
+			node.LeftLen = tokenLen
+			node.TokenLen = tokenLen
+			if kind == KindJoin {
+				node.TokenLen++
+			}
+			node.shareKey = key
+			attach(node)
+			net.addRoute(alpha, node, Right)
+		}
+
+		if !ce.Negated {
+			for v, attr := range firstAttr {
+				varPos[v] = binding{pos: tokenLen, attr: attr}
+				info.VarDefs[v] = VarDef{OrigCE: orig, Attr: attr}
+			}
+			info.TokenPos[orig] = tokenLen
+			tokenLen++
+		}
+		cur = node
+	}
+
+	// Terminal production node.
+	pn := net.newNode(KindProduction)
+	pn.Prod = p
+	pn.Parent = cur
+	pn.LeftLen = tokenLen
+	pn.TokenLen = tokenLen
+	attach(pn)
+	info.Node = pn
+
+	net.Prods[p.Name] = info
+	net.ProdOrder = append(net.ProdOrder, p.Name)
+	return info, nil
+}
+
+// shareKeyFor canonically encodes a candidate two-input node for prefix
+// sharing: same left source, same right alpha pattern, same kind, same
+// tests.
+func shareKeyFor(parent *Node, leftAlpha, alpha *AlphaPattern, kind NodeKind, tests []JoinTest) string {
+	var b strings.Builder
+	if parent != nil {
+		fmt.Fprintf(&b, "n%d|", parent.ID)
+	} else {
+		fmt.Fprintf(&b, "a%d|", leftAlpha.ID)
+	}
+	fmt.Fprintf(&b, "r%d|k%d|", alpha.ID, kind)
+	keys := make([]string, len(tests))
+	for i, t := range tests {
+		keys[i] = t.key()
+	}
+	sort.Strings(keys)
+	b.WriteString(strings.Join(keys, ","))
+	return b.String()
+}
+
+// findShared looks for an existing node with the given share key among
+// the candidates reachable from the left source.
+func (net *Network) findShared(parent *Node, leftAlpha *AlphaPattern, key string) *Node {
+	if parent != nil {
+		for _, s := range parent.Succs {
+			if s.shareKey == key {
+				return s
+			}
+		}
+		return nil
+	}
+	for _, r := range leftAlpha.Routes {
+		if r.Side == Left && r.Node.shareKey == key {
+			return r.Node
+		}
+	}
+	return nil
+}
+
+// AlphasForClass returns the alpha patterns filtering the given class.
+func (net *Network) AlphasForClass(class string) []*AlphaPattern {
+	return net.byClass[class]
+}
+
+// Stats summarizes network size.
+type Stats struct {
+	AlphaPatterns   int
+	JoinNodes       int
+	NegativeNodes   int
+	DummyNodes      int
+	ProductionNodes int
+}
+
+// Stats computes node counts by kind.
+func (net *Network) Stats() Stats {
+	var s Stats
+	s.AlphaPatterns = len(net.Alphas)
+	for _, n := range net.Nodes {
+		switch n.Kind {
+		case KindJoin:
+			s.JoinNodes++
+		case KindNegative:
+			s.NegativeNodes++
+		case KindDummy:
+			s.DummyNodes++
+		case KindProduction:
+			s.ProductionNodes++
+		}
+	}
+	return s
+}

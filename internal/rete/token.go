@@ -1,0 +1,78 @@
+package rete
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"mpcrete/internal/ops5"
+)
+
+// Token is a partial instantiation: the wmes matching the positive
+// condition elements compiled so far, in compiled order.
+type Token struct {
+	WMEs []*ops5.WME
+}
+
+// Extend returns a new token with w appended.
+func (t *Token) Extend(w *ops5.WME) *Token {
+	wmes := make([]*ops5.WME, len(t.WMEs)+1)
+	copy(wmes, t.WMEs)
+	wmes[len(t.WMEs)] = w
+	return &Token{WMEs: wmes}
+}
+
+// Same reports whether two tokens cover exactly the same wmes (by ID).
+func (t *Token) Same(o *Token) bool {
+	if len(t.WMEs) != len(o.WMEs) {
+		return false
+	}
+	for i := range t.WMEs {
+		if t.WMEs[i].ID != o.WMEs[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// IDKey returns a canonical encoding of the token's wme ID list.
+func (t *Token) IDKey() string {
+	var b strings.Builder
+	for i, w := range t.WMEs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(w.ID))
+	}
+	return b.String()
+}
+
+// String renders the token's wme IDs for diagnostics.
+func (t *Token) String() string { return "[" + t.IDKey() + "]" }
+
+// HashKey computes the distributed-hash-table key for an activation of
+// node n: the node id plus the values bound to the variables tested for
+// equality at n (Section 3.1). A left token supplies the left-side
+// values, a right wme the right-side values; consistent pairs hash
+// identically by construction. Nodes with no equality tests hash on
+// the node id alone — the cross-product pathology observed in Tourney.
+func HashKey(n *Node, side Side, t *Token, w *ops5.WME) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	id := uint64(n.ID)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(id >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, jt := range n.EqTests {
+		var v ops5.Value
+		if side == Left {
+			v = t.WMEs[jt.LeftPos].Get(jt.LeftAttr)
+		} else {
+			v = w.Get(jt.RightAttr)
+		}
+		h.Write([]byte(v.Key()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,348 @@
+package rete
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpcrete/internal/ops5"
+)
+
+// sharedFanoutProds defines three productions sharing the (a,b) join,
+// giving that node fan-out 3.
+var sharedFanoutProds = []string{
+	`(p o1 (a ^x <v>) (b ^x <v>) (c ^k 1) --> (halt))`,
+	`(p o2 (a ^x <v>) (b ^x <v>) (c ^k 2) --> (halt))`,
+	`(p o3 (a ^x <v>) (b ^x <v>) (c ^k 3) --> (halt))`,
+}
+
+func compileT(t *testing.T, srcs []string) *Network {
+	t.Helper()
+	net, err := Compile(mustParse(t, srcs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func sharedJoin(t *testing.T, net *Network) *Node {
+	t.Helper()
+	for _, n := range net.Nodes {
+		if n.IsTwoInput() && len(n.Succs) > 1 {
+			return n
+		}
+	}
+	t.Fatal("no shared join found")
+	return nil
+}
+
+// runConflictSet drives the same wme sequence through a matcher and
+// returns the resulting conflict-set key set.
+func runConflictSet(t *testing.T, net *Network, wmes []*ops5.WME) map[string]bool {
+	t.Helper()
+	m := NewMatcher(net, MatcherOptions{NBuckets: 64})
+	cs := map[string]bool{}
+	for _, w := range wmes {
+		for _, ic := range m.Apply([]Change{{Tag: Add, WME: w}}) {
+			if ic.Tag == Add {
+				cs[ic.Key()] = true
+			} else {
+				delete(cs, ic.Key())
+			}
+		}
+	}
+	return cs
+}
+
+func fanoutWMEs() []*ops5.WME {
+	var wmes []*ops5.WME
+	id := 1
+	mk := func(class string, pairs ...any) {
+		w := ops5.NewWME(class, pairs...)
+		w.ID = id
+		w.TimeTag = id
+		id++
+		wmes = append(wmes, w)
+	}
+	for i := 0; i < 4; i++ {
+		mk("a", "x", i)
+		mk("b", "x", i)
+	}
+	mk("c", "k", 1)
+	mk("c", "k", 2)
+	mk("c", "k", 3)
+	return wmes
+}
+
+func conflictSetsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnsharePreservesMatches(t *testing.T) {
+	wmes := fanoutWMEs()
+	base := runConflictSet(t, compileT(t, sharedFanoutProds), wmes)
+	if len(base) != 12 {
+		t.Fatalf("baseline conflict set = %d, want 12", len(base))
+	}
+
+	net := compileT(t, sharedFanoutProds)
+	n := sharedJoin(t, net)
+	copies, err := net.Unshare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 3 {
+		t.Fatalf("unshare produced %d nodes, want 3", len(copies))
+	}
+	for _, c := range copies {
+		if len(c.Succs) != 1 {
+			t.Errorf("node %d fan-out = %d, want 1", c.ID, len(c.Succs))
+		}
+	}
+	after := runConflictSet(t, net, wmes)
+	if !conflictSetsEqual(base, after) {
+		t.Errorf("unshare changed matches: %v vs %v", base, after)
+	}
+}
+
+func TestUnshareFanoutAbove(t *testing.T) {
+	net := compileT(t, sharedFanoutProds)
+	split, err := net.UnshareFanoutAbove(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != 1 {
+		t.Errorf("split = %d, want 1", split)
+	}
+	for _, n := range net.Nodes {
+		if n.IsTwoInput() && len(n.Succs) > 2 {
+			t.Errorf("node %d still has fan-out %d", n.ID, len(n.Succs))
+		}
+	}
+	if _, err := net.UnshareFanoutAbove(0); err == nil {
+		t.Error("want error for maxFanout 0")
+	}
+}
+
+func TestInsertDummiesPreservesMatches(t *testing.T) {
+	wmes := fanoutWMEs()
+	base := runConflictSet(t, compileT(t, sharedFanoutProds), wmes)
+
+	net := compileT(t, sharedFanoutProds)
+	n := sharedJoin(t, net)
+	dummies, err := net.InsertDummies(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dummies) != 2 {
+		t.Fatalf("dummies = %d", len(dummies))
+	}
+	if len(n.Succs) != 2 {
+		t.Errorf("split node fan-out = %d, want 2 dummies", len(n.Succs))
+	}
+	if got := net.Stats().DummyNodes; got != 2 {
+		t.Errorf("dummy node count = %d", got)
+	}
+	after := runConflictSet(t, net, wmes)
+	if !conflictSetsEqual(base, after) {
+		t.Errorf("dummy insertion changed matches: %v vs %v", base, after)
+	}
+}
+
+func TestInsertDummiesValidation(t *testing.T) {
+	net := compileT(t, sharedFanoutProds)
+	n := sharedJoin(t, net)
+	if _, err := net.InsertDummies(n, 1); err == nil {
+		t.Error("want error for parts=1")
+	}
+	if _, err := net.InsertDummies(n, 99); err == nil {
+		t.Error("want error for parts > fan-out")
+	}
+}
+
+func TestCopyAndConstrainPreservesMatches(t *testing.T) {
+	// A pure cross-product join: no equality tests.
+	srcs := []string{`(p cross (a ^x <u>) (b ^y <w>) --> (halt))`}
+	var wmes []*ops5.WME
+	id := 1
+	for i := 0; i < 6; i++ {
+		w := ops5.NewWME("a", "x", i)
+		w.ID, w.TimeTag = id, id
+		id++
+		wmes = append(wmes, w)
+		w2 := ops5.NewWME("b", "y", i)
+		w2.ID, w2.TimeTag = id, id
+		id++
+		wmes = append(wmes, w2)
+	}
+	base := runConflictSet(t, compileT(t, srcs), wmes)
+	if len(base) != 36 {
+		t.Fatalf("baseline cross product = %d, want 36", len(base))
+	}
+
+	net := compileT(t, srcs)
+	var join *Node
+	for _, n := range net.Nodes {
+		if n.Kind == KindJoin {
+			join = n
+		}
+	}
+	copies, err := net.CopyAndConstrain(join, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 3 {
+		t.Fatalf("copies = %d", len(copies))
+	}
+	after := runConflictSet(t, net, wmes)
+	if !conflictSetsEqual(base, after) {
+		t.Errorf("copy-and-constraint changed matches (%d vs %d)", len(base), len(after))
+	}
+
+	// Right memory must be partitioned: each copy accepts a disjoint
+	// subset of wme ids.
+	for id := 0; id < 10; id++ {
+		w := ops5.NewWME("b", "y", 0)
+		w.ID = id
+		accepts := 0
+		for _, c := range copies {
+			if c.AcceptsRight(w) {
+				accepts++
+			}
+		}
+		if accepts != 1 {
+			t.Errorf("wme %d accepted by %d copies, want exactly 1", id, accepts)
+		}
+	}
+}
+
+func TestCopyAndConstrainValidation(t *testing.T) {
+	net := compileT(t, []string{`(p p1 (a ^x <v>) -(b ^x <v>) --> (halt))`})
+	var neg *Node
+	for _, n := range net.Nodes {
+		if n.Kind == KindNegative {
+			neg = n
+		}
+	}
+	if _, err := net.CopyAndConstrain(neg, 2); err == nil {
+		t.Error("copy-and-constraint on a negative node must fail")
+	}
+}
+
+// TestTransformsRandomizedEquivalence checks on random workloads, with
+// deletions, that each transformation preserves the conflict set.
+func TestTransformsRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	srcs := sharedFanoutProds
+
+	for trial := 0; trial < 10; trial++ {
+		// Build a random add/delete schedule.
+		type op struct {
+			tag Tag
+			w   *ops5.WME
+		}
+		var ops []op
+		var live []*ops5.WME
+		id := 1
+		for step := 0; step < 60; step++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				ops = append(ops, op{Delete, live[i]})
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				var w *ops5.WME
+				switch rng.Intn(3) {
+				case 0:
+					w = ops5.NewWME("a", "x", rng.Intn(3))
+				case 1:
+					w = ops5.NewWME("b", "x", rng.Intn(3))
+				default:
+					w = ops5.NewWME("c", "k", 1+rng.Intn(3))
+				}
+				w.ID, w.TimeTag = id, id
+				id++
+				ops = append(ops, op{Add, w})
+				live = append(live, w)
+			}
+		}
+
+		run := func(net *Network) map[string]bool {
+			m := NewMatcher(net, MatcherOptions{NBuckets: 32})
+			cs := map[string]bool{}
+			for _, o := range ops {
+				for _, ic := range m.Apply([]Change{{Tag: o.tag, WME: o.w}}) {
+					if ic.Tag == Add {
+						cs[ic.Key()] = true
+					} else {
+						delete(cs, ic.Key())
+					}
+				}
+			}
+			return cs
+		}
+
+		base := run(compileT(t, srcs))
+
+		unshared := compileT(t, srcs)
+		if _, err := unshared.UnshareFanoutAbove(1); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(unshared); !conflictSetsEqual(base, got) {
+			t.Fatalf("trial %d: unsharing diverged: %v vs %v", trial, base, got)
+		}
+
+		dummied := compileT(t, srcs)
+		if _, err := dummied.InsertDummies(sharedJoin(t, dummied), 3); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(dummied); !conflictSetsEqual(base, got) {
+			t.Fatalf("trial %d: dummies diverged: %v vs %v", trial, base, got)
+		}
+
+		cc := compileT(t, srcs)
+		if _, err := cc.CopyAndConstrain(sharedJoin(t, cc), 2); err != nil {
+			t.Fatal(err)
+		}
+		if got := run(cc); !conflictSetsEqual(base, got) {
+			t.Fatalf("trial %d: copy-and-constraint diverged: %v vs %v", trial, base, got)
+		}
+
+		globalUnshare := compileT(t, srcs)
+		_ = globalUnshare
+		fullyUnshared, err := CompileWith(mustParse(t, srcs...), CompileOptions{DisableSharing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(fullyUnshared); !conflictSetsEqual(base, got) {
+			t.Fatalf("trial %d: DisableSharing diverged: %v vs %v", trial, base, got)
+		}
+	}
+}
+
+func TestFanoutProfile(t *testing.T) {
+	net := compileT(t, sharedFanoutProds)
+	prof := net.FanoutProfile()
+	if len(prof) == 0 || prof[0] != 3 {
+		t.Errorf("profile = %v, want leading 3", prof)
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1] {
+			t.Errorf("profile not sorted descending: %v", prof)
+		}
+	}
+}
+
+func ExampleNetwork_Unshare() {
+	prods, _ := ops5.ParseProduction(`(p o1 (a ^x <v>) (b ^x <v>) --> (halt))`)
+	net, _ := Compile([]*ops5.Production{prods})
+	fmt.Println(net.Stats().JoinNodes)
+	// Output: 1
+}

@@ -1,0 +1,12 @@
+package rete
+
+import "mpcrete/internal/ops5"
+
+// Aliases keeping exported struct fields readable while the package
+// consistently refers to the ops5 data model.
+type (
+	// WMEType aliases ops5.WME.
+	WMEType = ops5.WME
+	// ProductionType aliases ops5.Production.
+	ProductionType = ops5.Production
+)

@@ -1,0 +1,27 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"mpcrete/internal/sched"
+)
+
+// ExampleGreedy balances a skewed bucket load over three processors.
+func ExampleGreedy() {
+	load := map[int]int{0: 9, 4: 7, 8: 5, 12: 3}
+	p := sched.Greedy(load, 16, 3)
+	per := sched.LoadPerProc(p, load, 3)
+	fmt.Println(per, fmt.Sprintf("%.2f", sched.Imbalance(per)))
+	// Output: [9 7 8] 1.12
+}
+
+// ExampleModel evaluates the paper's balls-in-bins distribution model.
+func ExampleModel() {
+	m := sched.Model{Buckets: 512, Active: 64, Procs: 16}
+	fmt.Printf("P(even) < 1%%: %v\n", m.PEven() < 0.01)
+	mc := m.MonteCarlo(1000, 7)
+	fmt.Printf("speedup bound below machine size: %v\n", mc.SpeedupBound < 16)
+	// Output:
+	// P(even) < 1%: true
+	// speedup bound below machine size: true
+}

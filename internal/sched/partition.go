@@ -1,0 +1,168 @@
+// Package sched implements the hash-bucket-to-processor distribution
+// strategies analysed in Section 5.2.2 of the paper — round-robin,
+// random, and the off-line greedy (LPT) algorithm — together with the
+// balls-in-bins probabilistic model of active-bucket distribution the
+// paper uses to explain why uniform strategies fall short.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Partition maps each hash-bucket index to a match-processor index in
+// [0, P).
+type Partition []int
+
+// Procs returns the number of processors the partition targets
+// (max value + 1); an empty partition has zero processors.
+func (p Partition) Procs() int {
+	max := -1
+	for _, v := range p {
+		if v > max {
+			max = v
+		}
+	}
+	return max + 1
+}
+
+// Validate checks every bucket is assigned a processor in [0, procs).
+func (p Partition) Validate(procs int) error {
+	for b, v := range p {
+		if v < 0 || v >= procs {
+			return fmt.Errorf("sched: bucket %d assigned to processor %d, want [0,%d)", b, v, procs)
+		}
+	}
+	return nil
+}
+
+// RoundRobin assigns bucket i to processor i mod procs — the paper's
+// default distribution.
+func RoundRobin(nbuckets, procs int) Partition {
+	p := make(Partition, nbuckets)
+	for i := range p {
+		p[i] = i % procs
+	}
+	return p
+}
+
+// Random assigns buckets to processors uniformly at random (seeded,
+// reproducible) — the alternative the paper tried, which "failed to
+// provide a significant improvement".
+func Random(nbuckets, procs int, seed int64) Partition {
+	rng := rand.New(rand.NewSource(seed))
+	p := make(Partition, nbuckets)
+	for i := range p {
+		p[i] = rng.Intn(procs)
+	}
+	return p
+}
+
+// Greedy computes an off-line longest-processing-time-first assignment
+// from known per-bucket loads (activation counts): buckets are placed
+// heaviest-first onto the least-loaded processor. This is the paper's
+// greedy algorithm; it needs the very trace knowledge a real system
+// would lack, and so bounds what any distribution strategy could gain
+// (the paper measured ≈1.4x).
+func Greedy(load map[int]int, nbuckets, procs int) Partition {
+	type bucketLoad struct{ bucket, load int }
+	order := make([]bucketLoad, 0, len(load))
+	for b, l := range load {
+		order = append(order, bucketLoad{b, l})
+	}
+	// Heaviest first; ties by bucket index for determinism.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if b.load > a.load || (b.load == a.load && b.bucket < a.bucket) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	p := make(Partition, nbuckets)
+	for i := range p {
+		p[i] = -1
+	}
+	procLoad := make([]int, procs)
+	for _, bl := range order {
+		best := 0
+		for i := 1; i < procs; i++ {
+			if procLoad[i] < procLoad[best] {
+				best = i
+			}
+		}
+		p[bl.bucket] = best
+		procLoad[best] += bl.load
+	}
+	// Inactive buckets round-robin over processors.
+	next := 0
+	for b := range p {
+		if p[b] == -1 {
+			p[b] = next % procs
+			next++
+		}
+	}
+	return p
+}
+
+// GreedyAggregate builds a single greedy partition from the load
+// summed over all cycles. Unlike GreedyPerCycle it is realizable in
+// practice (one static assignment, no per-cycle migration) — and it is
+// exactly the strategy the paper's analysis predicts will disappoint:
+// "the aggregated distribution of the tokens ... is more or less even;
+// however, the distribution of tokens at the level of an individual
+// MRA cycle is quite uneven" (Section 5.2.2). Balancing the aggregate
+// does not balance any single cycle.
+func GreedyAggregate(loads []map[int]int, nbuckets, procs int) Partition {
+	total := map[int]int{}
+	for _, load := range loads {
+		for b, l := range load {
+			total[b] += l
+		}
+	}
+	return Greedy(total, nbuckets, procs)
+}
+
+// GreedyPerCycle builds one greedy partition per cycle from per-cycle
+// bucket loads (trace.BucketLoad output). The paper's greedy run
+// re-distributes buckets every cycle, which is why it is an upper
+// bound rather than a practical scheme: Rete state (the tokens already
+// stored in buckets) cannot actually be migrated for free.
+func GreedyPerCycle(loads []map[int]int, nbuckets, procs int) []Partition {
+	out := make([]Partition, len(loads))
+	for i, load := range loads {
+		out[i] = Greedy(load, nbuckets, procs)
+	}
+	return out
+}
+
+// LoadPerProc aggregates a load map under a partition: the total
+// activations each processor would process.
+func LoadPerProc(p Partition, load map[int]int, procs int) []int {
+	out := make([]int, procs)
+	for b, l := range load {
+		if b >= 0 && b < len(p) {
+			out[p[b]] += l
+		}
+	}
+	return out
+}
+
+// Imbalance is max/mean of per-processor load (1.0 = perfectly even);
+// it is the quantity the greedy distribution minimizes.
+func Imbalance(perProc []int) float64 {
+	max, sum := 0, 0
+	for _, l := range perProc {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(perProc))
+	return float64(max) / mean
+}

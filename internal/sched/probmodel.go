@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is the paper's simple probabilistic model of active-bucket
+// distribution (Section 5.2.2): of Buckets hash buckets, Active are
+// active in a cycle and each receives exactly one activation; buckets
+// are distributed uniformly over Procs processors. The model explains
+// why speedups stop scaling: the per-cycle maximum processor load, not
+// the mean, bounds the cycle time.
+type Model struct {
+	Buckets int
+	Active  int
+	Procs   int
+}
+
+// lnFact returns ln(n!).
+func lnFact(n int) float64 {
+	v, _ := math.Lgamma(float64(n + 1))
+	return v
+}
+
+// PEven is the probability that the Active activations divide exactly
+// evenly over the processors (requires Procs | Active; zero
+// otherwise), under independent uniform placement. It is the
+// multinomial probability A! / ((A/P)!)^P / P^A.
+func (m Model) PEven() float64 {
+	if m.Active == 0 {
+		return 1
+	}
+	if m.Procs <= 0 || m.Active%m.Procs != 0 {
+		return 0
+	}
+	per := m.Active / m.Procs
+	ln := lnFact(m.Active) - float64(m.Procs)*lnFact(per) - float64(m.Active)*math.Log(float64(m.Procs))
+	return math.Exp(ln)
+}
+
+// PAllOnOne is the probability that every activation lands on a single
+// processor: P * (1/P)^A.
+func (m Model) PAllOnOne() float64 {
+	if m.Active == 0 || m.Procs <= 1 {
+		return 1
+	}
+	return math.Exp(math.Log(float64(m.Procs)) - float64(m.Active)*math.Log(float64(m.Procs)))
+}
+
+// Result summarizes a Monte-Carlo evaluation of the model.
+type Result struct {
+	Trials int
+	// EMaxLoad is the expected maximum per-processor load.
+	EMaxLoad float64
+	// PEvenObserved is the observed frequency of perfectly even splits.
+	PEvenObserved float64
+	// SpeedupBound is Active / EMaxLoad: the best parallel speedup the
+	// distribution permits when every activation costs the same.
+	SpeedupBound float64
+}
+
+// MonteCarlo samples the model: Active distinct buckets are chosen
+// among Buckets, buckets are assigned to processors round-robin (as in
+// the paper's simulations), and the per-processor active-bucket load
+// is measured. Deterministic for a given seed.
+func (m Model) MonteCarlo(trials int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{Trials: trials}
+	if m.Active == 0 || m.Procs == 0 {
+		res.SpeedupBound = 1
+		return res
+	}
+	perProc := make([]int, m.Procs)
+	var sumMax, evens int
+	for t := 0; t < trials; t++ {
+		for i := range perProc {
+			perProc[i] = 0
+		}
+		// Sample Active distinct buckets from [0, Buckets).
+		chosen := rng.Perm(m.Buckets)[:m.Active]
+		for _, b := range chosen {
+			perProc[b%m.Procs]++
+		}
+		max := 0
+		even := true
+		want := m.Active / m.Procs
+		for _, l := range perProc {
+			if l > max {
+				max = l
+			}
+			if l != want {
+				even = false
+			}
+		}
+		sumMax += max
+		if even && m.Active%m.Procs == 0 {
+			evens++
+		}
+	}
+	res.EMaxLoad = float64(sumMax) / float64(trials)
+	res.PEvenObserved = float64(evens) / float64(trials)
+	if res.EMaxLoad > 0 {
+		res.SpeedupBound = float64(m.Active) / res.EMaxLoad
+	}
+	return res
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobin(t *testing.T) {
+	p := RoundRobin(8, 3)
+	want := Partition{0, 1, 2, 0, 1, 2, 0, 1}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("p = %v", p)
+		}
+	}
+	if err := p.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Procs() != 3 {
+		t.Errorf("Procs = %d", p.Procs())
+	}
+}
+
+func TestRandomPartitionValidAndSeeded(t *testing.T) {
+	a := Random(128, 7, 99)
+	b := Random(128, 7, 99)
+	c := Random(128, 7, 100)
+	if err := a.Validate(7); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed should reproduce partition")
+	}
+	if !diff {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestGreedyBalancesBetterThanRoundRobin(t *testing.T) {
+	// Skewed load: active buckets clustered on round-robin residue 0.
+	load := map[int]int{}
+	for i := 0; i < 16; i++ {
+		load[i*4] = 10 // all on proc 0 under round-robin with P=4
+	}
+	nb, procs := 64, 4
+	rr := LoadPerProc(RoundRobin(nb, procs), load, procs)
+	gr := LoadPerProc(Greedy(load, nb, procs), load, procs)
+	if Imbalance(gr) > Imbalance(rr) {
+		t.Errorf("greedy imbalance %v worse than round-robin %v", Imbalance(gr), Imbalance(rr))
+	}
+	if Imbalance(gr) != 1.0 {
+		t.Errorf("greedy should balance equal-load buckets perfectly, got %v", Imbalance(gr))
+	}
+}
+
+func TestGreedyIsNearOptimal(t *testing.T) {
+	// LPT guarantee: max load <= (4/3 - 1/3m) * OPT. With unit jobs
+	// it is optimal; check a mixed case stays within the bound.
+	load := map[int]int{0: 7, 1: 5, 2: 4, 3: 4, 4: 3, 5: 3, 6: 2}
+	procs := 3
+	p := Greedy(load, 8, procs)
+	per := LoadPerProc(p, load, procs)
+	max := 0
+	total := 0
+	for _, l := range per {
+		if l > max {
+			max = l
+		}
+		total += l
+	}
+	opt := int(math.Ceil(float64(total) / float64(procs))) // lower bound
+	if float64(max) > (4.0/3.0)*float64(opt)+1 {
+		t.Errorf("greedy max %d too far above bound %d (per=%v)", max, opt, per)
+	}
+}
+
+func TestGreedyAssignsAllBuckets(t *testing.T) {
+	f := func(seed int64) bool {
+		load := map[int]int{int(seed%32 + 32): 5, 3: 2}
+		p := Greedy(load, 64, 4)
+		return p.Validate(4) == nil && len(p) == 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyPerCycle(t *testing.T) {
+	loads := []map[int]int{{0: 5, 1: 5}, {2: 9}}
+	ps := GreedyPerCycle(loads, 8, 2)
+	if len(ps) != 2 {
+		t.Fatalf("partitions = %d", len(ps))
+	}
+	per0 := LoadPerProc(ps[0], loads[0], 2)
+	if per0[0] != 5 || per0[1] != 5 {
+		t.Errorf("cycle 0 load = %v", per0)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int{5, 5, 5}); got != 1.0 {
+		t.Errorf("even imbalance = %v", got)
+	}
+	if got := Imbalance([]int{15, 0, 0}); got != 3.0 {
+		t.Errorf("skew imbalance = %v", got)
+	}
+	if got := Imbalance([]int{0, 0}); got != 1.0 {
+		t.Errorf("zero-load imbalance = %v", got)
+	}
+}
+
+// TestModelConclusion1: completely even and totally uneven
+// distributions are both rare (< 1%) at paper-like scale.
+func TestModelConclusion1(t *testing.T) {
+	m := Model{Buckets: 512, Active: 64, Procs: 16}
+	if p := m.PEven(); p >= 0.01 {
+		t.Errorf("P(even) = %v, want < 1%%", p)
+	}
+	if p := m.PAllOnOne(); p >= 1e-10 {
+		t.Errorf("P(all-on-one) = %v, want tiny", p)
+	}
+	mc := m.MonteCarlo(2000, 1)
+	if mc.PEvenObserved >= 0.01 {
+		t.Errorf("observed P(even) = %v, want < 1%%", mc.PEvenObserved)
+	}
+	// The expected distribution is in between: max load above mean but
+	// far below total.
+	mean := float64(m.Active) / float64(m.Procs)
+	if mc.EMaxLoad <= mean || mc.EMaxLoad >= float64(m.Active) {
+		t.Errorf("E[max] = %v outside (mean=%v, total=%v)", mc.EMaxLoad, mean, m.Active)
+	}
+}
+
+// TestModelConclusion2: increasing the proportion of active buckets
+// makes the distribution more even (speedup bound closer to P).
+func TestModelConclusion2(t *testing.T) {
+	procs := 16
+	sparse := Model{Buckets: 512, Active: 32, Procs: procs}.MonteCarlo(2000, 2)
+	dense := Model{Buckets: 512, Active: 384, Procs: procs}.MonteCarlo(2000, 2)
+	sparseEff := sparse.SpeedupBound / float64(procs)
+	denseEff := dense.SpeedupBound / float64(procs)
+	if denseEff <= sparseEff {
+		t.Errorf("dense efficiency %v should exceed sparse %v", denseEff, sparseEff)
+	}
+}
+
+// TestModelConclusion3: with more processors, the distribution gets
+// relatively more uneven, so parallel efficiency drops.
+func TestModelConclusion3(t *testing.T) {
+	eff := func(procs int) float64 {
+		m := Model{Buckets: 512, Active: 64, Procs: procs}
+		return m.MonteCarlo(2000, 3).SpeedupBound / float64(procs)
+	}
+	e4, e16, e64 := eff(4), eff(16), eff(64)
+	if !(e4 > e16 && e16 > e64) {
+		t.Errorf("efficiency should fall with processors: %v, %v, %v", e4, e16, e64)
+	}
+}
+
+func TestModelDegenerateCases(t *testing.T) {
+	if p := (Model{Buckets: 8, Active: 0, Procs: 4}).PEven(); p != 1 {
+		t.Errorf("empty cycle P(even) = %v", p)
+	}
+	if got := (Model{Buckets: 8, Active: 0, Procs: 4}).MonteCarlo(10, 1).SpeedupBound; got != 1 {
+		t.Errorf("empty cycle speedup bound = %v", got)
+	}
+	if p := (Model{Buckets: 8, Active: 5, Procs: 3}).PEven(); p != 0 {
+		t.Errorf("indivisible P(even) = %v, want 0", p)
+	}
+	// Single processor: always "even" in the trivial sense.
+	mc := Model{Buckets: 8, Active: 8, Procs: 1}.MonteCarlo(100, 4)
+	if mc.EMaxLoad != 8 || mc.SpeedupBound != 1 {
+		t.Errorf("P=1 result = %+v", mc)
+	}
+}
+
+func TestPEvenMatchesMonteCarloRandomAssignment(t *testing.T) {
+	// For small numbers the analytic multinomial and a direct
+	// simulation of independent placement agree.
+	m := Model{Buckets: 64, Active: 4, Procs: 2}
+	want := m.PEven() // C(4,2)/2^4 = 6/16 = 0.375
+	if math.Abs(want-0.375) > 1e-9 {
+		t.Fatalf("analytic P(even) = %v, want 0.375", want)
+	}
+}
+
+func TestGreedyAggregateVsPerCycle(t *testing.T) {
+	// Two cycles whose hot buckets alternate: aggregate load is even,
+	// per-cycle load is not. Balancing the aggregate cannot balance
+	// either cycle — the paper's Section 5.2.2 observation.
+	nb, procs := 16, 4
+	cycleA := map[int]int{0: 10, 1: 10, 2: 10, 3: 10} // buckets 0-3 hot
+	cycleB := map[int]int{4: 10, 5: 10, 6: 10, 7: 10} // buckets 4-7 hot
+	loads := []map[int]int{cycleA, cycleB}
+
+	agg := GreedyAggregate(loads, nb, procs)
+	per := GreedyPerCycle(loads, nb, procs)
+
+	// The aggregate partition balances the sum perfectly...
+	total := map[int]int{}
+	for _, l := range loads {
+		for b, v := range l {
+			total[b] += v
+		}
+	}
+	if im := Imbalance(LoadPerProc(agg, total, procs)); im != 1.0 {
+		t.Errorf("aggregate imbalance on total = %v, want 1.0", im)
+	}
+	// ...and the per-cycle oracle balances each cycle perfectly...
+	for i, l := range loads {
+		if im := Imbalance(LoadPerProc(per[i], l, procs)); im != 1.0 {
+			t.Errorf("oracle imbalance on cycle %d = %v, want 1.0", i, im)
+		}
+	}
+	// The interesting comparison: on INDIVIDUAL cycles the aggregate
+	// partition may or may not balance; the oracle is never worse.
+	for i, l := range loads {
+		aggIm := Imbalance(LoadPerProc(agg, l, procs))
+		perIm := Imbalance(LoadPerProc(per[i], l, procs))
+		if perIm > aggIm {
+			t.Errorf("cycle %d: oracle imbalance %v worse than aggregate %v", i, perIm, aggIm)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package simnet is a deterministic discrete-event simulator of a
+// message-passing computer, the substrate under the paper's Nectar
+// simulation (Section 4). It models a set of processors with FIFO task
+// queues connected by a network with configurable wire latency and
+// per-message send/receive processing overheads (Table 5-1), and it
+// accounts busy/idle time per processor and occupancy of the network.
+//
+// The simulator is generic: clients (the mapping in internal/core)
+// provide a Handler that is invoked when a task starts on a processor;
+// the handler accrues busy time and emits local tasks and messages
+// through the Ctx. Time is int64 nanoseconds, so the paper's 0.5 µs
+// latency is exactly representable.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Microseconds converts a time to float µs (for reporting).
+func (t Time) Microseconds() float64 { return float64(t) / 1000 }
+
+// US builds a Time from microseconds.
+func US(us float64) Time { return Time(us * 1000) }
+
+// Config describes the machine.
+type Config struct {
+	// Procs is the number of processors.
+	Procs int
+	// SendOverhead is the processor time consumed to send one message.
+	SendOverhead Time
+	// RecvOverhead is the processor time consumed to receive one
+	// message, paid before the message's task runs.
+	RecvOverhead Time
+	// Latency is the base network transit time of a message.
+	Latency Time
+	// Topology, when non-nil, adds PerHop * Hops(src, dst) to each
+	// message's transit time. A nil topology is distance-insensitive
+	// (wormhole-style), as the paper assumes for Nectar.
+	Topology Topology
+	// PerHop is the additional transit time per network hop; only
+	// meaningful with a non-nil Topology.
+	PerHop Time
+	// Contention, when set, models each network link as carrying one
+	// message at a time (PerHop per link per message); requires a
+	// RoutedTopology. Without it the network has infinite bandwidth,
+	// as in the paper's simulator.
+	Contention bool
+	// SoftwareBroadcast, when set, models Broadcast as one
+	// point-to-point send per destination (the sender pays SendOverhead
+	// per destination); the default models hardware broadcast (one
+	// SendOverhead total), as on Nectar.
+	SoftwareBroadcast bool
+}
+
+// Payload is an opaque task description interpreted by the Handler.
+type Payload any
+
+// Handler runs a task. It must call Ctx methods to accrue busy time
+// and to emit follow-on work; a task with zero accrued time is legal.
+type Handler func(ctx *Ctx, p Payload)
+
+type task struct {
+	payload Payload
+	ready   Time
+	seq     int64
+	recv    bool // message delivery: pay RecvOverhead before running
+}
+
+type eventKind uint8
+
+const (
+	evReady  eventKind = iota // task becomes ready on a processor
+	evFree                    // processor finishes its current task
+	evDepart                  // message enters the network (contention)
+)
+
+type event struct {
+	at   Time
+	seq  int64
+	kind eventKind
+	proc int // destination processor
+	from int // source processor (evDepart)
+	tk   *task
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type proc struct {
+	id        int
+	pending   []*task // FIFO: ordered by ready-event arrival
+	busyUntil Time
+	running   bool
+
+	busy     Time // total busy time (work + overheads)
+	sendOver Time
+	recvOver Time
+	tasks    int
+	msgsIn   int
+	msgsOut  int
+}
+
+// ProcStats reports one processor's accounting.
+type ProcStats struct {
+	Busy         Time
+	SendOverhead Time
+	RecvOverhead Time
+	Tasks        int
+	MsgsIn       int
+	MsgsOut      int
+}
+
+// Stats reports a completed simulation interval.
+type Stats struct {
+	Makespan Time
+	Procs    []ProcStats
+	Messages int
+	// NetworkBusy is the union of message in-flight intervals.
+	NetworkBusy Time
+	// ContentionDelay is the total time messages spent waiting for
+	// links beyond their uncontended transit (zero unless
+	// Config.Contention is set).
+	ContentionDelay Time
+}
+
+// BusyTotal sums processor busy time.
+func (s *Stats) BusyTotal() Time {
+	var t Time
+	for _, p := range s.Procs {
+		t += p.Busy
+	}
+	return t
+}
+
+// NetworkIdleFraction is 1 - NetworkBusy/Makespan (the 97-98% figure
+// of Section 5.1).
+func (s *Stats) NetworkIdleFraction() float64 {
+	if s.Makespan == 0 {
+		return 1
+	}
+	return 1 - float64(s.NetworkBusy)/float64(s.Makespan)
+}
+
+// AvgUtilization is mean busy/makespan over processors.
+func (s *Stats) AvgUtilization() float64 {
+	if s.Makespan == 0 || len(s.Procs) == 0 {
+		return 0
+	}
+	var busy Time
+	for _, p := range s.Procs {
+		busy += p.Busy
+	}
+	return float64(busy) / (float64(s.Makespan) * float64(len(s.Procs)))
+}
+
+// Sim is a simulator instance. Drive it by injecting initial tasks and
+// calling Run; the clock persists across Run calls, so a client can
+// alternate injection and draining to model synchronized phases
+// (MRA cycles) with oracle termination detection, as the paper's
+// simulator does.
+type Sim struct {
+	cfg     Config
+	handler Handler
+	events  eventHeap
+	procs   []*proc
+	clock   Time
+	seq     int64
+	msgs    int
+	flights []flight
+	cont    *contention
+}
+
+type flight struct{ dep, arr Time }
+
+// New creates a simulator.
+func New(cfg Config, handler Handler) *Sim {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("simnet: Procs = %d", cfg.Procs))
+	}
+	if handler == nil {
+		panic("simnet: nil handler")
+	}
+	if err := validateContention(cfg); err != nil {
+		panic(err.Error())
+	}
+	s := &Sim{cfg: cfg, handler: handler}
+	if cfg.Contention {
+		s.cont = &contention{free: map[Link]Time{}}
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		s.procs = append(s.procs, &proc{id: i})
+	}
+	return s
+}
+
+// Config returns the machine description.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now returns the simulation clock.
+func (s *Sim) Now() Time { return s.clock }
+
+// Inject schedules a task on processor p at time at (which must not be
+// in the past).
+func (s *Sim) Inject(p int, payload Payload, at Time) {
+	if at < s.clock {
+		panic(fmt.Sprintf("simnet: inject at %d before clock %d", at, s.clock))
+	}
+	s.post(&event{at: at, kind: evReady, proc: p, tk: &task{payload: payload, ready: at}})
+}
+
+func (s *Sim) post(e *event) {
+	e.seq = s.seq
+	s.seq++
+	if e.tk != nil {
+		e.tk.seq = e.seq
+	}
+	heap.Push(&s.events, e)
+}
+
+// Run processes events until the machine quiesces, returning the
+// clock. Call Stats for accounting.
+func (s *Sim) Run() Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.clock = e.at
+		p := s.procs[e.proc]
+		switch e.kind {
+		case evDepart:
+			arr := s.cont.traverse(&s.cfg, e.from, e.proc, e.at)
+			s.flights = append(s.flights, flight{e.at, arr})
+			e.tk.ready = arr
+			s.post(&event{at: arr, kind: evReady, proc: e.proc, tk: e.tk})
+			continue
+		case evReady:
+			p.pending = append(p.pending, e.tk)
+		case evFree:
+			p.running = false
+		}
+		s.tryStart(p)
+	}
+	return s.clock
+}
+
+func (s *Sim) tryStart(p *proc) {
+	if p.running || len(p.pending) == 0 {
+		return
+	}
+	tk := p.pending[0]
+	p.pending = p.pending[1:]
+	p.running = true
+
+	start := s.clock
+	if p.busyUntil > start {
+		// Defensive: cannot happen, the free event releases exactly at
+		// busyUntil.
+		start = p.busyUntil
+	}
+	ctx := &Ctx{sim: s, proc: p, start: start}
+	if tk.recv {
+		ctx.accum += s.cfg.RecvOverhead
+		p.recvOver += s.cfg.RecvOverhead
+		p.msgsIn++
+	}
+	s.handler(ctx, tk.payload)
+
+	end := start + ctx.accum
+	p.busyUntil = end
+	p.busy += ctx.accum
+	p.tasks++
+	s.post(&event{at: end, kind: evFree, proc: p.id})
+}
+
+// Stats snapshots accounting up to the current clock.
+func (s *Sim) Stats() Stats {
+	st := Stats{Makespan: s.clock, Messages: s.msgs}
+	for _, p := range s.procs {
+		st.Procs = append(st.Procs, ProcStats{
+			Busy:         p.busy,
+			SendOverhead: p.sendOver,
+			RecvOverhead: p.recvOver,
+			Tasks:        p.tasks,
+			MsgsIn:       p.msgsIn,
+			MsgsOut:      p.msgsOut,
+		})
+	}
+	st.NetworkBusy = mergeFlights(s.flights)
+	if s.cont != nil {
+		st.ContentionDelay = s.cont.delay
+	}
+	return st
+}
+
+// mergeFlights computes the union length of in-flight intervals.
+func mergeFlights(fs []flight) Time {
+	if len(fs) == 0 {
+		return 0
+	}
+	sorted := make([]flight, len(fs))
+	copy(sorted, fs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dep < sorted[j].dep })
+	var total Time
+	curStart, curEnd := sorted[0].dep, sorted[0].arr
+	for _, f := range sorted[1:] {
+		if f.dep > curEnd {
+			total += curEnd - curStart
+			curStart, curEnd = f.dep, f.arr
+		} else if f.arr > curEnd {
+			curEnd = f.arr
+		}
+	}
+	total += curEnd - curStart
+	return total
+}
+
+// Ctx is the execution context of a running task.
+type Ctx struct {
+	sim   *Sim
+	proc  *proc
+	start Time
+	accum Time
+}
+
+// Proc returns the processor id the task runs on.
+func (c *Ctx) Proc() int { return c.proc.id }
+
+// Now returns the task-local clock: start time plus accrued busy time.
+func (c *Ctx) Now() Time { return c.start + c.accum }
+
+// Busy accrues d of processing time.
+func (c *Ctx) Busy(d Time) {
+	if d < 0 {
+		panic("simnet: negative busy time")
+	}
+	c.accum += d
+}
+
+// Local enqueues a follow-on task on this processor, ready at the
+// task-local clock, with no communication cost.
+func (c *Ctx) Local(payload Payload) {
+	c.sim.post(&event{at: c.Now(), kind: evReady, proc: c.proc.id,
+		tk: &task{payload: payload, ready: c.Now()}})
+}
+
+// Send transmits a message to processor `to`. The sender pays
+// SendOverhead (busy time); the message arrives Latency later and its
+// receiver pays RecvOverhead before the payload task runs. Sending to
+// self is modeled with the same costs.
+func (c *Ctx) Send(to int, payload Payload) {
+	s := c.sim
+	c.accum += s.cfg.SendOverhead
+	c.proc.sendOver += s.cfg.SendOverhead
+	c.proc.msgsOut++
+	dep := c.Now()
+	s.msgs++
+	tk := &task{payload: payload, recv: true}
+	if s.cont != nil {
+		s.post(&event{at: dep, kind: evDepart, proc: to, from: c.proc.id, tk: tk})
+		return
+	}
+	arr := dep + s.transit(c.proc.id, to)
+	tk.ready = arr
+	s.flights = append(s.flights, flight{dep, arr})
+	s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
+}
+
+// Broadcast transmits a message to every processor in dests. With
+// hardware broadcast (the default) the sender pays one SendOverhead;
+// with Config.SoftwareBroadcast it pays one per destination and the
+// departures are serialized.
+func (c *Ctx) Broadcast(dests []int, payload Payload) {
+	s := c.sim
+	if s.cfg.SoftwareBroadcast {
+		for _, to := range dests {
+			c.Send(to, payload)
+		}
+		return
+	}
+	c.accum += s.cfg.SendOverhead
+	c.proc.sendOver += s.cfg.SendOverhead
+	c.proc.msgsOut += len(dests)
+	dep := c.Now()
+	for _, to := range dests {
+		s.msgs++
+		tk := &task{payload: payload, recv: true}
+		if s.cont != nil {
+			s.post(&event{at: dep, kind: evDepart, proc: to, from: c.proc.id, tk: tk})
+			continue
+		}
+		arr := dep + s.transit(c.proc.id, to)
+		tk.ready = arr
+		s.flights = append(s.flights, flight{dep, arr})
+		s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
+	}
+}

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology models the interconnection network's distance metric. A
+// message's transit time is Config.Latency + Config.PerHop * Hops(src,
+// dst) — with wormhole routing (the technology the paper credits for
+// making MPCs viable for production systems) the per-hop term is small
+// and nearly distance-insensitive; with the first generation's
+// store-and-forward routing it dominates.
+type Topology interface {
+	// Hops returns the network distance between two processors.
+	Hops(from, to int) int
+	// Name labels the topology in reports.
+	Name() string
+}
+
+// Crossbar is a full crossbar (or an idealized single-hop network such
+// as Nectar's HUB): every pair is one hop apart.
+type Crossbar struct{}
+
+// Hops returns 1 for distinct processors and 0 for self-sends.
+func (Crossbar) Hops(from, to int) int {
+	if from == to {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Topology.
+func (Crossbar) Name() string { return "crossbar" }
+
+// Mesh2D is a W x H grid with dimension-ordered routing; processor i
+// sits at (i mod W, i div W).
+type Mesh2D struct {
+	W, H int
+}
+
+// Hops returns the Manhattan distance.
+func (m Mesh2D) Hops(from, to int) int {
+	fx, fy := from%m.W, from/m.W
+	tx, ty := to%m.W, to/m.W
+	return abs(fx-tx) + abs(fy-ty)
+}
+
+// Name implements Topology.
+func (m Mesh2D) Name() string { return fmt.Sprintf("mesh%dx%d", m.W, m.H) }
+
+// Hypercube connects processors whose ids differ in one bit, as on the
+// Cosmic Cube; distance is the Hamming distance.
+type Hypercube struct{}
+
+// Hops returns the Hamming distance of the ids.
+func (Hypercube) Hops(from, to int) int {
+	return bits.OnesCount(uint(from ^ to))
+}
+
+// Name implements Topology.
+func (Hypercube) Name() string { return "hypercube" }
+
+// Ring is a bidirectional ring of N processors.
+type Ring struct {
+	N int
+}
+
+// Hops returns the shorter circular distance.
+func (r Ring) Hops(from, to int) int {
+	d := abs(from - to)
+	if alt := r.N - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// Name implements Topology.
+func (r Ring) Name() string { return fmt.Sprintf("ring%d", r.N) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// transit computes a message's network time under the configuration.
+func (s *Sim) transit(from, to int) Time {
+	t := s.cfg.Latency
+	if s.cfg.Topology != nil {
+		t += s.cfg.PerHop * Time(s.cfg.Topology.Hops(from, to))
+	}
+	return t
+}

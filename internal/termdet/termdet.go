@@ -1,0 +1,151 @@
+// Package termdet implements distributed termination detection for
+// the parallel match runtime. The paper explicitly did not simulate
+// termination detection and deferred scheme selection to future work
+// (Section 4, citing Mattern 1987); this package supplies two schemes
+// for the real goroutine implementation:
+//
+//   - Counter: an atomic outstanding-work counter (credit counting):
+//     every unit of work is registered before it is made visible and
+//     deregistered when fully processed, so reaching zero proves
+//     global quiescence. Cheap and exact, at the cost of a shared
+//     atomic.
+//   - FourCounter: Mattern's four-counter method: a detector polls
+//     per-worker (sent, received) counters; two consecutive stable
+//     rounds with equal totals prove termination with no shared
+//     state on the work path.
+package termdet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter tracks outstanding units of work. Add must be called before
+// the work becomes visible to another goroutine (before the send), and
+// Done after it has been fully processed (after any work it spawned
+// has itself been Added). Wait blocks until the count reaches zero.
+//
+// Unlike sync.WaitGroup, Counter is reusable across phases and allows
+// Add after the count has transiently reached zero only between
+// Wait-delimited phases (enforced by the caller's protocol).
+type Counter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+}
+
+// NewCounter returns a zero counter.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Add registers delta units of outstanding work.
+func (c *Counter) Add(delta int) {
+	c.mu.Lock()
+	c.n += int64(delta)
+	if c.n < 0 {
+		c.mu.Unlock()
+		panic("termdet: negative outstanding-work count")
+	}
+	if c.n == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Done deregisters one unit.
+func (c *Counter) Done() { c.Add(-1) }
+
+// Wait blocks until the outstanding count is zero.
+func (c *Counter) Wait() {
+	c.mu.Lock()
+	for c.n != 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Pending returns the current outstanding count (racy; diagnostics
+// only).
+func (c *Counter) Pending() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ChannelCounts holds one worker's message counters for the
+// four-counter method. Workers increment Sent before each send and
+// Recv after fully processing each received message (including any
+// sends the processing performed).
+type ChannelCounts struct {
+	sent atomic.Int64
+	recv atomic.Int64
+}
+
+// IncSent records one message sent. Call BEFORE the send.
+func (c *ChannelCounts) IncSent() { c.sent.Add(1) }
+
+// IncRecv records one message fully processed. Call AFTER processing.
+func (c *ChannelCounts) IncRecv() { c.recv.Add(1) }
+
+// Snapshot reads the counters.
+func (c *ChannelCounts) Snapshot() (sent, recv int64) {
+	// Read recv before sent: overcounting sent relative to recv is the
+	// conservative direction for the detector.
+	r := c.recv.Load()
+	s := c.sent.Load()
+	return s, r
+}
+
+// FourCounter is Mattern's four-counter termination detector over a
+// set of workers exposing ChannelCounts. Poll gathers one global
+// snapshot; Terminated runs poll rounds until two consecutive rounds
+// are identical with sent == recv, which proves that no message was in
+// flight between the rounds and no worker was active.
+type FourCounter struct {
+	workers []*ChannelCounts
+}
+
+// NewFourCounter builds a detector over the given workers' counters.
+func NewFourCounter(workers []*ChannelCounts) *FourCounter {
+	return &FourCounter{workers: workers}
+}
+
+// Poll sums one snapshot round across workers.
+func (f *FourCounter) Poll() (sent, recv int64) {
+	for _, w := range f.workers {
+		s, r := w.Snapshot()
+		sent += s
+		recv += r
+	}
+	return sent, recv
+}
+
+// Check performs the two-round comparison given the previous round's
+// totals: it returns the new round plus whether termination is proven:
+// both rounds identical and sent == recv.
+func (f *FourCounter) Check(prevSent, prevRecv int64) (sent, recv int64, done bool) {
+	sent, recv = f.Poll()
+	done = sent == recv && sent == prevSent && recv == prevRecv
+	return sent, recv, done
+}
+
+// WaitTerminated polls until termination is proven, yielding between
+// rounds via the provided function (e.g. runtime.Gosched or a sleep).
+// Intended for workloads that are already draining; it spins
+// otherwise.
+func (f *FourCounter) WaitTerminated(yield func()) {
+	prevS, prevR := int64(-1), int64(-1)
+	for {
+		s, r, done := f.Check(prevS, prevR)
+		if done {
+			return
+		}
+		prevS, prevR = s, r
+		if yield != nil {
+			yield()
+		}
+	}
+}

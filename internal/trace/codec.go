@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mpcrete/internal/rete"
+)
+
+// The text format mirrors the paper's Fig 4-1 trace: a header, then
+// per cycle the activation forest in preorder, each activation carrying
+// its node id, side, tag, hash-bucket index, direct instantiation
+// count, and child count:
+//
+//	trace "rubik" 1024 4
+//	cycle 3 0 2
+//	a 5 R + 17 0 2
+//	a 9 L + 4 1 0
+//	a 9 L + 4 0 0
+//	a 6 R - 17 0 0
+//	...
+//
+// The format is line-oriented and self-delimiting (counts, no
+// indentation), so encoding and decoding round-trip exactly.
+
+// Encode writes the trace in the text format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "trace %q %d %d\n", t.Name, t.NBuckets, len(t.Cycles)); err != nil {
+		return err
+	}
+	var encAct func(a *Activation) error
+	encAct = func(a *Activation) error {
+		if _, err := fmt.Fprintf(bw, "a %d %s %s %d %d %d\n",
+			a.Node, a.Side, a.Tag, a.Bucket, a.Insts, len(a.Children)); err != nil {
+			return err
+		}
+		for _, c := range a.Children {
+			if err := encAct(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, c := range t.Cycles {
+		if _, err := fmt.Fprintf(bw, "cycle %d %d %d\n", c.Changes, c.RootInsts, len(c.Roots)); err != nil {
+			return err
+		}
+		for _, r := range c.Roots {
+			if err := encAct(r); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// decoder wraps a scanner with line tracking.
+type decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (d *decoder) next() (string, error) {
+	for d.sc.Scan() {
+		d.line++
+		text := d.sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		return text, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return fmt.Errorf("trace: line %d: %s", d.line, fmt.Sprintf(format, args...))
+}
+
+// Decode reads a trace in the text format.
+func Decode(r io.Reader) (*Trace, error) {
+	d := &decoder{sc: bufio.NewScanner(r)}
+	d.sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	header, err := d.next()
+	if err != nil {
+		return nil, fmt.Errorf("trace: missing header: %w", err)
+	}
+	var name string
+	var nbuckets, ncycles int
+	if _, err := fmt.Sscanf(header, "trace %q %d %d", &name, &nbuckets, &ncycles); err != nil {
+		return nil, d.errf("bad header %q: %v", header, err)
+	}
+	t := &Trace{Name: name, NBuckets: nbuckets}
+
+	var decAct func() (*Activation, error)
+	decAct = func() (*Activation, error) {
+		line, err := d.next()
+		if err != nil {
+			return nil, d.errf("truncated activation: %v", err)
+		}
+		var node, bucket, insts, nchildren int
+		var side, tag string
+		if _, err := fmt.Sscanf(line, "a %d %s %s %d %d %d", &node, &side, &tag, &bucket, &insts, &nchildren); err != nil {
+			return nil, d.errf("bad activation %q: %v", line, err)
+		}
+		a := &Activation{Node: node, Bucket: bucket, Insts: insts}
+		switch side {
+		case "L":
+			a.Side = rete.Left
+		case "R":
+			a.Side = rete.Right
+		default:
+			return nil, d.errf("bad side %q", side)
+		}
+		switch tag {
+		case "+":
+			a.Tag = rete.Add
+		case "-":
+			a.Tag = rete.Delete
+		default:
+			return nil, d.errf("bad tag %q", tag)
+		}
+		for i := 0; i < nchildren; i++ {
+			c, err := decAct()
+			if err != nil {
+				return nil, err
+			}
+			a.Children = append(a.Children, c)
+		}
+		return a, nil
+	}
+
+	for ci := 0; ci < ncycles; ci++ {
+		line, err := d.next()
+		if err != nil {
+			return nil, d.errf("truncated at cycle %d: %v", ci, err)
+		}
+		var changes, rootInsts, nroots int
+		if _, err := fmt.Sscanf(line, "cycle %d %d %d", &changes, &rootInsts, &nroots); err != nil {
+			return nil, d.errf("bad cycle header %q: %v", line, err)
+		}
+		c := &Cycle{Changes: changes, RootInsts: rootInsts}
+		for i := 0; i < nroots; i++ {
+			a, err := decAct()
+			if err != nil {
+				return nil, err
+			}
+			c.Roots = append(c.Roots, a)
+		}
+		t.Cycles = append(t.Cycles, c)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// String renders a one-line summary.
+func (t *Trace) String() string {
+	s := t.Stats()
+	return fmt.Sprintf("trace %s: %d cycles, %d activations (%dL/%dR), %d instantiations",
+		t.Name, s.Cycles, s.Total, s.LeftActivations, s.RightActivations, s.Instantiations)
+}

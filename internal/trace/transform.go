@@ -1,0 +1,133 @@
+package trace
+
+// SplitFanout is the trace-level form of the paper's Section 5.2
+// bottleneck transformations. Any activation generating more than
+// `threshold` successor activations is replaced by k copies, each
+// carrying ~1/k of the children and a distinct hash bucket (a node
+// copy has its own node id, so its tokens hash elsewhere).
+//
+// This single rewrite models both network-level cures at the trace
+// granularity the simulator consumes:
+//
+//   - Unsharing (Fig 5-3) and dummy nodes split a node whose output
+//     feeds many successors.
+//   - Copy-and-constraint (Fig 5-6) splits a node whose single
+//     activation generates a large cross-product slice.
+//
+// The cost accounting matches the paper: each copy pays its own
+// add/delete at its own bucket site (the duplicated work the paper
+// accepts), the parent pays one 16 µs successor-generation charge per
+// copy instead of per original child, and successor generation then
+// proceeds in parallel across the copies' buckets.
+//
+// The input trace is not modified.
+func SplitFanout(t *Trace, threshold, k int) *Trace {
+	if threshold < 1 || k < 2 {
+		return clone(t)
+	}
+	out := &Trace{Name: t.Name + "+split", NBuckets: t.NBuckets}
+	salt := 0
+	for _, cy := range t.Cycles {
+		nc := &Cycle{Changes: cy.Changes, RootInsts: cy.RootInsts}
+		for _, r := range cy.Roots {
+			nc.Roots = append(nc.Roots, splitAct(r, threshold, k, t.NBuckets, &salt)...)
+		}
+		out.Cycles = append(out.Cycles, nc)
+	}
+	return out
+}
+
+// splitAct rewrites one activation, returning its replacement(s).
+func splitAct(a *Activation, threshold, k, nbuckets int, salt *int) []*Activation {
+	var children []*Activation
+	for _, c := range a.Children {
+		children = append(children, splitAct(c, threshold, k, nbuckets, salt)...)
+	}
+	if len(children) <= threshold {
+		cp := *a
+		cp.Children = children
+		return []*Activation{&cp}
+	}
+	copies := make([]*Activation, k)
+	for i := range copies {
+		bucket := a.Bucket
+		if i > 0 {
+			// A fresh node id hashes to a fresh bucket; derive one
+			// deterministically.
+			*salt++
+			bucket = (a.Bucket + 0x9e37*(*salt) + i*131) % nbuckets
+			if bucket < 0 {
+				bucket += nbuckets
+			}
+		}
+		copies[i] = &Activation{
+			Node:   a.Node,
+			Side:   a.Side,
+			Tag:    a.Tag,
+			Bucket: bucket,
+		}
+	}
+	for i, c := range children {
+		dst := copies[i%k]
+		dst.Children = append(dst.Children, c)
+	}
+	// Instantiations stay with the first copy.
+	copies[0].Insts = a.Insts
+	return copies
+}
+
+// ScatterNode is the trace-level form of copy-and-constraint applied
+// to a non-discriminating (cross-product) node: the production owning
+// node `node` is split into k copies, each matching a disjoint part of
+// the data, so the tokens that all hashed to one bucket now belong to
+// k distinct node ids and hash to k distinct buckets. Activations of
+// `node` are reassigned round-robin to k derived buckets; everything
+// else is untouched. Tag pairs stay together (consecutive activations
+// of the node alternate copies in arrival order, and an add and its
+// deletion originate from the same source in order, landing on the
+// same copy by construction of the rewrite being deterministic).
+//
+// The input trace is not modified.
+func ScatterNode(t *Trace, node, k int) *Trace {
+	if k < 2 {
+		return clone(t)
+	}
+	out := clone(t)
+	out.Name = t.Name + "+c&c"
+	idx := 0
+	for _, cy := range out.Cycles {
+		cy.Walk(func(a *Activation) {
+			if a.Node != node {
+				return
+			}
+			copyIdx := idx % k
+			idx++
+			if copyIdx > 0 {
+				a.Bucket = (a.Bucket + copyIdx*257) % out.NBuckets
+			}
+		})
+	}
+	return out
+}
+
+// clone deep-copies a trace.
+func clone(t *Trace) *Trace {
+	out := &Trace{Name: t.Name, NBuckets: t.NBuckets}
+	var cp func(a *Activation) *Activation
+	cp = func(a *Activation) *Activation {
+		n := *a
+		n.Children = nil
+		for _, c := range a.Children {
+			n.Children = append(n.Children, cp(c))
+		}
+		return &n
+	}
+	for _, cy := range t.Cycles {
+		nc := &Cycle{Changes: cy.Changes, RootInsts: cy.RootInsts}
+		for _, r := range cy.Roots {
+			nc.Roots = append(nc.Roots, cp(r))
+		}
+		out.Cycles = append(out.Cycles, nc)
+	}
+	return out
+}

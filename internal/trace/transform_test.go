@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcrete/internal/rete"
+)
+
+// genTrace builds a random trace from a seed (deterministic).
+func genTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nb := 64
+	tr := &Trace{Name: "gen", NBuckets: nb}
+	var gen func(depth int) *Activation
+	gen = func(depth int) *Activation {
+		a := &Activation{
+			Node:   rng.Intn(20),
+			Side:   rete.Side(rng.Intn(2)),
+			Tag:    rete.Tag(rng.Intn(2)),
+			Bucket: rng.Intn(nb),
+			Insts:  rng.Intn(2),
+		}
+		if depth < 2 {
+			n := rng.Intn(8)
+			if rng.Intn(5) == 0 {
+				n = 10 + rng.Intn(30) // occasional big fan-out
+			}
+			for i := 0; i < n; i++ {
+				a.Children = append(a.Children, gen(depth+1))
+			}
+		}
+		return a
+	}
+	for c := 0; c < 1+rng.Intn(3); c++ {
+		cy := &Cycle{Changes: 1 + rng.Intn(5), RootInsts: rng.Intn(2)}
+		for r := 0; r < 1+rng.Intn(6); r++ {
+			cy.Roots = append(cy.Roots, gen(0))
+		}
+		tr.Cycles = append(tr.Cycles, cy)
+	}
+	return tr
+}
+
+// leaves counts activations with no children (the irreducible work a
+// split transformation must preserve).
+func leaves(tr *Trace) int {
+	n := 0
+	for _, cy := range tr.Cycles {
+		cy.Walk(func(a *Activation) {
+			if len(a.Children) == 0 {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// TestSplitFanoutInvariants: for random traces, SplitFanout preserves
+// leaf activations and instantiations, never increases the maximum
+// fan-out beyond the pre-split value, keeps buckets in range, and is
+// a no-op when no activation exceeds the threshold.
+func TestSplitFanoutInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		tr := genTrace(seed % 1000)
+		k := 2 + int(kRaw%4)
+		threshold := 8
+		out := SplitFanout(tr, threshold, k)
+		if out.Validate() != nil {
+			return false
+		}
+		s0, s1 := tr.Stats(), out.Stats()
+		if s1.Instantiations != s0.Instantiations {
+			return false
+		}
+		if leaves(out) < leaves(tr) {
+			return false
+		}
+		if s1.MaxSuccessors > s0.MaxSuccessors {
+			return false
+		}
+		// Activation count can only grow (copies added).
+		return s1.Total >= s0.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScatterNodeInvariants: ScatterNode preserves every count and
+// only moves buckets of the targeted node.
+func TestScatterNodeInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		tr := genTrace(seed % 1000)
+		k := 2 + int(kRaw%6)
+		const node = 7
+		out := ScatterNode(tr, node, k)
+		if out.Validate() != nil {
+			return false
+		}
+		if tr.Stats() != out.Stats() {
+			return false
+		}
+		// Non-target activations keep their buckets (compare walks).
+		same := true
+		var flatten func(t *Trace) []*Activation
+		flatten = func(t *Trace) []*Activation {
+			var all []*Activation
+			for _, cy := range t.Cycles {
+				cy.Walk(func(a *Activation) { all = append(all, a) })
+			}
+			return all
+		}
+		fa, fb := flatten(tr), flatten(out)
+		if len(fa) != len(fb) {
+			return false
+		}
+		for i := range fa {
+			if fa[i].Node != fb[i].Node || fa[i].Side != fb[i].Side || fa[i].Tag != fb[i].Tag {
+				return false
+			}
+			if fa[i].Node != node && fa[i].Bucket != fb[i].Bucket {
+				same = false
+			}
+		}
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitFanoutConverges: repeated application reaches a fixpoint
+// where no activation generates more than `threshold` child
+// activations (one pass may leave copies above the threshold when the
+// original fan-out exceeds threshold*k).
+func TestSplitFanoutConverges(t *testing.T) {
+	tr := genTrace(42)
+	const threshold, k = 8, 4
+	cur := tr
+	for i := 0; i < 10; i++ {
+		next := SplitFanout(cur, threshold, k)
+		if next.Stats() == cur.Stats() {
+			break
+		}
+		cur = next
+	}
+	maxChildren := 0
+	for _, cy := range cur.Cycles {
+		cy.Walk(func(a *Activation) {
+			if len(a.Children) > maxChildren {
+				maxChildren = len(a.Children)
+			}
+		})
+	}
+	if maxChildren > threshold {
+		t.Errorf("fixpoint still has fan-out %d > %d", maxChildren, threshold)
+	}
+	// Fixpoint: one more application changes nothing.
+	if again := SplitFanout(cur, threshold, k); again.Stats() != cur.Stats() {
+		t.Errorf("not a fixpoint: %+v vs %+v", cur.Stats(), again.Stats())
+	}
+	// Leaves and instantiations survive the whole sequence.
+	if leaves(cur) < leaves(tr) || cur.Stats().Instantiations != tr.Stats().Instantiations {
+		t.Error("converged trace lost work")
+	}
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpcrete/internal/engine"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/trace"
+)
+
+// RecordRun executes an OPS5 program under the sequential engine with
+// a trace recorder attached and returns the recorded hash-table
+// activity trace — the full pipeline the paper used: a real
+// uniprocessor run instrumented to drive the MPC simulator.
+//
+// maxCycles bounds the number of MRA cycles fired.
+func RecordRun(name, programSrc, wmeSrc string, maxCycles int) (*trace.Trace, *engine.Engine, error) {
+	prog, err := ops5.ParseProgram(programSrc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: parse %s: %w", name, err)
+	}
+	rec := trace.NewRecorder(name, 0)
+	e, err := engine.New(prog, engine.Options{Listener: rec})
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: compile %s: %w", name, err)
+	}
+	wmes, err := ops5.ParseWMEs(wmeSrc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: wmes for %s: %w", name, err)
+	}
+	e.InsertWMEs(wmes...)
+	if _, err := e.Run(maxCycles); err != nil && err != engine.ErrCycleLimit {
+		return nil, nil, fmt.Errorf("workloads: run %s: %w", name, err)
+	}
+	return rec.Trace(), e, nil
+}
+
+// BlocksWorldWMEs builds an initial tower of n blocks (b1 on b2 on ...
+// on table) with unstack goals for the top n-1 blocks.
+func BlocksWorldWMEs(n int) string {
+	out := "(hand ^holding nothing ^from nowhere)\n"
+	for i := 1; i <= n; i++ {
+		on := "table"
+		if i < n {
+			on = fmt.Sprintf("b%d", i+1)
+		}
+		clear := "no"
+		if i == 1 {
+			clear = "yes"
+		}
+		out += fmt.Sprintf("(block ^name b%d ^on %s ^clear %s)\n", i, on, clear)
+	}
+	for i := 1; i < n; i++ {
+		task := "pending"
+		done := "no"
+		if i == 1 {
+			task = "unstack"
+		}
+		out += fmt.Sprintf("(goal ^task %s ^object b%d ^done %s)\n", task, i, done)
+	}
+	return out
+}
+
+// TourneyLikeWMEs builds t teams and s round/field slots plus the
+// propose phase marker; the cross-product pairing production generates
+// t*s pairings.
+func TourneyLikeWMEs(t, s int) string {
+	out := "(phase ^name propose)\n"
+	for i := 1; i <= t; i++ {
+		out += fmt.Sprintf("(team ^name t%d)\n", i)
+	}
+	for i := 1; i <= s; i++ {
+		out += fmt.Sprintf("(slot ^round %d ^field f%d)\n", i, i%2+1)
+	}
+	return out
+}

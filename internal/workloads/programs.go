@@ -1,0 +1,158 @@
+package workloads
+
+// Genuine OPS5 programs used by the examples and the end-to-end
+// pipeline tests (program -> engine -> Rete -> recorded trace ->
+// simulator). They demonstrate that the trace format is derived from
+// real production-system runs, not only from the calibrated section
+// generators.
+
+// BlocksWorld is the classic blocks-world domain: a robot hand
+// unstacks a tower onto the table, guided by goal wmes. It exercises
+// multi-CE joins, negation, modify, and remove.
+const BlocksWorld = `
+(literalize block name on clear)
+(literalize hand holding from)
+(literalize goal task object done)
+
+; Pick up a clear block that a goal wants moved, if the hand is free;
+; remember which block it came off.
+(p pick-up
+    (goal ^task unstack ^object <b> ^done no)
+    (block ^name <b> ^clear yes ^on <under>)
+    (hand ^holding nothing)
+    -->
+    (modify 3 ^holding <b> ^from <under>)
+    (modify 2 ^on hand ^clear no))
+
+; Put the held block on the table; the block it came off becomes clear.
+(p put-down
+    (goal ^task unstack ^object <b> ^done no)
+    (block ^name <b> ^on hand)
+    (hand ^holding <b> ^from <under>)
+    (block ^name <under>)
+    -->
+    (modify 3 ^holding nothing ^from nowhere)
+    (modify 2 ^on table ^clear yes)
+    (modify 4 ^clear yes)
+    (modify 1 ^done yes))
+
+; When a goal completes, promote a pending goal whose block is clear.
+(p next-goal
+    (goal ^task unstack ^done yes)
+    (goal ^task pending ^object <c>)
+    (block ^name <c> ^clear yes)
+    -->
+    (remove 1)
+    (modify 2 ^task unstack ^done no))
+
+; Stop when no goal remains undone or pending and the hand is empty.
+(p all-done
+    (hand ^holding nothing)
+    -(goal ^task unstack ^done no)
+    -(goal ^task pending)
+    -->
+    (halt))
+`
+
+// TourneyLike is a miniature tournament scheduler whose central join
+// tests no variable between teams and slots: a pure cross product, the
+// real-program analogue of the Tourney section's pathology. Every
+// (team, slot) pair reaches the conflict set.
+const TourneyLike = `
+(literalize team name)
+(literalize slot round field)
+(literalize pairing team round field)
+(literalize phase name)
+
+(p propose-pairing
+    (phase ^name propose)
+    (team ^name <t>)
+    (slot ^round <r> ^field <f>)
+    -(pairing ^team <t> ^round <r>)
+    -->
+    (make pairing ^team <t> ^round <r> ^field <f>))
+
+(p done-proposing
+    (phase ^name propose)
+    -(team)
+    -->
+    (halt))
+`
+
+// MonkeyBananas is the classic OPS5 planning demo: a monkey walks to a
+// ladder, pushes it under the bananas, climbs, and grabs. It exercises
+// four-CE joins, inequality predicates inside conjunctive tests, and
+// goal-driven control.
+const MonkeyBananas = `
+(literalize monkey at on holds)
+(literalize object name at)
+(literalize goal status type object)
+
+(p mb-walk-to-ladder
+    (goal ^status active ^type holds ^object bananas)
+    (object ^name ladder ^at <lloc>)
+    (monkey ^at { <mloc> <> <lloc> } ^on floor)
+    -->
+    (write monkey walks to <lloc>)
+    (modify 3 ^at <lloc>))
+
+(p mb-push-ladder
+    (goal ^status active ^type holds ^object bananas)
+    (object ^name bananas ^at <bloc>)
+    (object ^name ladder ^at { <lloc> <> <bloc> })
+    (monkey ^at <lloc> ^on floor ^holds nothing)
+    -->
+    (write monkey pushes ladder to <bloc>)
+    (modify 3 ^at <bloc>)
+    (modify 4 ^at <bloc>))
+
+(p mb-climb
+    (goal ^status active ^type holds ^object bananas)
+    (object ^name bananas ^at <bloc>)
+    (object ^name ladder ^at <bloc>)
+    (monkey ^at <bloc> ^on floor)
+    -->
+    (write monkey climbs ladder)
+    (modify 4 ^on ladder))
+
+(p mb-grab
+    (goal ^status active ^type holds ^object bananas)
+    (object ^name bananas ^at <bloc>)
+    (monkey ^at <bloc> ^on ladder ^holds nothing)
+    -->
+    (write monkey grabs bananas)
+    (modify 3 ^holds bananas)
+    (modify 1 ^status satisfied))
+
+(p mb-done
+    (goal ^status satisfied)
+    -->
+    (write goal satisfied)
+    (halt))
+`
+
+// MonkeyBananasWMEs is the standard initial state: monkey at loc-a,
+// ladder at loc-b, bananas at loc-c.
+const MonkeyBananasWMEs = `
+(monkey ^at loc-a ^on floor ^holds nothing)
+(object ^name ladder ^at loc-b)
+(object ^name bananas ^at loc-c)
+(goal ^status active ^type holds ^object bananas)
+`
+
+// CounterChain is a tiny arithmetic workload with a long dependency
+// chain of modifies; useful for timing the sequential engine.
+const CounterChain = `
+(literalize counter value limit)
+
+(p count-up
+    (counter ^value <v> ^limit <l>)
+    (counter ^value < <l>)
+    -->
+    (modify 1 ^value (compute <v> + 1)))
+
+(p count-done
+    (counter ^value <v> ^limit <v>)
+    -->
+    (halt))
+`

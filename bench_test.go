@@ -15,6 +15,7 @@ import (
 	"mpcrete/internal/core"
 	"mpcrete/internal/engine"
 	"mpcrete/internal/experiments"
+	"mpcrete/internal/obs"
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
@@ -390,6 +391,39 @@ func BenchmarkParallelRuntime(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRecorderOverhead compares a simulation run with no
+// observability attached (the nil-recorder fast path — every obs
+// instrument is a no-op on a nil receiver) against one recording a
+// full timeline and metrics registry. The "off" case is the guardrail:
+// instrumenting the simulator hot paths must stay essentially free
+// (within ~2%) when nothing is attached.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	tr := workloads.Rubik()
+	base := core.Config{
+		MatchProcs: 16,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Simulate(tr, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Recorder = obs.NewRecorder()
+			cfg.Metrics = obs.NewRegistry()
+			if _, err := core.Simulate(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Infrastructure benchmarks: the codecs, the analyzer, and live

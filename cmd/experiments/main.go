@@ -8,12 +8,14 @@
 //	experiments -fig 5-1        (also: 5-2, 5-4, 5-5, 5-6)
 //	experiments -table 5-1      (also: 5-2)
 //	experiments -exp greedy     (also: probmodel, ablations)
+//	experiments -metrics run.csv -section rubik -procs 16
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpcrete/internal/experiments"
 )
@@ -23,10 +25,12 @@ func main() {
 	table := flag.String("table", "", "table to regenerate (5-1, 5-2)")
 	exp := flag.String("exp", "", "analysis to run (greedy, probmodel, generations, dips, continuum, ablations)")
 	all := flag.Bool("all", false, "regenerate everything")
-	procs := flag.Int("procs", 16, "processor count for greedy/ablation analyses")
+	procs := flag.Int("procs", 16, "processor count for greedy/ablation/metrics analyses")
+	metrics := flag.String("metrics", "", "collect a section run's metrics and write them here (.json for JSON, CSV otherwise)")
+	section := flag.String("section", "rubik", "workload section for -metrics (rubik, tourney, weaver)")
 	flag.Parse()
 
-	if !*all && *fig == "" && *table == "" && *exp == "" {
+	if !*all && *fig == "" && *table == "" && *exp == "" && *metrics == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -37,6 +41,34 @@ func main() {
 		}
 	}
 	w := os.Stdout
+
+	if *metrics != "" {
+		run("metrics", func() error {
+			reg, res, err := experiments.SectionRunMetrics(*section, *procs)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			if strings.HasSuffix(*metrics, ".json") {
+				err = reg.WriteJSON(f)
+			} else {
+				err = reg.WriteCSV(f)
+			}
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s at %d procs: makespan %.1f µs over %d cycles; metrics written to %s\n",
+				*section, *procs, res.Makespan.Microseconds(), len(res.CycleTimes), *metrics)
+			return nil
+		})
+	}
 
 	if *all || *table == "5-1" {
 		experiments.RenderTable51(w)

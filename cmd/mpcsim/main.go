@@ -8,14 +8,18 @@
 //	mpcsim -trace rubik.trace -procs 32 -overhead run3
 //	mpcsim -trace rubik.trace -procs 16 -partition greedy -dist
 //	mpcsim -trace rubik.trace -procs 8 -pairs
+//	mpcsim -trace rubik.trace -procs 16 -timeline out.json -metrics out.csv -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpcrete/internal/core"
+	"mpcrete/internal/experiments"
+	"mpcrete/internal/obs"
 	"mpcrete/internal/sched"
 	"mpcrete/internal/simnet"
 	"mpcrete/internal/stats"
@@ -37,6 +41,9 @@ func main() {
 	central := flag.Bool("central", false, "centralized constant tests (ablation)")
 	swbcast := flag.Bool("swbcast", false, "software (serialized) broadcast")
 	dist := flag.Bool("dist", false, "print per-processor left-activation distribution per cycle")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline (open in Perfetto) here")
+	metrics := flag.String("metrics", "", "write the run's metrics here (.json extension for JSON, CSV otherwise)")
+	verbose := flag.Bool("v", false, "print a per-cycle summary (activations, messages, time)")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -109,6 +116,17 @@ func main() {
 		fatal(fmt.Errorf("unknown partition strategy %q", *partition))
 	}
 
+	var rec *obs.Recorder
+	if *timeline != "" {
+		rec = obs.NewRecorder()
+		cfg.Recorder = rec
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *verbose {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+
 	sp, res, base, err := core.Speedup(tr, cfg)
 	fatal(err)
 
@@ -120,8 +138,34 @@ func main() {
 		res.Makespan.Microseconds(), base.Makespan.Microseconds(), sp)
 	fmt.Printf("messages: %d, network idle: %.1f%%, avg utilization: %.1f%%\n",
 		res.Net.Messages, 100*res.Net.NetworkIdleFraction(), 100*res.Net.AvgUtilization())
-	for ci, ct := range res.CycleTimes {
-		fmt.Printf("  cycle %d: %.1f µs\n", ci+1, ct.Microseconds())
+	gaps, gapMax := res.Net.IdleGapSummary()
+	fmt.Printf("idle gaps: %d across %d procs, max %.1f µs\n",
+		gaps, len(res.Net.Procs), gapMax.Microseconds())
+	if *verbose {
+		experiments.RenderPerCycle(os.Stdout, reg)
+	} else {
+		for ci, ct := range res.CycleTimes {
+			fmt.Printf("  cycle %d: %.1f µs\n", ci+1, ct.Microseconds())
+		}
+	}
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		fatal(err)
+		fatal(rec.WriteChromeTrace(f))
+		fatal(f.Close())
+		fmt.Printf("timeline written to %s (open at https://ui.perfetto.dev)\n", *timeline)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		fatal(err)
+		if strings.HasSuffix(*metrics, ".json") {
+			fatal(reg.WriteJSON(f))
+		} else {
+			fatal(reg.WriteCSV(f))
+		}
+		fatal(f.Close())
+		fmt.Printf("metrics written to %s\n", *metrics)
 	}
 	if *dist {
 		for ci, perProc := range res.LeftActsPerSlot {

@@ -1,11 +1,15 @@
-// Command ops5run executes an OPS5 program under the sequential
-// match-resolve-act interpreter, optionally recording a hash-table
-// activity trace for the MPC simulator.
+// Command ops5run executes an OPS5 program under the match-resolve-act
+// interpreter — sequentially, or with the match phase on the real
+// parallel goroutine runtime (-parallel) — optionally recording a
+// hash-table activity trace for the MPC simulator and a wall-clock
+// timeline of the parallel matcher.
 //
 // Usage:
 //
 //	ops5run -program rules.ops5 -wmes initial.wmes [-cycles 1000]
 //	        [-strategy lex|mea] [-trace out.trace] [-v]
+//	ops5run -program rules.ops5 -parallel 4 -timeline out.json
+//	ops5run -program rules.ops5 -parallel 4 -debug-addr localhost:6060
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"strings"
 
 	"mpcrete/internal/engine"
+	"mpcrete/internal/obs"
 	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
 	"mpcrete/internal/trace"
 )
@@ -30,6 +36,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print summary statistics")
 	watch := flag.Int("watch", 0, "OPS5 watch level: 1 = firings, 2 = + wme changes")
 	dotPath := flag.String("dot", "", "write the compiled Rete network as Graphviz DOT here")
+	par := flag.Int("parallel", 0, "run the match phase on the parallel runtime with this many workers")
+	timelinePath := flag.String("timeline", "", "write the parallel matcher's wall-clock Chrome trace timeline here (requires -parallel)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar (live runtime stats) on this address")
 	flag.Parse()
 
 	if *programPath == "" {
@@ -55,6 +64,41 @@ func main() {
 	if *tracePath != "" {
 		rec = trace.NewRecorder(strings.TrimSuffix(*programPath, ".ops5"), *nbuckets)
 		opts.Listener = rec
+	}
+
+	if *timelinePath != "" && *par <= 0 {
+		fatal("timeline", fmt.Errorf("-timeline records the parallel matcher; add -parallel N"))
+	}
+	var timeline *obs.Recorder
+	var rt *parallel.Runtime
+	if *par > 0 {
+		if *tracePath != "" {
+			fatal("parallel", fmt.Errorf("-trace requires the sequential matcher (the recorder hooks rete.Matcher)"))
+		}
+		if *timelinePath != "" {
+			timeline = obs.NewRecorder()
+		}
+		net, err := rete.Compile(prog.Productions)
+		fatal("compile", err)
+		rt, err = parallel.New(net, parallel.Options{
+			Workers:  *par,
+			NBuckets: *nbuckets,
+			Recorder: timeline,
+		})
+		fatal("parallel runtime", err)
+		defer rt.Close()
+		opts.Matcher = rt
+	}
+
+	if *debugAddr != "" {
+		snapshots := map[string]func() any{}
+		if rt != nil {
+			snapshots["runtime"] = func() any { return rt.Stats() }
+		}
+		addr, stop, err := obs.ServeDebug(*debugAddr, snapshots)
+		fatal("debug server", err)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "ops5run: debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	e, err := engine.New(prog, opts)
@@ -87,6 +131,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ops5run: %d productions, %d alpha patterns, %d joins, %d negatives\n",
 			len(prog.Productions), s.AlphaPatterns, s.JoinNodes, s.NegativeNodes)
 		fmt.Fprintf(os.Stderr, "ops5run: fired %d, wm size %d, halted %v\n", fired, e.WMCount(), e.Halted())
+		if rt != nil {
+			st := rt.Stats()
+			for w, n := range st.Processed {
+				fmt.Fprintf(os.Stderr, "ops5run: worker %d: %d activations, %d messages sent\n",
+					w, n, st.MsgsSent[w])
+			}
+		}
+	}
+	if *timelinePath != "" {
+		f, err := os.Create(*timelinePath)
+		fatal("create timeline", err)
+		fatal("write timeline", timeline.WriteChromeTrace(f))
+		fatal("close timeline", f.Close())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ops5run: timeline written to %s (open at https://ui.perfetto.dev)\n", *timelinePath)
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*tracePath)

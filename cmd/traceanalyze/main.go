@@ -5,6 +5,7 @@
 // Usage:
 //
 //	traceanalyze -trace tourney.trace
+//	traceanalyze -trace tourney.trace -v
 //	traceanalyze -trace tourney.trace -tune -procs 32 -o tuned.trace
 package main
 
@@ -15,6 +16,7 @@ import (
 
 	"mpcrete/internal/analysis"
 	"mpcrete/internal/core"
+	"mpcrete/internal/experiments"
 	"mpcrete/internal/trace"
 )
 
@@ -23,6 +25,7 @@ func main() {
 	tune := flag.Bool("tune", false, "apply recommended transformations and compare speedups")
 	procs := flag.Int("procs", 32, "processors for the before/after comparison")
 	out := flag.String("o", "", "write the tuned trace here")
+	verbose := flag.Bool("v", false, "print a per-cycle summary of a simulated run at -procs")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -37,6 +40,19 @@ func main() {
 
 	tuned, report := analysis.AutoTune(tr, analysis.Options{})
 	report.Render(os.Stdout)
+
+	if *verbose {
+		reg, res, err := experiments.CollectRunMetrics(tr, core.Config{
+			MatchProcs: *procs,
+			Costs:      core.DefaultCosts(),
+			Overhead:   core.OverheadRuns()[1],
+			Latency:    core.NectarLatency(),
+		})
+		fatal(err)
+		fmt.Printf("\nper-cycle summary at %d processors (run2 overheads), makespan %.1f µs:\n",
+			*procs, res.Makespan.Microseconds())
+		experiments.RenderPerCycle(os.Stdout, reg)
+	}
 
 	if *tune {
 		cfg := core.Config{

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mpcrete/internal/obs"
+	"mpcrete/internal/trace"
+)
+
+// obsTrace builds a two-cycle trace with inter-processor traffic.
+func obsTrace() *trace.Trace {
+	cycle := func() *trace.Cycle {
+		return &trace.Cycle{Changes: 1, Roots: []*trace.Activation{
+			act('L', '+', 0, 0, act('R', '+', 3, 1)),
+			act('R', '+', 1, 0),
+			act('L', '+', 2, 1, act('L', '+', 5, 0)),
+		}}
+	}
+	return &trace.Trace{Name: "unit", NBuckets: 8,
+		Cycles: []*trace.Cycle{cycle(), cycle()}}
+}
+
+// TestRecordedSpansMatchBusyTotal is the round-trip guarantee: the
+// timeline's busy spans must account for exactly the simulator's
+// total busy time.
+func TestRecordedSpansMatchBusyTotal(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		cfg := baseCfg(procs)
+		cfg.Overhead = OverheadRuns()[2] // nonzero send/recv overheads
+		cfg.Recorder = obs.NewRecorder()
+		res, err := Simulate(obsTrace(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := cfg.Recorder.SpanTotal(""), int64(res.Net.BusyTotal()); got != want {
+			t.Errorf("procs=%d: span total %d != busy total %d", procs, got, want)
+		}
+	}
+}
+
+// TestRecorderTimeline checks cycle markers, track names, and that the
+// exported trace is non-trivial.
+func TestRecorderTimeline(t *testing.T) {
+	cfg := baseCfg(2)
+	cfg.Recorder = obs.NewRecorder()
+	if _, err := Simulate(obsTrace(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	markers := 0
+	for _, in := range cfg.Recorder.Instants() {
+		if in.Proc == 0 && (in.Name == "cycle 1" || in.Name == "cycle 2") {
+			markers++
+		}
+	}
+	if markers != 2 {
+		t.Errorf("cycle markers = %d, want 2", markers)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Recorder.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"control"`, `"match 0"`, `"match 1"`, `"cycle-packet"`, `"flight"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+}
+
+// TestSimulateMetrics checks the registry a run populates: the
+// per-cycle series agrees with the Result, and the headline metrics
+// are present.
+func TestSimulateMetrics(t *testing.T) {
+	cfg := baseCfg(2)
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Simulate(obsTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Metrics.LookupSeries("core/per_cycle")
+	if s == nil {
+		t.Fatal("core/per_cycle series missing")
+	}
+	rows := s.Rows()
+	if len(rows) != len(res.CycleTimes) {
+		t.Fatalf("series rows = %d, want %d", len(rows), len(res.CycleTimes))
+	}
+	for ci, row := range rows {
+		acts := 0
+		for _, n := range res.ActsPerSlot[ci] {
+			acts += n
+		}
+		if row[1] != float64(acts) || row[2] != float64(res.MsgsPerCycle[ci]) {
+			t.Errorf("cycle %d row = %v, want acts=%d msgs=%d", ci+1, row, acts, res.MsgsPerCycle[ci])
+		}
+	}
+	if got := cfg.Metrics.Counter("sim/messages").Value(); got != int64(res.Net.Messages) {
+		t.Errorf("sim/messages = %d, want %d", got, res.Net.Messages)
+	}
+	if v := cfg.Metrics.Gauge("sim/makespan_us").Value(); v != res.Makespan.Microseconds() {
+		t.Errorf("sim/makespan_us = %v, want %v", v, res.Makespan.Microseconds())
+	}
+	if _, _, count, _, _ := cfg.Metrics.Histogram("trace/tokens_per_bucket").Snapshot(); count == 0 {
+		t.Error("tokens_per_bucket histogram empty")
+	}
+}
+
+// TestMsgsPerCycleSumsToTotal pins the new per-cycle message counts to
+// the aggregate the simulator already reported.
+func TestMsgsPerCycleSumsToTotal(t *testing.T) {
+	res, err := Simulate(obsTrace(), baseCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range res.MsgsPerCycle {
+		sum += n
+	}
+	if sum != res.Net.Messages {
+		t.Errorf("per-cycle messages sum %d != total %d", sum, res.Net.Messages)
+	}
+}
+
+// TestBaselineDropsObservers: the baseline helper run must not write
+// into the observed run's recorder or registry.
+func TestBaselineDropsObservers(t *testing.T) {
+	cfg := baseCfg(2)
+	cfg.Recorder = obs.NewRecorder()
+	cfg.Metrics = obs.NewRegistry()
+	base := Baseline(cfg)
+	if base.Recorder != nil || base.Metrics != nil {
+		t.Error("Baseline kept the observers")
+	}
+	if _, _, _, err := Speedup(obsTrace(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// After Speedup (which also runs the baseline), the recorder holds
+	// exactly one run's spans: its span total equals a solo observed
+	// run's busy total.
+	solo := baseCfg(2)
+	solo.Recorder = obs.NewRecorder()
+	soloRes, err := Simulate(obsTrace(), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Recorder.SpanTotal("") != int64(soloRes.Net.BusyTotal()) {
+		t.Errorf("Speedup polluted the recorder: %d != %d",
+			cfg.Recorder.SpanTotal(""), int64(soloRes.Net.BusyTotal()))
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mpcrete/internal/obs"
 	"mpcrete/internal/sched"
 	"mpcrete/internal/simnet"
 	"mpcrete/internal/trace"
@@ -48,6 +49,15 @@ type Config struct {
 	CentralRoots bool
 	// Pairs selects the Fig 3-2 processor-pair mapping.
 	Pairs bool
+	// Recorder, when non-nil, receives the run's timeline: busy spans
+	// tagged with the activation kind, message flights, broadcast
+	// events, and per-cycle phase markers. Export it with
+	// Recorder.WriteChromeTrace to open the run in Perfetto.
+	Recorder *obs.Recorder
+	// Metrics, when non-nil, receives the run's metrics: per-cycle
+	// activation/message/time series, tokens-per-bucket occupancy,
+	// idle-gap and queue-depth distributions, and headline gauges.
+	Metrics *obs.Registry
 	// Replicated selects the Section 6 continuum's first extreme: every
 	// match processor holds a full copy of both hash tables. Tokens
 	// are generated once (on the bucket's home processor) but every
@@ -64,6 +74,8 @@ type Result struct {
 	Makespan   simnet.Time
 	CycleTimes []simnet.Time
 	Net        simnet.Stats
+	// MsgsPerCycle counts messages sent during each cycle.
+	MsgsPerCycle []int
 	// LeftActsPerSlot[c][s] counts left activations processed by
 	// partition slot s during cycle c (the Fig 5-5 distribution).
 	LeftActsPerSlot [][]int
@@ -88,6 +100,14 @@ type pairCompare struct {
 	root  bool
 }
 type instMsg struct{}
+
+// Timeline labels for the busy spans of each payload kind
+// (simnet.TraceKinder).
+func (bcastStart) TraceKind() string  { return "cycle-start" }
+func (cyclePacket) TraceKind() string { return "cycle-packet" }
+func (actTask) TraceKind() string     { return "activation" }
+func (pairCompare) TraceKind() string { return "pair-compare" }
+func (instMsg) TraceKind() string     { return "inst" }
 
 // simulator carries the run state shared by the handler closures.
 type simulator struct {
@@ -163,15 +183,85 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		s.res.ActsPerSlot = append(s.res.ActsPerSlot, make([]int, cfg.MatchProcs))
 	}
 
+	if cfg.Recorder != nil {
+		s.sim.SetRecorder(cfg.Recorder)
+		s.nameTracks(cfg.Recorder)
+	}
 	for ci := range tr.Cycles {
 		start := s.sim.Now()
+		msgsBefore := s.sim.Messages()
+		cfg.Recorder.Instant(0, fmt.Sprintf("cycle %d", ci+1), int64(start))
 		s.sim.Inject(0, bcastStart{cycle: ci}, start)
 		end := s.sim.Run()
 		s.res.CycleTimes = append(s.res.CycleTimes, end-start)
+		s.res.MsgsPerCycle = append(s.res.MsgsPerCycle, s.sim.Messages()-msgsBefore)
 	}
 	s.res.Makespan = s.sim.Now()
 	s.res.Net = s.sim.Stats()
+	if cfg.Metrics != nil {
+		s.publishMetrics(cfg.Metrics)
+	}
 	return s.res, nil
+}
+
+// nameTracks labels the recorder's tracks after the processor layout.
+func (s *simulator) nameTracks(rec *obs.Recorder) {
+	rec.SetTrack(0, "control")
+	for slot := 0; slot < s.cfg.MatchProcs; slot++ {
+		if s.cfg.Pairs {
+			rec.SetTrack(s.leftProcOf(slot), fmt.Sprintf("slot %d left", slot))
+			rec.SetTrack(s.rightProcOf(slot), fmt.Sprintf("slot %d right", slot))
+		} else {
+			rec.SetTrack(s.leftProcOf(slot), fmt.Sprintf("match %d", slot))
+		}
+	}
+}
+
+// publishMetrics fills the registry from the completed run: the
+// per-cycle series the -v summaries render, the distributions the
+// Section 5.2 analysis reads off (tokens per bucket, idle gaps, queue
+// depth), and headline gauges.
+func (s *simulator) publishMetrics(reg *obs.Registry) {
+	res := s.res
+	cycles := reg.Series("core/per_cycle", "cycle", "activations", "messages", "time_us")
+	for ci, ct := range res.CycleTimes {
+		acts := 0
+		for _, n := range res.ActsPerSlot[ci] {
+			acts += n
+		}
+		cycles.Append(float64(ci+1), float64(acts), float64(res.MsgsPerCycle[ci]), ct.Microseconds())
+	}
+
+	tokens := reg.Histogram("trace/tokens_per_bucket", 1, 2, 4, 8, 16, 32, 64, 128, 256)
+	perBucket := make([]int, s.tr.NBuckets)
+	for _, load := range s.tr.BucketLoad(false) {
+		for b, n := range load {
+			perBucket[b] += n
+		}
+	}
+	for _, n := range perBucket {
+		if n > 0 {
+			tokens.Observe(float64(n))
+		}
+	}
+
+	gaps := reg.Histogram("sim/idle_gaps_per_proc", 0, 1, 2, 4, 8, 16, 32, 64, 128)
+	queue := reg.Histogram("sim/max_queue_depth", 0, 1, 2, 4, 8, 16, 32, 64, 128)
+	var gapMax simnet.Time
+	for _, p := range res.Net.Procs {
+		gaps.Observe(float64(p.IdleGaps))
+		queue.Observe(float64(p.MaxQueueDepth))
+		if p.IdleGapMax > gapMax {
+			gapMax = p.IdleGapMax
+		}
+	}
+	reg.Gauge("sim/idle_gap_max_us").Set(gapMax.Microseconds())
+
+	reg.Counter("sim/messages").Add(int64(res.Net.Messages))
+	reg.Counter("sim/insts").Add(int64(res.Insts))
+	reg.Gauge("sim/makespan_us").Set(res.Makespan.Microseconds())
+	reg.Gauge("sim/avg_utilization").Set(res.Net.AvgUtilization())
+	reg.Gauge("sim/network_idle_frac").Set(res.Net.NetworkIdleFraction())
 }
 
 // partition returns the bucket map in force for a cycle.
@@ -411,6 +501,10 @@ func Baseline(cfg Config) Config {
 	base.Pairs = false
 	base.CentralRoots = false
 	base.Replicated = false
+	// The baseline is a helper run: it must not write into the
+	// configured run's timeline or metrics.
+	base.Recorder = nil
+	base.Metrics = nil
 	return base
 }
 

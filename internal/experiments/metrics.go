@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/obs"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+// CollectRunMetrics simulates a trace with a fresh metrics registry
+// attached and returns both. The registry's CSV/JSON exports are
+// deterministic, so a seeded run exports byte-for-byte identically on
+// every invocation — the property the experiment harness relies on to
+// diff runs across code changes.
+func CollectRunMetrics(tr *trace.Trace, cfg core.Config) (*obs.Registry, *core.Result, error) {
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	res, err := core.Simulate(tr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reg, res, nil
+}
+
+// SectionRunMetrics collects metrics for one of the paper's workload
+// sections (rubik, tourney, weaver) at the given processor count
+// under run2 overheads — the configuration the analysis sections of
+// the paper keep returning to.
+func SectionRunMetrics(section string, procs int) (*obs.Registry, *core.Result, error) {
+	var tr *trace.Trace
+	for _, s := range workloads.Sections() {
+		if s.Name == section {
+			tr = s
+		}
+	}
+	if tr == nil {
+		return nil, nil, fmt.Errorf("experiments: unknown section %q", section)
+	}
+	return CollectRunMetrics(tr, core.Config{
+		MatchProcs: procs,
+		Costs:      core.DefaultCosts(),
+		Overhead:   core.OverheadRuns()[1],
+		Latency:    core.NectarLatency(),
+	})
+}
+
+// RenderPerCycle prints the per-cycle summary recorded in a run's
+// metrics registry (the -v output of cmd/mpcsim and
+// cmd/traceanalyze): cycle, activations, messages, and makespan
+// contribution.
+func RenderPerCycle(w io.Writer, reg *obs.Registry) {
+	s := reg.LookupSeries("core/per_cycle")
+	if s == nil {
+		fmt.Fprintln(w, "(no per-cycle metrics recorded)")
+		return
+	}
+	for _, row := range s.Rows() {
+		fmt.Fprintf(w, "  cycle %d: %d activations, %d messages, %.1f µs\n",
+			int(row[0]), int(row[1]), int(row[2]), row[3])
+	}
+}

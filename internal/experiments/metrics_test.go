@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunMetricsDeterministic is the acceptance check that a seeded
+// run's metrics CSV is byte-for-byte identical across invocations.
+func TestRunMetricsDeterministic(t *testing.T) {
+	export := func() string {
+		reg, _, err := SectionRunMetrics("rubik", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := export(), export()
+	if a != b {
+		t.Error("metrics CSV differs between two identical runs")
+	}
+	for _, want := range []string{"series,core/per_cycle,", "counter,sim/messages,", "histogram,trace/tokens_per_bucket,"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("metrics CSV missing %q", want)
+		}
+	}
+}
+
+func TestRenderPerCycle(t *testing.T) {
+	reg, res, err := SectionRunMetrics("weaver", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderPerCycle(&buf, reg)
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(res.CycleTimes) {
+		t.Errorf("rendered %d lines for %d cycles:\n%s", lines, len(res.CycleTimes), buf.String())
+	}
+	if !strings.Contains(buf.String(), "cycle 1:") {
+		t.Errorf("missing cycle 1 line:\n%s", buf.String())
+	}
+}
+
+func TestSectionRunMetricsUnknown(t *testing.T) {
+	if _, _, err := SectionRunMetrics("nope", 4); err == nil {
+		t.Error("expected error for unknown section")
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"sync"
+)
+
+var publishMu sync.Mutex
+
+// ServeDebug starts an HTTP server on addr exposing the Go runtime
+// profiler (/debug/pprof/) and expvar (/debug/vars). Each snapshot
+// function is published as an expvar under its name, so live metrics
+// for a long parallel run are one `curl /debug/vars` away. A Registry
+// plugs in via SnapshotVar.
+//
+// It returns the bound address (useful with addr ":0") and a stop
+// function. Republishing an already-published name replaces the
+// previous snapshot function instead of panicking.
+func ServeDebug(addr string, snapshots map[string]func() any) (string, func() error, error) {
+	publishMu.Lock()
+	for name, fn := range snapshots {
+		fn := fn
+		v := expvar.Func(func() any { return fn() })
+		if prev := expvar.Get(name); prev != nil {
+			if slot, ok := prev.(*debugVar); ok {
+				slot.set(v)
+			}
+			// A non-slot collision (e.g. the stock cmdline/memstats
+			// vars) is left alone.
+		} else {
+			slot := &debugVar{}
+			slot.set(v)
+			expvar.Publish(name, slot)
+		}
+	}
+	publishMu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// debugVar is a replaceable expvar slot (expvar.Publish panics on
+// duplicates, which breaks repeated ServeDebug calls in one process).
+type debugVar struct {
+	mu sync.Mutex
+	v  expvar.Var
+}
+
+func (d *debugVar) set(v expvar.Var) {
+	d.mu.Lock()
+	d.v = v
+	d.mu.Unlock()
+}
+
+func (d *debugVar) String() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.v == nil {
+		return "null"
+	}
+	return d.v.String()
+}
+
+// SnapshotVar returns a snapshot function for ServeDebug that renders
+// the registry's current contents.
+func (g *Registry) SnapshotVar() func() any {
+	return func() any { return g.snapshot() }
+}
+
+// writeJSON marshals v with a trailing newline.
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

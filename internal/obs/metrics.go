@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a metrics registry: named counters, gauges, fixed-bucket
+// histograms, and row-oriented series (per-cycle tables). Lookups
+// create on first use. All methods — including those of the returned
+// instruments — are safe for concurrent use and on nil receivers
+// (no-ops / zero values), so instrumented code needs no conditionals.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		series:   map[string]*Series{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (g *Registry) Counter(name string) *Counter {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.counters[name]
+	if !ok {
+		c = &Counter{}
+		g.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (g *Registry) Gauge(name string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.gauges[name]
+	if !ok {
+		v = &Gauge{}
+		g.gauges[name] = v
+	}
+	return v
+}
+
+// Histogram returns the named histogram, creating it with the given
+// upper bucket bounds (ascending) if needed; bounds passed on later
+// lookups of an existing histogram are ignored.
+func (g *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		g.hists[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it with the given column
+// names if needed.
+func (g *Registry) Series(name string, cols ...string) *Series {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.series[name]
+	if !ok {
+		c := make([]string, len(cols))
+		copy(c, cols)
+		s = &Series{cols: c}
+		g.series[name] = s
+	}
+	return s
+}
+
+// LookupSeries returns the named series, or nil if it was never
+// created.
+func (g *Registry) LookupSeries(name string) *Series {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.series[name]
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets: counts[i] is the
+// number of observations <= bounds[i], with one overflow bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Snapshot returns the bucket bounds, per-bucket counts (with the
+// trailing overflow bucket), total count, sum, and maximum.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64, count int64, sum, max float64) {
+	if h == nil {
+		return nil, nil, 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	counts = append([]int64(nil), h.counts...)
+	return bounds, counts, h.count, h.sum, h.max
+}
+
+// Series is a named table of float rows (e.g. one row per MRA cycle).
+type Series struct {
+	mu   sync.Mutex
+	cols []string
+	rows [][]float64
+}
+
+// Append adds one row; short rows are zero-padded to the column count.
+func (s *Series) Append(row ...float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	r := make([]float64, len(s.cols))
+	copy(r, row)
+	s.rows = append(s.rows, r)
+	s.mu.Unlock()
+}
+
+// Cols returns the column names.
+func (s *Series) Cols() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.cols...)
+}
+
+// Rows returns a copy of the rows.
+func (s *Series) Rows() [][]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]float64, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// formatFloat renders a float deterministically (shortest round-trip
+// form, 'g' style — the same bytes on every run and platform).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV exports the registry deterministically: a fixed header,
+// sections in fixed kind order (counter, gauge, histogram, series),
+// names sorted within each kind, and histogram/series keys in their
+// natural order. Two exports of identically-populated registries are
+// byte-for-byte equal.
+//
+// Schema: `kind,name,key,value` where key is empty for counters and
+// gauges, `le=<bound>`/`le=+Inf`/`count`/`sum`/`max` for histograms,
+// and `<row>/<column>` for series.
+func (g *Registry) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("kind,name,key,value\n"); err != nil {
+		return err
+	}
+	if g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		for _, name := range sortedKeys(g.counters) {
+			fmt.Fprintf(bw, "counter,%s,,%d\n", name, g.counters[name].Value())
+		}
+		for _, name := range sortedKeys(g.gauges) {
+			fmt.Fprintf(bw, "gauge,%s,,%s\n", name, formatFloat(g.gauges[name].Value()))
+		}
+		for _, name := range sortedKeys(g.hists) {
+			bounds, counts, count, sum, max := g.hists[name].Snapshot()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "histogram,%s,le=%s,%d\n", name, formatFloat(b), counts[i])
+			}
+			fmt.Fprintf(bw, "histogram,%s,le=+Inf,%d\n", name, counts[len(bounds)])
+			fmt.Fprintf(bw, "histogram,%s,count,%d\n", name, count)
+			fmt.Fprintf(bw, "histogram,%s,sum,%s\n", name, formatFloat(sum))
+			fmt.Fprintf(bw, "histogram,%s,max,%s\n", name, formatFloat(max))
+		}
+		for _, name := range sortedKeys(g.series) {
+			s := g.series[name]
+			cols := s.Cols()
+			for ri, row := range s.Rows() {
+				for ci, col := range cols {
+					fmt.Fprintf(bw, "series,%s,%d/%s,%s\n", name, ri, col, formatFloat(row[ci]))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshotJSON is the JSON export shape (field order fixed by the
+// struct definitions, so output is deterministic).
+type snapshotJSON struct {
+	Counters []counterJSON `json:"counters"`
+	Gauges   []gaugeJSON   `json:"gauges"`
+	Hists    []histJSON    `json:"histograms"`
+	Series   []seriesJSON  `json:"series"`
+}
+
+type counterJSON struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type gaugeJSON struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type histJSON struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Max    float64   `json:"max"`
+}
+
+type seriesJSON struct {
+	Name string      `json:"name"`
+	Cols []string    `json:"cols"`
+	Rows [][]float64 `json:"rows"`
+}
+
+// snapshot builds the export shape under the registry lock.
+func (g *Registry) snapshot() snapshotJSON {
+	out := snapshotJSON{
+		Counters: []counterJSON{},
+		Gauges:   []gaugeJSON{},
+		Hists:    []histJSON{},
+		Series:   []seriesJSON{},
+	}
+	if g == nil {
+		return out
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, name := range sortedKeys(g.counters) {
+		out.Counters = append(out.Counters, counterJSON{name, g.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(g.gauges) {
+		out.Gauges = append(out.Gauges, gaugeJSON{name, g.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(g.hists) {
+		bounds, counts, count, sum, max := g.hists[name].Snapshot()
+		out.Hists = append(out.Hists, histJSON{name, bounds, counts, count, sum, max})
+	}
+	for _, name := range sortedKeys(g.series) {
+		s := g.series[name]
+		out.Series = append(out.Series, seriesJSON{name, s.Cols(), s.Rows()})
+	}
+	return out
+}
+
+// WriteJSON exports the registry as JSON with the same determinism
+// guarantees as WriteCSV.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	return writeJSON(w, g.snapshot())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// populate fills a registry; insertion order differs by variant to
+// prove exports do not depend on it.
+func populate(g *Registry, reversed bool) {
+	values := map[string]int64{"a/count": 11, "z/count": 2, "m/count": 3}
+	names := []string{"a/count", "z/count", "m/count"}
+	if reversed {
+		names = []string{"m/count", "z/count", "a/count"}
+	}
+	for _, n := range names {
+		g.Counter(n).Add(values[n])
+	}
+	g.Gauge("util").Set(0.53125)
+	g.Gauge("makespan_us").Set(1234.5)
+	h := g.Histogram("gaps", 10, 100, 1000)
+	for _, v := range []float64{1, 15, 15, 99, 5000} {
+		h.Observe(v)
+	}
+	s := g.Series("cycles", "activations", "messages")
+	s.Append(10, 4)
+	s.Append(7, 2)
+}
+
+// TestCSVDeterministic checks byte-for-byte equality of two exports of
+// identically-populated registries built in different orders.
+func TestCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	ga, gb := NewRegistry(), NewRegistry()
+	populate(ga, false)
+	populate(gb, true)
+	if err := ga.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("CSV export depends on population order:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{
+		"kind,name,key,value\n",
+		"counter,a/count,,11\n",
+		"histogram,gaps,le=10,1\n",
+		"histogram,gaps,le=100,3\n",
+		"histogram,gaps,le=+Inf,1\n",
+		"histogram,gaps,count,5\n",
+		"histogram,gaps,max,5000\n",
+		"series,cycles,0/activations,10\n",
+		"series,cycles,1/messages,2\n",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("CSV missing %q:\n%s", want, a.String())
+		}
+	}
+
+	var ja, jb bytes.Buffer
+	if err := ga.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := gb.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Error("JSON export depends on population order")
+	}
+	var doc snapshotJSON
+	if err := json.Unmarshal(ja.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON export invalid: %v", err)
+	}
+	if len(doc.Counters) != 3 || len(doc.Hists) != 1 || len(doc.Series) != 1 {
+		t.Errorf("JSON export shape: %+v", doc)
+	}
+}
+
+// TestNilRegistry exercises the nil fast path on the registry and on
+// every instrument it hands out.
+func TestNilRegistry(t *testing.T) {
+	var g *Registry
+	g.Counter("c").Inc()
+	g.Gauge("g").Set(1)
+	g.Histogram("h", 1, 2).Observe(1)
+	g.Series("s", "x").Append(1)
+	if g.Counter("c").Value() != 0 || g.Gauge("g").Value() != 0 {
+		t.Error("nil instruments returned values")
+	}
+	if g.LookupSeries("s") != nil {
+		t.Error("nil registry returned a series")
+	}
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "kind,name,key,value\n" {
+		t.Errorf("nil CSV = %q", buf.String())
+	}
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	g := NewRegistry()
+	h := g.Histogram("h", 100, 10, 1) // unsorted bounds are sorted
+	for _, v := range []float64{0, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	bounds, counts, count, sum, max := h.Snapshot()
+	if len(bounds) != 3 || bounds[0] != 1 || bounds[2] != 100 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// <=1: {0,1}; <=10: {2,10}; <=100: {11}; overflow: {1000}
+	want := []int64{2, 2, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("counts[%d] = %d, want %d (all: %v)", i, c, want[i], counts)
+		}
+	}
+	if count != 6 || sum != 1024 || max != 1000 {
+		t.Errorf("count=%d sum=%v max=%v", count, sum, max)
+	}
+}
+
+func TestSeriesPadding(t *testing.T) {
+	g := NewRegistry()
+	s := g.Series("s", "a", "b", "c")
+	s.Append(1)
+	rows := s.Rows()
+	if len(rows) != 1 || len(rows[0]) != 3 || rows[0][0] != 1 || rows[0][2] != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// buildRecorder assembles the fixture timeline used by the golden and
+// validity tests.
+func buildRecorder() *Recorder {
+	r := NewRecorder()
+	r.SetTrack(0, "control")
+	r.SetTrack(1, "match 0")
+	r.Span(0, "cycle-start", 0, 1500, Label{"cycle", "0"})
+	r.Span(1, "activation", 2000, 34000)
+	r.Span(NetworkTrack, "flight", 1500, 2000, Label{"to", "1"}, Label{"from", "0"})
+	r.Instant(0, "broadcast", 1500)
+	r.Sample(1, "queue", 2000, 1)
+	return r
+}
+
+const goldenTrace = `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"mpcrete"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":2,"args":{"name":"network"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"control"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"match 0"}},
+{"name":"cycle-start","cat":"span","ph":"X","ts":0.000,"dur":1.500,"pid":0,"tid":0,"args":{"cycle":"0"}},
+{"name":"flight","cat":"span","ph":"X","ts":1.500,"dur":0.500,"pid":0,"tid":2,"args":{"from":"0","to":"1"}},
+{"name":"broadcast","cat":"instant","ph":"i","ts":1.500,"pid":0,"tid":0,"s":"t"},
+{"name":"activation","cat":"span","ph":"X","ts":2.000,"dur":32.000,"pid":0,"tid":1},
+{"name":"queue/p1","cat":"counter","ph":"C","ts":2.000,"pid":0,"tid":1,"args":{"value":1}}
+],"displayTimeUnit":"ms"}
+`
+
+// TestChromeTraceGolden pins the exporter's exact bytes: field order,
+// timestamp formatting, event ordering, and track naming are all part
+// of the contract (the metrics/timeline files must be reproducible).
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenTrace {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenTrace)
+	}
+}
+
+// TestChromeTraceValid parses the export as JSON and checks the
+// trace-event schema: known phases, pid/tid present where required,
+// and monotonically non-decreasing timestamps.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	lastTS := -1.0
+	for i, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "M":
+			continue
+		case "X", "i", "C":
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ph)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Errorf("event %d: missing pid", i)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Errorf("event %d: missing tid", i)
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok {
+			t.Fatalf("event %d: missing ts", i)
+		}
+		if ts < lastTS {
+			t.Errorf("event %d: ts %v < previous %v (not monotonic)", i, ts, lastTS)
+		}
+		lastTS = ts
+		if ph == "X" {
+			if d, ok := e["dur"].(float64); !ok || d < 0 {
+				t.Errorf("event %d: bad dur %v", i, e["dur"])
+			}
+		}
+	}
+}
+
+// TestNilRecorder exercises the nil fast path: every method must be a
+// safe no-op, and the export must still be valid JSON.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.SetTrack(0, "x")
+	r.Span(0, "busy", 0, 1)
+	r.Instant(0, "e", 0)
+	r.Sample(0, "q", 0, 1)
+	if r.Spans() != nil || r.Instants() != nil || r.SpanTotal("") != 0 {
+		t.Error("nil recorder returned data")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil export invalid: %v", err)
+	}
+}
+
+func TestSpanTotal(t *testing.T) {
+	r := NewRecorder()
+	r.Span(0, "activation", 0, 10)
+	r.Span(1, "activation", 5, 25)
+	r.Span(2, "other", 0, 7)
+	r.Span(NetworkTrack, "flight", 0, 1000) // network tracks excluded
+	if got := r.SpanTotal(""); got != 37 {
+		t.Errorf("SpanTotal() = %d, want 37", got)
+	}
+	if got := r.SpanTotal("activation"); got != 30 {
+		t.Errorf(`SpanTotal("activation") = %d, want 30`, got)
+	}
+}
+
+// TestServeDebug starts the debug server and checks that pprof and the
+// expvar metrics snapshot are served.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(3)
+	addr, stop, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"metrics": reg.SnapshotVar(),
+	})
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(b)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"hits"`) || !strings.Contains(vars, `"metrics"`) {
+		t.Errorf("/debug/vars missing metrics snapshot:\n%s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+
+	// A second ServeDebug with the same name must not panic and must
+	// replace the snapshot.
+	reg2 := NewRegistry()
+	reg2.Counter("fresh").Inc()
+	addr2, stop2, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"metrics": reg2.SnapshotVar(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	_ = addr2
+	if vars := get("/debug/vars"); !strings.Contains(vars, `"fresh"`) {
+		t.Error("republished metrics var not replaced")
+	}
+}

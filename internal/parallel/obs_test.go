@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"mpcrete/internal/obs"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+// TestRuntimeTimeline runs a match phase under a recorder and checks
+// the wall-clock timeline: per-worker cycle spans, a quiescence span
+// on the control track, and a valid Chrome export.
+func TestRuntimeTimeline(t *testing.T) {
+	net, _ := compileProds(t,
+		`(p pair (team ^name <t>) (slot ^id <s>) --> (make pairing ^team <t> ^slot <s>))`)
+	rec := obs.NewRecorder()
+	rt, err := New(net, Options{
+		Workers:  2,
+		Detector: FourCounterDetector,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var changes []rete.Change
+	id := 1
+	add := func(w *ops5.WME) {
+		w.ID, w.TimeTag = id, id
+		id++
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+	}
+	for i := 0; i < 4; i++ {
+		add(ops5.NewWME("team", "name", i))
+		add(ops5.NewWME("slot", "id", i))
+	}
+	if got := rt.Apply(changes); len(got) != 16 {
+		t.Fatalf("conflict set = %d, want 16", len(got))
+	}
+
+	cycleSpans := map[int]int{}
+	quiesce := 0
+	for _, sp := range rec.Spans() {
+		if sp.T1 < sp.T0 {
+			t.Errorf("span %v ends before it starts", sp)
+		}
+		switch {
+		case sp.Kind == "cycle":
+			cycleSpans[sp.Proc]++
+		case sp.Kind == "quiesce" && sp.Proc == rt.controlTrack():
+			quiesce++
+			if len(sp.Labels) != 1 || sp.Labels[0].Key != "waves" {
+				t.Errorf("quiesce span labels = %v", sp.Labels)
+			}
+		}
+	}
+	if cycleSpans[0] != 1 || cycleSpans[1] != 1 {
+		t.Errorf("cycle spans per worker = %v, want one each", cycleSpans)
+	}
+	if quiesce != 1 {
+		t.Errorf("quiesce spans = %d, want 1", quiesce)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"worker 0"`, `"worker 1"`, `"control"`, `"cycle-broadcast"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+}

@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mpcrete/internal/obs"
 	"mpcrete/internal/rete"
 	"mpcrete/internal/sched"
 	"mpcrete/internal/termdet"
@@ -48,6 +51,11 @@ type Options struct {
 	Partition sched.Partition
 	// Detector selects the termination-detection scheme.
 	Detector Detector
+	// Recorder, when non-nil, receives a wall-clock timeline of the
+	// run: one span per mailbox message processed on each worker and a
+	// quiescence-wait span (with the termination-detection wave count)
+	// on the control track. Timestamps are nanoseconds since New.
+	Recorder *obs.Recorder
 }
 
 // message is the worker-mailbox protocol.
@@ -103,8 +111,18 @@ type Runtime struct {
 	msgsSent  []atomic.Int64
 	instCount atomic.Int64
 
+	rec   *obs.Recorder
+	epoch time.Time
+
 	closed bool
 }
+
+// nowNS is the recorder clock: wall-clock nanoseconds since New.
+func (rt *Runtime) nowNS() int64 { return time.Since(rt.epoch).Nanoseconds() }
+
+// controlTrack is the recorder track for the control goroutine (the
+// workers occupy tracks 0..Workers-1).
+func (rt *Runtime) controlTrack() int { return rt.opts.Workers }
 
 type worker struct {
 	id    int
@@ -147,6 +165,14 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 		counter:   termdet.NewCounter(),
 		processed: make([]atomic.Int64, opts.Workers),
 		msgsSent:  make([]atomic.Int64, opts.Workers),
+		rec:       opts.Recorder,
+		epoch:     time.Now(),
+	}
+	if rt.rec != nil {
+		for i := 0; i < opts.Workers; i++ {
+			rt.rec.SetTrack(i, fmt.Sprintf("worker %d", i))
+		}
+		rt.rec.SetTrack(rt.controlTrack(), "control")
 	}
 	for i := 0; i <= opts.Workers; i++ {
 		rt.counts = append(rt.counts, &termdet.ChannelCounts{})
@@ -200,6 +226,10 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 	rt.instMu.Unlock()
 
 	// Broadcast the cycle packet.
+	if rt.rec != nil {
+		rt.rec.Instant(rt.controlTrack(), "cycle-broadcast", rt.nowNS(),
+			obs.Label{Key: "changes", Value: strconv.Itoa(len(changes))})
+	}
 	for _, w := range rt.workers {
 		rt.counter.Add(1)
 		rt.controlCounts().IncSent()
@@ -207,10 +237,26 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 	}
 
 	// Wait for global quiescence.
+	var waitStart int64
+	if rt.rec != nil {
+		waitStart = rt.nowNS()
+	}
+	waves := 0
 	if rt.opts.Detector == FourCounterDetector {
-		rt.four.WaitTerminated(runtime.Gosched)
+		yield := runtime.Gosched
+		if rt.rec != nil {
+			yield = func() {
+				waves++
+				runtime.Gosched()
+			}
+		}
+		rt.four.WaitTerminated(yield)
 	}
 	rt.counter.Wait()
+	if rt.rec != nil {
+		rt.rec.Span(rt.controlTrack(), "quiesce", waitStart, rt.nowNS(),
+			obs.Label{Key: "waves", Value: strconv.Itoa(waves)})
+	}
 
 	rt.instMu.Lock()
 	raw := rt.insts
@@ -259,6 +305,10 @@ func (w *worker) loop() {
 		if !ok || msg.kind == msgStop {
 			return
 		}
+		var t0 int64
+		if rt.rec != nil {
+			t0 = rt.nowNS()
+		}
 		switch msg.kind {
 		case msgCycle:
 			// Constant tests run on every worker (duplicated work, the
@@ -278,8 +328,27 @@ func (w *worker) loop() {
 		case msgMigrateIn:
 			w.proc.InjectBucket(msg.inject.contents)
 		}
+		if rt.rec != nil {
+			rt.rec.Span(w.id, msgKindName(msg.kind), t0, rt.nowNS())
+		}
 		rt.counts[w.id].IncRecv()
 		rt.counter.Done()
+	}
+}
+
+// msgKindName labels worker timeline spans by mailbox message kind.
+func msgKindName(k msgKind) string {
+	switch k {
+	case msgCycle:
+		return "cycle"
+	case msgAct:
+		return "activation"
+	case msgMigrateOut:
+		return "migrate-out"
+	case msgMigrateIn:
+		return "migrate-in"
+	default:
+		return "msg"
 	}
 }
 

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"testing"
+
+	"mpcrete/internal/obs"
+)
+
+// TestIdleGapHistogram checks the per-processor idle-gap accounting on
+// a hand-built two-processor schedule:
+//
+//	proc 0: busy [0,10], idle (10,20), busy [20,30], idle (30,35), busy [35,40]
+//	proc 1: busy [5,15] only — no gaps
+func TestIdleGapHistogram(t *testing.T) {
+	s := closureSim(Config{Procs: 2})
+	work := func(d Time) closureTask {
+		return closureTask(func(ctx *Ctx) { ctx.Busy(d) })
+	}
+	s.Inject(0, work(US(10)), 0)
+	s.Inject(0, work(US(10)), US(20))
+	s.Inject(0, work(US(5)), US(35))
+	s.Inject(1, work(US(10)), US(5))
+	s.Run()
+	st := s.Stats()
+
+	p0 := st.Procs[0]
+	if p0.IdleGaps != 2 {
+		t.Errorf("proc 0 idle gaps = %d, want 2", p0.IdleGaps)
+	}
+	if p0.IdleGapMax != US(10) {
+		t.Errorf("proc 0 max gap = %vµs, want 10", p0.IdleGapMax.Microseconds())
+	}
+	if p0.IdleGapTotal != US(15) {
+		t.Errorf("proc 0 gap total = %vµs, want 15", p0.IdleGapTotal.Microseconds())
+	}
+	p1 := st.Procs[1]
+	if p1.IdleGaps != 0 || p1.IdleGapMax != 0 {
+		t.Errorf("proc 1 gaps = %+v, want none (leading/trailing idle is not a gap)", p1)
+	}
+	if gaps, max := st.IdleGapSummary(); gaps != 2 || max != US(10) {
+		t.Errorf("summary = (%d, %vµs), want (2, 10)", gaps, max.Microseconds())
+	}
+}
+
+// TestIdleGapIgnoresZeroWorkTasks: a zero-busy task in the middle of
+// an idle interval must not split the gap in two.
+func TestIdleGapIgnoresZeroWorkTasks(t *testing.T) {
+	s := closureSim(Config{Procs: 1})
+	work := func(d Time) closureTask {
+		return closureTask(func(ctx *Ctx) { ctx.Busy(d) })
+	}
+	s.Inject(0, work(US(10)), 0)
+	s.Inject(0, work(0), US(15)) // bookkeeping task, no busy time
+	s.Inject(0, work(US(10)), US(30))
+	s.Run()
+	p := s.Stats().Procs[0]
+	if p.IdleGaps != 1 || p.IdleGapMax != US(20) {
+		t.Errorf("gaps = %d max = %vµs, want 1 gap of 20µs", p.IdleGaps, p.IdleGapMax.Microseconds())
+	}
+}
+
+// kindedTask exercises the TraceKinder label on busy spans.
+type kindedTask struct {
+	kind string
+	run  func(ctx *Ctx)
+}
+
+func (k kindedTask) TraceKind() string { return k.kind }
+
+// TestRecorderSpans checks that busy spans (tagged with the payload
+// kind) sum to the busy total and that message flights land on the
+// network track.
+func TestRecorderSpans(t *testing.T) {
+	cfg := Config{Procs: 2, SendOverhead: US(5), RecvOverhead: US(3), Latency: US(0.5)}
+	s := New(cfg, func(ctx *Ctx, p Payload) { p.(kindedTask).run(ctx) })
+	rec := obs.NewRecorder()
+	s.SetRecorder(rec)
+
+	recv := kindedTask{kind: "sink", run: func(ctx *Ctx) { ctx.Busy(US(2)) }}
+	s.Inject(0, kindedTask{kind: "source", run: func(ctx *Ctx) {
+		ctx.Busy(US(10))
+		ctx.Send(1, recv)
+	}}, 0)
+	s.Run()
+	st := s.Stats()
+
+	if got := rec.SpanTotal(""); got != int64(st.BusyTotal()) {
+		t.Errorf("span total = %d, busy total = %d", got, int64(st.BusyTotal()))
+	}
+	var kinds = map[string]int{}
+	var flights int
+	for _, sp := range rec.Spans() {
+		if sp.Proc == obs.NetworkTrack {
+			if sp.Kind != "flight" {
+				t.Errorf("network-track span kind %q", sp.Kind)
+			}
+			if sp.T1-sp.T0 != int64(US(0.5)) {
+				t.Errorf("flight duration = %d, want latency", sp.T1-sp.T0)
+			}
+			flights++
+			continue
+		}
+		kinds[sp.Kind]++
+	}
+	if kinds["source"] != 1 || kinds["sink"] != 1 || flights != 1 {
+		t.Errorf("spans: kinds=%v flights=%d", kinds, flights)
+	}
+}
+
+// TestMaxQueueDepth: of three simultaneous tasks on one processor the
+// first starts immediately, leaving two queued at the high-water mark.
+func TestMaxQueueDepth(t *testing.T) {
+	s := closureSim(Config{Procs: 1})
+	for i := 0; i < 3; i++ {
+		s.Inject(0, closureTask(func(ctx *Ctx) { ctx.Busy(US(1)) }), 0)
+	}
+	s.Run()
+	if d := s.Stats().Procs[0].MaxQueueDepth; d != 2 {
+		t.Errorf("max queue depth = %d, want 2", d)
+	}
+}

@@ -16,6 +16,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
+
+	"mpcrete/internal/obs"
 )
 
 // Time is simulated time in nanoseconds.
@@ -63,6 +66,17 @@ type Payload any
 // Handler runs a task. It must call Ctx methods to accrue busy time
 // and to emit follow-on work; a task with zero accrued time is legal.
 type Handler func(ctx *Ctx, p Payload)
+
+// TraceKinder lets payloads label their busy spans in a timeline
+// recording; payloads without it are recorded as "task".
+type TraceKinder interface{ TraceKind() string }
+
+func kindOf(p Payload) string {
+	if k, ok := p.(TraceKinder); ok {
+		return k.TraceKind()
+	}
+	return "task"
+}
 
 type task struct {
 	payload Payload
@@ -120,6 +134,17 @@ type proc struct {
 	tasks    int
 	msgsIn   int
 	msgsOut  int
+
+	// Idle-gap accounting (the quantitative form of Fig 5-5's busy/idle
+	// alternation): a gap is the interval between two non-empty busy
+	// spans. Zero-work tasks neither start nor end a gap.
+	everBusy bool
+	lastEnd  Time
+	gaps     int
+	gapMax   Time
+	gapTotal Time
+
+	maxQueue int // high-water mark of the pending FIFO
 }
 
 // ProcStats reports one processor's accounting.
@@ -130,6 +155,15 @@ type ProcStats struct {
 	Tasks        int
 	MsgsIn       int
 	MsgsOut      int
+	// IdleGaps counts the gaps between consecutive busy spans;
+	// IdleGapMax and IdleGapTotal are the largest and summed gap
+	// lengths. Leading idle (before the first task) and trailing idle
+	// (after the last) are not gaps.
+	IdleGaps     int
+	IdleGapMax   Time
+	IdleGapTotal Time
+	// MaxQueueDepth is the high-water mark of the task FIFO.
+	MaxQueueDepth int
 }
 
 // Stats reports a completed simulation interval.
@@ -163,6 +197,18 @@ func (s *Stats) NetworkIdleFraction() float64 {
 	return 1 - float64(s.NetworkBusy)/float64(s.Makespan)
 }
 
+// IdleGapSummary aggregates idle gaps over processors: total count
+// and the largest single gap.
+func (s *Stats) IdleGapSummary() (gaps int, max Time) {
+	for _, p := range s.Procs {
+		gaps += p.IdleGaps
+		if p.IdleGapMax > max {
+			max = p.IdleGapMax
+		}
+	}
+	return gaps, max
+}
+
 // AvgUtilization is mean busy/makespan over processors.
 func (s *Stats) AvgUtilization() float64 {
 	if s.Makespan == 0 || len(s.Procs) == 0 {
@@ -190,6 +236,7 @@ type Sim struct {
 	msgs    int
 	flights []flight
 	cont    *contention
+	rec     *obs.Recorder
 }
 
 type flight struct{ dep, arr Time }
@@ -221,6 +268,15 @@ func (s *Sim) Config() Config { return s.cfg }
 // Now returns the simulation clock.
 func (s *Sim) Now() Time { return s.clock }
 
+// Messages returns the number of messages sent so far (cheap, unlike
+// a full Stats snapshot).
+func (s *Sim) Messages() int { return s.msgs }
+
+// SetRecorder attaches a timeline recorder (nil detaches). Busy spans
+// are tagged with the payload's TraceKind, message flights appear on
+// obs.NetworkTrack, and task-queue depth is sampled per processor.
+func (s *Sim) SetRecorder(r *obs.Recorder) { s.rec = r }
+
 // Inject schedules a task on processor p at time at (which must not be
 // in the past).
 func (s *Sim) Inject(p int, payload Payload, at Time) {
@@ -250,11 +306,18 @@ func (s *Sim) Run() Time {
 		case evDepart:
 			arr := s.cont.traverse(&s.cfg, e.from, e.proc, e.at)
 			s.flights = append(s.flights, flight{e.at, arr})
+			s.recordFlight(e.from, e.proc, e.at, arr)
 			e.tk.ready = arr
 			s.post(&event{at: arr, kind: evReady, proc: e.proc, tk: e.tk})
 			continue
 		case evReady:
 			p.pending = append(p.pending, e.tk)
+			if len(p.pending) > p.maxQueue {
+				p.maxQueue = len(p.pending)
+			}
+			if s.rec != nil {
+				s.rec.Sample(p.id, "queue", int64(e.at), float64(len(p.pending)))
+			}
 		case evFree:
 			p.running = false
 		}
@@ -289,7 +352,37 @@ func (s *Sim) tryStart(p *proc) {
 	p.busyUntil = end
 	p.busy += ctx.accum
 	p.tasks++
+	if ctx.accum > 0 {
+		if p.everBusy && start > p.lastEnd {
+			gap := start - p.lastEnd
+			p.gaps++
+			p.gapTotal += gap
+			if gap > p.gapMax {
+				p.gapMax = gap
+			}
+		}
+		p.everBusy = true
+		if end > p.lastEnd {
+			p.lastEnd = end
+		}
+		if s.rec != nil {
+			s.rec.Span(p.id, kindOf(tk.payload), int64(start), int64(end))
+		}
+	}
+	if s.rec != nil {
+		s.rec.Sample(p.id, "queue", int64(s.clock), float64(len(p.pending)))
+	}
 	s.post(&event{at: end, kind: evFree, proc: p.id})
+}
+
+// recordFlight logs a message's network transit on the network track.
+func (s *Sim) recordFlight(from, to int, dep, arr Time) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Span(obs.NetworkTrack, "flight", int64(dep), int64(arr),
+		obs.Label{Key: "from", Value: strconv.Itoa(from)},
+		obs.Label{Key: "to", Value: strconv.Itoa(to)})
 }
 
 // Stats snapshots accounting up to the current clock.
@@ -297,12 +390,16 @@ func (s *Sim) Stats() Stats {
 	st := Stats{Makespan: s.clock, Messages: s.msgs}
 	for _, p := range s.procs {
 		st.Procs = append(st.Procs, ProcStats{
-			Busy:         p.busy,
-			SendOverhead: p.sendOver,
-			RecvOverhead: p.recvOver,
-			Tasks:        p.tasks,
-			MsgsIn:       p.msgsIn,
-			MsgsOut:      p.msgsOut,
+			Busy:          p.busy,
+			SendOverhead:  p.sendOver,
+			RecvOverhead:  p.recvOver,
+			Tasks:         p.tasks,
+			MsgsIn:        p.msgsIn,
+			MsgsOut:       p.msgsOut,
+			IdleGaps:      p.gaps,
+			IdleGapMax:    p.gapMax,
+			IdleGapTotal:  p.gapTotal,
+			MaxQueueDepth: p.maxQueue,
 		})
 	}
 	st.NetworkBusy = mergeFlights(s.flights)
@@ -382,6 +479,7 @@ func (c *Ctx) Send(to int, payload Payload) {
 	arr := dep + s.transit(c.proc.id, to)
 	tk.ready = arr
 	s.flights = append(s.flights, flight{dep, arr})
+	s.recordFlight(c.proc.id, to, dep, arr)
 	s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
 }
 
@@ -401,6 +499,10 @@ func (c *Ctx) Broadcast(dests []int, payload Payload) {
 	c.proc.sendOver += s.cfg.SendOverhead
 	c.proc.msgsOut += len(dests)
 	dep := c.Now()
+	if s.rec != nil {
+		s.rec.Instant(c.proc.id, "broadcast", int64(dep),
+			obs.Label{Key: "dests", Value: strconv.Itoa(len(dests))})
+	}
 	for _, to := range dests {
 		s.msgs++
 		tk := &task{payload: payload, recv: true}
@@ -411,6 +513,7 @@ func (c *Ctx) Broadcast(dests []int, payload Payload) {
 		arr := dep + s.transit(c.proc.id, to)
 		tk.ready = arr
 		s.flights = append(s.flights, flight{dep, arr})
+		s.recordFlight(c.proc.id, to, dep, arr)
 		s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
 	}
 }

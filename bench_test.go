@@ -20,6 +20,7 @@ import (
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
 	"mpcrete/internal/sched"
+	"mpcrete/internal/sweep"
 	"mpcrete/internal/trace"
 	"mpcrete/internal/workloads"
 )
@@ -549,6 +550,40 @@ func BenchmarkQueens(b *testing.B) {
 			b.Fatalf("did not halt after %d firings", fired)
 		}
 	}
+}
+
+// BenchmarkSweepParallelVsSequential compares the concurrent sweep
+// engine against an in-order reference run of the same grid (all three
+// sections x 5 processor counts under run2 overheads, with baselines).
+// A fresh engine per iteration keeps the memoization cache from
+// leaking across iterations, so "parallel" measures one cold sweep:
+// worker-pool concurrency plus the shared-baseline cache. On a
+// multi-core host the parallel case is expected to run >=2x faster;
+// on a single core the cache alone still wins.
+func BenchmarkSweepParallelVsSequential(b *testing.B) {
+	spec := sweep.Spec{
+		Name: "bench",
+		Traces: []*trace.Trace{
+			workloads.Rubik(), workloads.Tourney(), workloads.Weaver(),
+		},
+		Procs:     []int{2, 4, 8, 16, 32},
+		Overheads: core.OverheadRuns()[1:2],
+		Baseline:  true,
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.New().RunSequential(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.New().Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkContinuum regenerates the Section 6 continuum-of-mappings

@@ -1,6 +1,7 @@
 // Command experiments regenerates the tables and figures of the
 // paper's evaluation section (see EXPERIMENTS.md for paper-vs-measured
-// commentary).
+// commentary). The grids run on the concurrent sweep engine
+// (internal/sweep), so regeneration scales with the host's cores.
 //
 // Usage:
 //
@@ -8,10 +9,18 @@
 //	experiments -fig 5-1        (also: 5-2, 5-4, 5-5, 5-6)
 //	experiments -table 5-1      (also: 5-2)
 //	experiments -exp greedy     (also: probmodel, ablations)
+//	experiments -json -fig 5-1  (structured JSON instead of text)
 //	experiments -metrics run.csv -section rubik -procs 16
+//
+// With -json the selected experiments emit one deterministic JSON
+// document of their structured results (SpeedupSeries, table rows,
+// dips, ...) instead of the rendered text tables; fig 5-3 is a
+// network-rendering demonstration with no tabular data and is text
+// only.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +35,7 @@ func main() {
 	exp := flag.String("exp", "", "analysis to run (greedy, probmodel, generations, dips, continuum, ablations)")
 	all := flag.Bool("all", false, "regenerate everything")
 	procs := flag.Int("procs", 16, "processor count for greedy/ablation/metrics analyses")
+	jsonOut := flag.Bool("json", false, "emit structured results as deterministic JSON instead of rendered text")
 	metrics := flag.String("metrics", "", "collect a section run's metrics and write them here (.json for JSON, CSV otherwise)")
 	section := flag.String("section", "rubik", "workload section for -metrics (rubik, tourney, weaver)")
 	flag.Parse()
@@ -41,6 +51,16 @@ func main() {
 		}
 	}
 	w := os.Stdout
+	// suite collects the structured results in -json mode;
+	// encoding/json sorts the keys, so the document is deterministic.
+	suite := map[string]any{}
+	emit := func(key string, data any, render func()) {
+		if *jsonOut {
+			suite[key] = data
+		} else {
+			render()
+		}
+	}
 
 	if *metrics != "" {
 		run("metrics", func() error {
@@ -71,10 +91,10 @@ func main() {
 	}
 
 	if *all || *table == "5-1" {
-		experiments.RenderTable51(w)
+		emit("table5-1", experiments.Table51(), func() { experiments.RenderTable51(w) })
 	}
 	if *all || *table == "5-2" {
-		experiments.RenderTable52(w)
+		emit("table5-2", experiments.Table52(), func() { experiments.RenderTable52(w) })
 	}
 	if *all || *fig == "5-1" {
 		run("fig 5-1", func() error {
@@ -82,7 +102,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderSeries(w, "Fig 5-1: speedups with zero message-passing overheads", series)
+			emit("fig5-1", series, func() {
+				experiments.RenderSeries(w, "Fig 5-1: speedups with zero message-passing overheads", series)
+			})
 			return nil
 		})
 	}
@@ -92,14 +114,18 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFig52(w, data)
+			emit("fig5-2", data, func() { experiments.RenderFig52(w, data) })
 			return nil
 		})
 	}
 	if *all || *fig == "5-3" {
-		run("fig 5-3", func() error {
-			return experiments.RenderFig53(w)
-		})
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "experiments: fig 5-3 is a network-rendering demo (text only); skipped in -json mode")
+		} else {
+			run("fig 5-3", func() error {
+				return experiments.RenderFig53(w)
+			})
+		}
 	}
 	if *all || *fig == "5-4" {
 		run("fig 5-4", func() error {
@@ -107,7 +133,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderSeries(w, "Fig 5-4: Weaver speedups with unsharing (run2 overheads)", series)
+			emit("fig5-4", series, func() {
+				experiments.RenderSeries(w, "Fig 5-4: Weaver speedups with unsharing (run2 overheads)", series)
+			})
 			return nil
 		})
 	}
@@ -117,7 +145,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderFig55(w, d)
+			emit("fig5-5", d, func() { experiments.RenderFig55(w, d) })
 			return nil
 		})
 	}
@@ -127,7 +155,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderSeries(w, "Fig 5-6: Tourney speedups with copy-and-constraint (run2 overheads)", series)
+			emit("fig5-6", series, func() {
+				experiments.RenderSeries(w, "Fig 5-6: Tourney speedups with copy-and-constraint (run2 overheads)", series)
+			})
 			return nil
 		})
 	}
@@ -137,12 +167,13 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderGreedy(w, rs)
+			emit("greedy", rs, func() { experiments.RenderGreedy(w, rs) })
 			return nil
 		})
 	}
 	if *all || *exp == "probmodel" {
-		experiments.RenderProbModel(w, experiments.ProbModel())
+		rs := experiments.ProbModel()
+		emit("probmodel", rs, func() { experiments.RenderProbModel(w, rs) })
 	}
 	if *all || *exp == "dips" {
 		run("dips", func() error {
@@ -150,7 +181,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderDips(w, "rubik", dips, 40)
+			emit("dips", dips, func() { experiments.RenderDips(w, "rubik", dips, 40) })
 			return nil
 		})
 	}
@@ -160,7 +191,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderContinuum(w, r)
+			emit("continuum", r, func() { experiments.RenderContinuum(w, r) })
 			return nil
 		})
 	}
@@ -170,7 +201,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderGenerations(w, rs)
+			emit("generations", rs, func() { experiments.RenderGenerations(w, rs) })
 			return nil
 		})
 	}
@@ -180,8 +211,17 @@ func main() {
 			if err != nil {
 				return err
 			}
-			experiments.RenderAblations(w, rs, *procs)
+			emit("ablations", rs, func() { experiments.RenderAblations(w, rs, *procs) })
 			return nil
 		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suite); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -33,7 +33,7 @@ func main() {
 	send := flag.Float64("send", -1, "send overhead in µs (overrides -overhead)")
 	recv := flag.Float64("recv", -1, "receive overhead in µs (overrides -overhead)")
 	latency := flag.Float64("latency", 0.5, "network latency in µs")
-	partition := flag.String("partition", "roundrobin", "bucket distribution: roundrobin, random, greedy")
+	partition := flag.String("partition", "round-robin", "bucket distribution: "+strings.Join(sched.StrategyNames(), ", "))
 	seed := flag.Int64("seed", 1, "seed for the random partition")
 	pairs := flag.Bool("pairs", false, "use the Fig 3-2 processor-pair mapping")
 	topology := flag.String("topology", "", "distance model: crossbar, mesh, hypercube, ring (default: distance-insensitive)")
@@ -56,14 +56,18 @@ func main() {
 	fatal(err)
 	fatal(f.Close())
 
-	cfg := core.Config{
-		MatchProcs:        *procs,
-		Costs:             core.DefaultCosts(),
-		Latency:           simnet.US(*latency),
-		Pairs:             *pairs,
-		CentralRoots:      *central,
-		SoftwareBroadcast: *swbcast,
+	var opts []core.Option
+	opts = append(opts, core.WithLatency(simnet.US(*latency)))
+	if *pairs {
+		opts = append(opts, core.WithPairs())
 	}
+	if *central {
+		opts = append(opts, core.WithCentralRoots())
+	}
+	if *swbcast {
+		opts = append(opts, core.WithSoftwareBroadcast())
+	}
+	cfg := core.NewConfig(*procs, opts...)
 	found := false
 	for _, o := range core.OverheadRuns() {
 		if o.Name == *overhead {
@@ -106,14 +110,15 @@ func main() {
 	}
 	cfg.PerHop = simnet.US(*perhop)
 
-	switch *partition {
-	case "roundrobin":
-	case "random":
-		cfg.Partition = sched.Random(tr.NBuckets, *procs, *seed)
-	case "greedy":
-		cfg.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), tr.NBuckets, *procs)
-	default:
-		fatal(fmt.Errorf("unknown partition strategy %q", *partition))
+	strat, err := sched.StrategyByName(*partition, *seed)
+	fatal(err)
+	if _, isDefault := strat.(sched.RoundRobinStrategy); !isDefault {
+		load := tr.BucketLoad(false)
+		if pc, ok := strat.(sched.PerCycleStrategy); ok {
+			cfg.PerCycle = pc.AssignPerCycle(load, tr.NBuckets, *procs)
+		} else {
+			cfg.Partition = strat.Assign(load, tr.NBuckets, *procs)
+		}
 	}
 
 	var rec *obs.Recorder

@@ -42,12 +42,8 @@ func main() {
 	report.Render(os.Stdout)
 
 	if *verbose {
-		reg, res, err := experiments.CollectRunMetrics(tr, core.Config{
-			MatchProcs: *procs,
-			Costs:      core.DefaultCosts(),
-			Overhead:   core.OverheadRuns()[1],
-			Latency:    core.NectarLatency(),
-		})
+		reg, res, err := experiments.CollectRunMetrics(tr,
+			core.NewConfig(*procs, core.WithOverhead(core.OverheadRuns()[1])))
 		fatal(err)
 		fmt.Printf("\nper-cycle summary at %d processors (run2 overheads), makespan %.1f µs:\n",
 			*procs, res.Makespan.Microseconds())
@@ -55,12 +51,7 @@ func main() {
 	}
 
 	if *tune {
-		cfg := core.Config{
-			MatchProcs: *procs,
-			Costs:      core.DefaultCosts(),
-			Overhead:   core.OverheadRuns()[1],
-			Latency:    core.NectarLatency(),
-		}
+		cfg := core.NewConfig(*procs, core.WithOverhead(core.OverheadRuns()[1]))
 		before, _, _, err := core.Speedup(tr, cfg)
 		fatal(err)
 		after, _, _, err := core.Speedup(tuned, cfg)

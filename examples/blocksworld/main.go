@@ -24,12 +24,7 @@ func main() {
 	// 2. Replay the recorded trace on MPC models of increasing size.
 	fmt.Println("procs  speedup  makespan(µs)  messages")
 	for _, p := range []int{1, 2, 4, 8, 16} {
-		cfg := core.Config{
-			MatchProcs: p,
-			Costs:      core.DefaultCosts(),
-			Overhead:   core.OverheadRuns()[1], // 5/3 µs
-			Latency:    core.NectarLatency(),
-		}
+		cfg := core.NewConfig(p, core.WithOverhead(core.OverheadRuns()[1])) // 5/3 µs
 		sp, res, _, err := core.Speedup(tr, cfg)
 		if err != nil {
 			log.Fatal(err)

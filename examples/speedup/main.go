@@ -26,12 +26,7 @@ func main() {
 	for _, p := range []int{1, 2, 4, 8, 16, 32} {
 		fmt.Printf("%5d", p)
 		for _, ov := range core.OverheadRuns() {
-			cfg := core.Config{
-				MatchProcs: p,
-				Costs:      core.DefaultCosts(),
-				Overhead:   ov,
-				Latency:    core.NectarLatency(),
-			}
+			cfg := core.NewConfig(p, core.WithOverhead(ov))
 			sp, _, _, err := core.Speedup(tr, cfg)
 			if err != nil {
 				log.Fatal(err)
@@ -42,7 +37,7 @@ func main() {
 	}
 
 	fmt.Println("\nbucket distribution strategies at 16 processors (zero overheads):")
-	base := core.Config{MatchProcs: 16, Costs: core.DefaultCosts(), Latency: core.NectarLatency()}
+	base := core.NewConfig(16)
 	rr, _, _, err := core.Speedup(tr, base)
 	if err != nil {
 		log.Fatal(err)

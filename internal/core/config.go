@@ -1,0 +1,192 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"mpcrete/internal/obs"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/simnet"
+	"mpcrete/internal/trace"
+)
+
+// Option mutates a Config under construction; see NewConfig.
+type Option func(*Config)
+
+// NewConfig builds a Config for the common case: the paper's cost
+// model (Section 4) and the Nectar-class network latency, with the
+// given number of match processors. Options override the defaults.
+func NewConfig(procs int, opts ...Option) Config {
+	cfg := Config{
+		MatchProcs: procs,
+		Costs:      DefaultCosts(),
+		Latency:    NectarLatency(),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithCosts overrides the node-activation cost model.
+func WithCosts(c CostModel) Option { return func(cfg *Config) { cfg.Costs = c } }
+
+// WithOverhead selects a message-processing overhead setting
+// (Table 5-1).
+func WithOverhead(o OverheadSetting) Option { return func(cfg *Config) { cfg.Overhead = o } }
+
+// WithLatency overrides the interconnection-network latency.
+func WithLatency(l simnet.Time) Option { return func(cfg *Config) { cfg.Latency = l } }
+
+// WithTopology selects a distance-sensitive network model with the
+// given added transit time per hop.
+func WithTopology(t simnet.Topology, perHop simnet.Time) Option {
+	return func(cfg *Config) { cfg.Topology = t; cfg.PerHop = perHop }
+}
+
+// WithContention models finite link bandwidth (requires a routed
+// topology; see Config.Contention).
+func WithContention() Option { return func(cfg *Config) { cfg.Contention = true } }
+
+// WithPartition fixes the bucket-to-processor map.
+func WithPartition(p sched.Partition) Option { return func(cfg *Config) { cfg.Partition = p } }
+
+// WithPerCycle overrides the partition cycle by cycle (the off-line
+// greedy redistribution experiment).
+func WithPerCycle(ps []sched.Partition) Option { return func(cfg *Config) { cfg.PerCycle = ps } }
+
+// WithSoftwareBroadcast serializes the cycle-start broadcast.
+func WithSoftwareBroadcast() Option { return func(cfg *Config) { cfg.SoftwareBroadcast = true } }
+
+// WithCentralRoots selects the centralized-alpha ablation.
+func WithCentralRoots() Option { return func(cfg *Config) { cfg.CentralRoots = true } }
+
+// WithPairs selects the Fig 3-2 processor-pair mapping.
+func WithPairs() Option { return func(cfg *Config) { cfg.Pairs = true } }
+
+// WithReplicated selects the Section 6 fully-replicated extreme.
+func WithReplicated() Option { return func(cfg *Config) { cfg.Replicated = true } }
+
+// WithRecorder attaches a timeline recorder to the run.
+func WithRecorder(r *obs.Recorder) Option { return func(cfg *Config) { cfg.Recorder = r } }
+
+// WithMetrics attaches a metrics registry to the run.
+func WithMetrics(m *obs.Registry) Option { return func(cfg *Config) { cfg.Metrics = m } }
+
+// Typed validation errors. Validate returns one of these so callers
+// (the sweep engine, the CLIs) can distinguish bad-spec classes
+// without string matching.
+
+// ProcCountError reports a non-positive MatchProcs.
+type ProcCountError struct{ Procs int }
+
+func (e *ProcCountError) Error() string { return fmt.Sprintf("core: MatchProcs = %d", e.Procs) }
+
+// PartitionSizeError reports a partition whose length does not match
+// the trace's bucket count. Cycle is -1 for the static partition.
+type PartitionSizeError struct {
+	Cycle     int
+	Got, Want int
+}
+
+func (e *PartitionSizeError) Error() string {
+	if e.Cycle >= 0 {
+		return fmt.Sprintf("core: per-cycle partition %d covers %d buckets, trace has %d", e.Cycle, e.Got, e.Want)
+	}
+	return fmt.Sprintf("core: partition covers %d buckets, trace has %d", e.Got, e.Want)
+}
+
+// PerCycleCountError reports a PerCycle override whose length does not
+// match the trace's cycle count.
+type PerCycleCountError struct{ Got, Want int }
+
+func (e *PerCycleCountError) Error() string {
+	return fmt.Sprintf("core: %d per-cycle partitions for %d cycles", e.Got, e.Want)
+}
+
+// TopologyError reports a Contention setting without a routed
+// topology to model the contended links on.
+type TopologyError struct{ Topology simnet.Topology }
+
+func (e *TopologyError) Error() string {
+	return "core: Contention requires a routed topology"
+}
+
+// IncompatibleOptionsError reports two configuration switches that
+// cannot be combined.
+type IncompatibleOptionsError struct{ Reason string }
+
+func (e *IncompatibleOptionsError) Error() string { return "core: " + e.Reason }
+
+// Validate checks the configuration against the trace it is to run
+// and returns a typed error describing the first problem found.
+// Simulate and Speedup call it before any simulation work starts, so
+// a bad point fails fast instead of mid-run.
+func (c Config) Validate(tr *trace.Trace) error {
+	if c.MatchProcs <= 0 {
+		return &ProcCountError{Procs: c.MatchProcs}
+	}
+	if c.Partition != nil {
+		if len(c.Partition) != tr.NBuckets {
+			return &PartitionSizeError{Cycle: -1, Got: len(c.Partition), Want: tr.NBuckets}
+		}
+		if err := c.Partition.Validate(c.MatchProcs); err != nil {
+			return err
+		}
+	}
+	if c.PerCycle != nil {
+		if len(c.PerCycle) != len(tr.Cycles) {
+			return &PerCycleCountError{Got: len(c.PerCycle), Want: len(tr.Cycles)}
+		}
+		for ci, p := range c.PerCycle {
+			if len(p) != tr.NBuckets {
+				return &PartitionSizeError{Cycle: ci, Got: len(p), Want: tr.NBuckets}
+			}
+			if err := p.Validate(c.MatchProcs); err != nil {
+				return err
+			}
+		}
+	}
+	if c.CentralRoots && c.Pairs {
+		return &IncompatibleOptionsError{Reason: "CentralRoots is not defined for the pair mapping"}
+	}
+	if c.Replicated && (c.Pairs || c.CentralRoots) {
+		return &IncompatibleOptionsError{Reason: "Replicated excludes Pairs and CentralRoots"}
+	}
+	if c.Replicated && c.PerCycle != nil {
+		return &IncompatibleOptionsError{Reason: "Replicated tables have no per-cycle distribution"}
+	}
+	if c.Contention {
+		if _, ok := c.Topology.(simnet.RoutedTopology); !ok {
+			return &TopologyError{Topology: c.Topology}
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a canonical content hash of the configuration's
+// semantic fields for the given trace — the memoization key of the
+// sweep engine. Two configs that would produce identical simulation
+// results hash identically: observability attachments (Recorder,
+// Metrics) and display names (Overhead.Name) are excluded, and a nil
+// Partition is canonicalized to the round-robin default Simulate
+// would substitute.
+func (c Config) Fingerprint(tr *trace.Trace) string {
+	h := sha256.New()
+	part := c.Partition
+	if part == nil {
+		part = sched.RoundRobin(tr.NBuckets, c.MatchProcs)
+	}
+	fmt.Fprintf(h, "procs=%d|costs=%d,%d,%d,%d|ov=%d,%d|lat=%d|topo=%T%+v|perhop=%d|cont=%t|swb=%t|central=%t|pairs=%t|repl=%t|",
+		c.MatchProcs,
+		c.Costs.ConstTests, c.Costs.LeftAddDel, c.Costs.RightAddDel, c.Costs.PerSuccessor,
+		c.Overhead.Send, c.Overhead.Recv,
+		c.Latency, c.Topology, c.Topology, c.PerHop,
+		c.Contention, c.SoftwareBroadcast, c.CentralRoots, c.Pairs, c.Replicated)
+	fmt.Fprintf(h, "part=%v|", part)
+	if c.PerCycle != nil {
+		fmt.Fprintf(h, "percycle=%v|", c.PerCycle)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

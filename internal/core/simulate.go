@@ -122,44 +122,11 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.MatchProcs <= 0 {
-		return nil, fmt.Errorf("core: MatchProcs = %d", cfg.MatchProcs)
+	if err := cfg.Validate(tr); err != nil {
+		return nil, err
 	}
 	if cfg.Partition == nil {
 		cfg.Partition = sched.RoundRobin(tr.NBuckets, cfg.MatchProcs)
-	}
-	if len(cfg.Partition) != tr.NBuckets {
-		return nil, fmt.Errorf("core: partition covers %d buckets, trace has %d", len(cfg.Partition), tr.NBuckets)
-	}
-	if err := cfg.Partition.Validate(cfg.MatchProcs); err != nil {
-		return nil, err
-	}
-	if cfg.PerCycle != nil && len(cfg.PerCycle) != len(tr.Cycles) {
-		return nil, fmt.Errorf("core: %d per-cycle partitions for %d cycles", len(cfg.PerCycle), len(tr.Cycles))
-	}
-	if cfg.PerCycle != nil {
-		for ci, p := range cfg.PerCycle {
-			if len(p) != tr.NBuckets {
-				return nil, fmt.Errorf("core: per-cycle partition %d covers %d buckets", ci, len(p))
-			}
-			if err := p.Validate(cfg.MatchProcs); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if cfg.CentralRoots && cfg.Pairs {
-		return nil, fmt.Errorf("core: CentralRoots is not defined for the pair mapping")
-	}
-	if cfg.Replicated && (cfg.Pairs || cfg.CentralRoots) {
-		return nil, fmt.Errorf("core: Replicated excludes Pairs and CentralRoots")
-	}
-	if cfg.Replicated && cfg.PerCycle != nil {
-		return nil, fmt.Errorf("core: Replicated tables have no per-cycle distribution")
-	}
-	if cfg.Contention {
-		if _, ok := cfg.Topology.(simnet.RoutedTopology); !ok {
-			return nil, fmt.Errorf("core: Contention requires a routed topology")
-		}
 	}
 
 	s := &simulator{tr: tr, cfg: cfg, res: &Result{}}

@@ -7,6 +7,7 @@ import (
 	"mpcrete/internal/core"
 	"mpcrete/internal/sched"
 	"mpcrete/internal/stats"
+	"mpcrete/internal/sweep"
 	"mpcrete/internal/trace"
 	"mpcrete/internal/workloads"
 )
@@ -35,45 +36,28 @@ func Continuum(section string) (*ContinuumResult, error) {
 	}
 	tr := gen()
 
-	mk := func(label string, mutate func(*core.Config)) (SpeedupSeries, error) {
-		s := SpeedupSeries{Label: label}
-		for _, p := range ProcCounts {
-			cfg := core.Config{
-				MatchProcs: p,
-				Costs:      core.DefaultCosts(),
-				Overhead:   core.OverheadRuns()[1],
-				Latency:    core.NectarLatency(),
-			}
-			if mutate != nil {
-				mutate(&cfg)
-			}
-			sp, _, _, err := core.Speedup(tr, cfg)
-			if err != nil {
-				return s, err
-			}
-			s.Points = append(s.Points, SpeedupPoint{Procs: p, Speedup: sp})
-		}
-		return s, nil
-	}
-
-	replicated, err := mk("replicated", func(c *core.Config) { c.Replicated = true })
-	if err != nil {
-		return nil, err
-	}
-	distributed, err := mk("distributed", nil)
-	if err != nil {
-		return nil, err
-	}
-	master, err := mk("master-copy", func(c *core.Config) {
-		c.Partition = make(sched.Partition, tr.NBuckets) // everything on slot 0
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "continuum/" + section,
+		Traces:    []*trace.Trace{tr},
+		Procs:     ProcCounts,
+		Overheads: core.OverheadRuns()[1:2],
+		Variants: []sweep.Variant{
+			{Name: "replicated", Mutate: func(c *core.Config) { c.Replicated = true }},
+			{Name: "distributed"},
+			{Name: "master-copy", Mutate: func(c *core.Config) {
+				c.Partition = make(sched.Partition, tr.NBuckets) // everything on slot 0
+			}},
+		},
+		Baseline: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ContinuumResult{
-		Section: section,
-		Series:  []SpeedupSeries{replicated, distributed, master},
-	}, nil
+	series, err := seriesFromGroups(res, func(k sweep.Key) string { return k.Variant })
+	if err != nil {
+		return nil, err
+	}
+	return &ContinuumResult{Section: section, Series: series}, nil
 }
 
 // RenderContinuum prints the comparison.

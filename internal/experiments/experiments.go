@@ -1,6 +1,8 @@
 // Package experiments regenerates every table and figure of the
-// paper's evaluation (Section 5). Each experiment returns structured
-// data (consumed by the benchmarks and tests) and has a Render
+// paper's evaluation (Section 5). Each experiment declares its grid
+// as a sweep.Spec and runs it on the shared concurrent sweep engine
+// (internal/sweep), returning structured data (consumed by the
+// benchmarks, tests, and the -json CLI mode); each has a Render
 // function producing the human-readable form (used by
 // cmd/experiments and EXPERIMENTS.md).
 package experiments
@@ -12,6 +14,7 @@ import (
 	"mpcrete/internal/core"
 	"mpcrete/internal/sched"
 	"mpcrete/internal/stats"
+	"mpcrete/internal/sweep"
 	"mpcrete/internal/trace"
 	"mpcrete/internal/workloads"
 )
@@ -32,47 +35,47 @@ type SpeedupSeries struct {
 	Points []SpeedupPoint
 }
 
-// sweep runs a processor sweep for a trace under an overhead setting,
-// with optional per-trace config mutation.
-func sweep(tr *trace.Trace, ov core.OverheadSetting, mutate func(*core.Config)) (SpeedupSeries, error) {
-	s := SpeedupSeries{Label: fmt.Sprintf("%s/%s", tr.Name, ov.Name)}
-	for _, p := range ProcCounts {
-		cfg := core.Config{
-			MatchProcs: p,
-			Costs:      core.DefaultCosts(),
-			Overhead:   ov,
-			Latency:    core.NectarLatency(),
-		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		sp, res, _, err := core.Speedup(tr, cfg)
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points, SpeedupPoint{
-			Procs:       p,
-			Speedup:     sp,
-			NetworkIdle: res.Net.NetworkIdleFraction(),
-		})
+// speedupPoint converts one sweep cell into a curve point.
+func speedupPoint(c sweep.Cell) SpeedupPoint {
+	return SpeedupPoint{
+		Procs:       c.Key.Procs,
+		Speedup:     c.Speedup,
+		NetworkIdle: c.Result.Net.NetworkIdleFraction(),
 	}
-	return s, nil
+}
+
+// seriesFromGroups converts a sweep's ordered cells into one speedup
+// series per group (cells sharing everything but the proc count),
+// labelled by label.
+func seriesFromGroups(res *sweep.Results, label func(sweep.Key) string) ([]SpeedupSeries, error) {
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	var out []SpeedupSeries
+	for _, g := range res.Groups() {
+		s := SpeedupSeries{Label: label(g[0].Key)}
+		for _, c := range g {
+			s.Points = append(s.Points, speedupPoint(c))
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // Fig51 reproduces Figure 5-1: speedups with zero message-passing
 // overheads for the three sections.
 func Fig51() ([]SpeedupSeries, error) {
-	var out []SpeedupSeries
-	zero := core.OverheadRuns()[0]
-	for _, tr := range workloads.Sections() {
-		s, err := sweep(tr, zero, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = tr.Name
-		out = append(out, s)
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "fig5-1",
+		Traces:    workloads.Sections(),
+		Procs:     ProcCounts,
+		Overheads: core.OverheadRuns()[:1],
+		Baseline:  true,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return seriesFromGroups(res, func(k sweep.Key) string { return k.Trace })
 }
 
 // Table51 reproduces Table 5-1: the overhead settings themselves.
@@ -81,15 +84,26 @@ func Table51() []core.OverheadSetting { return core.OverheadRuns() }
 // Fig52 reproduces Figure 5-2: speedups for each section under each
 // overhead run.
 func Fig52() (map[string][]SpeedupSeries, error) {
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "fig5-2",
+		Traces:    workloads.Sections(),
+		Procs:     ProcCounts,
+		Overheads: core.OverheadRuns(),
+		Baseline:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	out := map[string][]SpeedupSeries{}
-	for _, tr := range workloads.Sections() {
-		for _, ov := range core.OverheadRuns() {
-			s, err := sweep(tr, ov, nil)
-			if err != nil {
-				return nil, err
-			}
-			out[tr.Name] = append(out[tr.Name], s)
+	for _, g := range res.Groups() {
+		s := SpeedupSeries{Label: fmt.Sprintf("%s/%s", g[0].Key.Trace, g[0].Key.Overhead)}
+		for _, c := range g {
+			s.Points = append(s.Points, speedupPoint(c))
 		}
+		out[g[0].Key.Trace] = append(out[g[0].Key.Trace], s)
 	}
 	return out, nil
 }
@@ -124,16 +138,17 @@ func Fig54() ([]SpeedupSeries, error) {
 	weaver := workloads.Weaver()
 	unshared := trace.SplitFanout(weaver, 10, 4)
 	unshared.Name = "weaver-unshared"
-	var out []SpeedupSeries
-	for _, tr := range []*trace.Trace{weaver, unshared} {
-		s, err := sweep(tr, core.OverheadRuns()[1], nil) // 8 µs total, a realistic run
-		if err != nil {
-			return nil, err
-		}
-		s.Label = tr.Name
-		out = append(out, s)
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "fig5-4",
+		Traces:    []*trace.Trace{weaver, unshared},
+		Procs:     ProcCounts,
+		Overheads: core.OverheadRuns()[1:2], // 8 µs total, a realistic run
+		Baseline:  true,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return seriesFromGroups(res, func(k sweep.Key) string { return k.Trace })
 }
 
 // Fig55Data is the Figure 5-5 distribution: left activations per
@@ -146,20 +161,22 @@ type Fig55Data struct {
 
 // Fig55 reproduces Figure 5-5 at P=16 with round-robin buckets.
 func Fig55() (Fig55Data, error) {
-	tr := workloads.Rubik()
-	cfg := core.Config{
-		MatchProcs: 16,
-		Costs:      core.DefaultCosts(),
-		Latency:    core.NectarLatency(),
-	}
-	res, err := core.Simulate(tr, cfg)
+	res, err := sweep.Run(sweep.Spec{
+		Name:   "fig5-5",
+		Traces: []*trace.Trace{workloads.Rubik()},
+		Procs:  []int{16},
+	})
 	if err != nil {
 		return Fig55Data{}, err
 	}
+	if err := res.Err(); err != nil {
+		return Fig55Data{}, err
+	}
+	r := res.Cells[0].Result
 	return Fig55Data{
 		Procs:  16,
-		Cycle1: res.LeftActsPerSlot[0],
-		Cycle2: res.LeftActsPerSlot[1],
+		Cycle1: r.LeftActsPerSlot[0],
+		Cycle2: r.LeftActsPerSlot[1],
 	}, nil
 }
 
@@ -172,16 +189,17 @@ func Fig56() ([]SpeedupSeries, error) {
 	tourney := workloads.Tourney()
 	cc := trace.ScatterNode(tourney, workloads.TourneyHotNode, 8)
 	cc.Name = "tourney-c&c"
-	var out []SpeedupSeries
-	for _, tr := range []*trace.Trace{tourney, cc} {
-		s, err := sweep(tr, core.OverheadRuns()[1], nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = tr.Name
-		out = append(out, s)
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "fig5-6",
+		Traces:    []*trace.Trace{tourney, cc},
+		Procs:     ProcCounts,
+		Overheads: core.OverheadRuns()[1:2],
+		Baseline:  true,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return seriesFromGroups(res, func(k sweep.Key) string { return k.Trace })
 }
 
 // Dip is one occurrence of the Fig 5-2 "dips" phenomenon: adding a
@@ -207,18 +225,29 @@ func Dips(section string, maxProcs int) ([]Dip, error) {
 		return nil, fmt.Errorf("experiments: unknown section %q", section)
 	}
 	t := tr()
+	procs := make([]int, maxProcs)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	res, err := sweep.Run(sweep.Spec{
+		Name:     "dips/" + section,
+		Traces:   []*trace.Trace{t},
+		Procs:    procs,
+		Baseline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	var dips []Dip
 	prev := 0.0
-	for p := 1; p <= maxProcs; p++ {
-		cfg := core.Config{MatchProcs: p, Costs: core.DefaultCosts(), Latency: core.NectarLatency()}
-		sp, _, _, err := core.Speedup(t, cfg)
-		if err != nil {
-			return nil, err
+	for i, c := range res.Cells {
+		if i > 0 && c.Speedup < prev {
+			dips = append(dips, Dip{Procs: c.Key.Procs, Speedup: c.Speedup, Prev: prev})
 		}
-		if p > 1 && sp < prev {
-			dips = append(dips, Dip{Procs: p, Speedup: sp, Prev: prev})
-		}
-		prev = sp
+		prev = c.Speedup
 	}
 	return dips, nil
 }
@@ -259,45 +288,38 @@ type GreedyResult struct {
 	Improvement float64
 }
 
-// GreedyExperiment runs the distribution-strategy comparison.
+// GreedyExperiment runs the distribution-strategy comparison: one
+// sweep with a strategy axis, four cells per section.
 func GreedyExperiment(procs int) ([]GreedyResult, error) {
+	res, err := sweep.Run(sweep.Spec{
+		Name:   "greedy",
+		Traces: workloads.Sections(),
+		Procs:  []int{procs},
+		Strategies: []sched.Strategy{
+			sched.RoundRobinStrategy{},
+			sched.RandomStrategy{Seed: 12345},
+			sched.GreedyAggregateStrategy{},
+			sched.GreedyPerCycleStrategy{},
+		},
+		Baseline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	var out []GreedyResult
-	for _, tr := range workloads.Sections() {
-		base := core.Config{
-			MatchProcs: procs,
-			Costs:      core.DefaultCosts(),
-			Latency:    core.NectarLatency(),
-		}
-		rrSp, _, _, err := core.Speedup(tr, base)
-		if err != nil {
-			return nil, err
-		}
-		rnd := base
-		rnd.Partition = sched.Random(tr.NBuckets, procs, 12345)
-		rndSp, _, _, err := core.Speedup(tr, rnd)
-		if err != nil {
-			return nil, err
-		}
-		agg := base
-		agg.Partition = sched.GreedyAggregate(tr.BucketLoad(false), tr.NBuckets, procs)
-		aggSp, _, _, err := core.Speedup(tr, agg)
-		if err != nil {
-			return nil, err
-		}
-		gr := base
-		gr.PerCycle = sched.GreedyPerCycle(tr.BucketLoad(false), tr.NBuckets, procs)
-		grSp, _, _, err := core.Speedup(tr, gr)
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i+3 < len(res.Cells); i += 4 {
+		rr, rnd, agg, oracle := res.Cells[i], res.Cells[i+1], res.Cells[i+2], res.Cells[i+3]
 		out = append(out, GreedyResult{
-			Section:         tr.Name,
+			Section:         rr.Key.Trace,
 			Procs:           procs,
-			RoundRobin:      rrSp,
-			Random:          rndSp,
-			AggregateGreedy: aggSp,
-			Greedy:          grSp,
-			Improvement:     grSp / rrSp,
+			RoundRobin:      rr.Speedup,
+			Random:          rnd.Speedup,
+			AggregateGreedy: agg.Speedup,
+			Greedy:          oracle.Speedup,
+			Improvement:     oracle.Speedup / rr.Speedup,
 		})
 	}
 	return out, nil
@@ -349,39 +371,30 @@ type AblationRow struct {
 }
 
 // Ablations runs the design-choice comparisons at the given partition
-// count under the run-2 overheads.
+// count under the run-2 overheads: one sweep with a variant axis.
 func Ablations(procs int) ([]AblationRow, error) {
+	res, err := sweep.Run(sweep.Spec{
+		Name:      "ablations",
+		Traces:    workloads.Sections(),
+		Procs:     []int{procs},
+		Overheads: core.OverheadRuns()[1:2],
+		Variants: []sweep.Variant{
+			{Name: "grouped+hw-bcast"},
+			{Name: "central-roots", Mutate: func(c *core.Config) { c.CentralRoots = true }},
+			{Name: "sw-bcast", Mutate: func(c *core.Config) { c.SoftwareBroadcast = true }},
+			{Name: "processor-pairs", Mutate: func(c *core.Config) { c.Pairs = true }},
+		},
+		Baseline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	var out []AblationRow
-	for _, tr := range workloads.Sections() {
-		mk := func(name string, mutate func(*core.Config)) error {
-			cfg := core.Config{
-				MatchProcs: procs,
-				Costs:      core.DefaultCosts(),
-				Overhead:   core.OverheadRuns()[1],
-				Latency:    core.NectarLatency(),
-			}
-			if mutate != nil {
-				mutate(&cfg)
-			}
-			sp, _, _, err := core.Speedup(tr, cfg)
-			if err != nil {
-				return err
-			}
-			out = append(out, AblationRow{Name: name, Section: tr.Name, Speedup: sp})
-			return nil
-		}
-		if err := mk("grouped+hw-bcast", nil); err != nil {
-			return nil, err
-		}
-		if err := mk("central-roots", func(c *core.Config) { c.CentralRoots = true }); err != nil {
-			return nil, err
-		}
-		if err := mk("sw-bcast", func(c *core.Config) { c.SoftwareBroadcast = true }); err != nil {
-			return nil, err
-		}
-		if err := mk("processor-pairs", func(c *core.Config) { c.Pairs = true }); err != nil {
-			return nil, err
-		}
+	for _, c := range res.Cells {
+		out = append(out, AblationRow{Name: c.Key.Variant, Section: c.Key.Trace, Speedup: c.Speedup})
 	}
 	return out, nil
 }

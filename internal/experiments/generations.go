@@ -7,6 +7,8 @@ import (
 	"mpcrete/internal/core"
 	"mpcrete/internal/simnet"
 	"mpcrete/internal/stats"
+	"mpcrete/internal/sweep"
+	"mpcrete/internal/trace"
 	"mpcrete/internal/workloads"
 )
 
@@ -60,32 +62,39 @@ type GenerationsResult struct {
 
 // Generations reproduces the paper's Section 1 motivation
 // quantitatively: the same mapping and workload on three machine
-// generations.
+// generations — one sweep with the machines as the variant axis.
 func Generations() ([]GenerationsResult, error) {
-	tr := workloads.Rubik()
-	var out []GenerationsResult
-	for _, m := range Machines() {
-		s := SpeedupSeries{Label: m.Name}
-		for _, p := range ProcCounts {
-			cfg := core.Config{
-				MatchProcs: p,
-				Costs:      core.DefaultCosts(),
-				Overhead:   m.Overhead,
-				Latency:    m.Latency,
-				Topology:   m.Topology,
-				PerHop:     m.PerHop,
-			}
-			sp, res, _, err := core.Speedup(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SpeedupPoint{
-				Procs:       p,
-				Speedup:     sp,
-				NetworkIdle: res.Net.NetworkIdleFraction(),
-			})
+	machines := Machines()
+	variants := make([]sweep.Variant, len(machines))
+	for i, m := range machines {
+		m := m
+		variants[i] = sweep.Variant{
+			Name: m.Name,
+			Mutate: func(c *core.Config) {
+				c.Overhead = m.Overhead
+				c.Latency = m.Latency
+				c.Topology = m.Topology
+				c.PerHop = m.PerHop
+			},
 		}
-		out = append(out, GenerationsResult{Machine: m, Series: s})
+	}
+	res, err := sweep.Run(sweep.Spec{
+		Name:     "generations",
+		Traces:   []*trace.Trace{workloads.Rubik()},
+		Procs:    ProcCounts,
+		Variants: variants,
+		Baseline: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	series, err := seriesFromGroups(res, func(k sweep.Key) string { return k.Variant })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GenerationsResult, len(machines))
+	for i := range machines {
+		out[i] = GenerationsResult{Machine: machines[i], Series: series[i]}
 	}
 	return out, nil
 }

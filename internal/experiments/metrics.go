@@ -39,12 +39,7 @@ func SectionRunMetrics(section string, procs int) (*obs.Registry, *core.Result, 
 	if tr == nil {
 		return nil, nil, fmt.Errorf("experiments: unknown section %q", section)
 	}
-	return CollectRunMetrics(tr, core.Config{
-		MatchProcs: procs,
-		Costs:      core.DefaultCosts(),
-		Overhead:   core.OverheadRuns()[1],
-		Latency:    core.NectarLatency(),
-	})
+	return CollectRunMetrics(tr, core.NewConfig(procs, core.WithOverhead(core.OverheadRuns()[1])))
 }
 
 // RenderPerCycle prints the per-cycle summary recorded in a run's

@@ -1,0 +1,327 @@
+// Command bench is the repo's reproducible benchmark harness: it runs
+// the canonical performance workloads with fixed iteration counts and
+// writes a machine-readable BENCH_results.json — the perf trajectory
+// point CI compares against the committed BENCH_baseline.json.
+//
+// Unlike `go test -bench`, which picks iteration counts adaptively,
+// bench pins them, so allocs/op is exactly reproducible run to run and
+// the allocation gate can be strict. Wall-clock (ns/op) still varies
+// with the host; the CI gate allows a configurable tolerance for it
+// and none (beyond noise slack) for allocations.
+//
+// Usage:
+//
+//	bench                          run everything, write BENCH_results.json
+//	bench -short                   CI mode: fewer iterations, same workloads
+//	bench -o out.json              write results elsewhere
+//	bench -compare BENCH_baseline.json
+//	                               exit 1 if any benchmark regressed vs the
+//	                               baseline (>25% ns/op by default, or any
+//	                               allocs/op growth beyond noise slack)
+//	bench -tolerance 0.10          tighten the ns/op gate
+//
+// The workloads:
+//
+//	fig51/<section>   Fig 5-1 speedup sweep (P ∈ {8,16,32}, zero overheads)
+//	fig52/<section>   Fig 5-2 overhead sweep (P=32, Table 5-1 runs 1-4)
+//	sweep/stress      a cold concurrent sweep of all sections × 5 proc
+//	                  counts with memoized baselines (internal/sweep)
+//	parallel/match    the real goroutine runtime on a cross-product burst
+//
+// Refreshing the baseline after an intentional perf change:
+//
+//	go run ./cmd/bench -short -o BENCH_baseline.json
+//
+// (the committed baseline is recorded in -short mode because that is
+// what CI runs; iteration counts do not change the workload shape).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mpcrete/internal/core"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sweep"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+// Benchmark is one measured workload.
+type Benchmark struct {
+	Name         string            `json:"name"`
+	Iters        int               `json:"iters"`
+	NsPerOp      float64           `json:"ns_per_op"`
+	AllocsPerOp  float64           `json:"allocs_per_op"`
+	BytesPerOp   float64           `json:"bytes_per_op"`
+	EventsPerSec float64           `json:"events_per_sec,omitempty"`
+	Meta         map[string]string `json:"meta,omitempty"`
+}
+
+// File is the results document.
+type File struct {
+	SchemaVersion int         `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at"`
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	CPUs          int         `json:"cpus"`
+	Short         bool        `json:"short"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "CI mode: fewer iterations per benchmark")
+	out := flag.String("o", "BENCH_results.json", "results output path")
+	baseline := flag.String("compare", "", "baseline file to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth vs the baseline")
+	flag.Parse()
+
+	f := &File{
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Short:         *short,
+	}
+	iters := func(full, shortN int) int {
+		if *short {
+			return shortN
+		}
+		return full
+	}
+
+	sections := []struct {
+		name string
+		gen  func() *trace.Trace
+	}{
+		{"rubik", workloads.Rubik},
+		{"tourney", workloads.Tourney},
+		{"weaver", workloads.Weaver},
+	}
+
+	// fig51/<section>: the Fig 5-1 speedup points.
+	fig51Procs := []int{8, 16, 32}
+	for _, sec := range sections {
+		tr := sec.gen()
+		f.add(measure("fig51/"+sec.name, iters(10, 3),
+			map[string]string{"procs": "8,16,32", "overhead": "zero"},
+			func() int64 {
+				var events int64
+				for _, p := range fig51Procs {
+					cfg := core.NewConfig(p)
+					_, res, base, err := core.Speedup(tr, cfg)
+					if err != nil {
+						fatal(err)
+					}
+					events += res.Events + base.Events
+				}
+				return events
+			}))
+	}
+
+	// fig52/<section>: the Fig 5-2 overhead sweep at 32 processors.
+	for _, sec := range sections {
+		tr := sec.gen()
+		f.add(measure("fig52/"+sec.name, iters(10, 3),
+			map[string]string{"procs": "32", "overheads": "run1-run4"},
+			func() int64 {
+				var events int64
+				for _, ov := range core.OverheadRuns() {
+					cfg := core.NewConfig(32, core.WithOverhead(ov))
+					_, res, base, err := core.Speedup(tr, cfg)
+					if err != nil {
+						fatal(err)
+					}
+					events += res.Events + base.Events
+				}
+				return events
+			}))
+	}
+
+	// sweep/stress: a cold concurrent sweep per iteration. The engine
+	// is reused and Reset between iterations, so the measurement covers
+	// expansion, pool scheduling, and every simulation, with no warm
+	// cache carried across iterations.
+	eng := sweep.New()
+	spec := sweep.Spec{
+		Name:      "bench-stress",
+		Traces:    []*trace.Trace{workloads.Rubik(), workloads.Tourney(), workloads.Weaver()},
+		Procs:     []int{2, 4, 8, 16, 32},
+		Overheads: core.OverheadRuns()[1:2],
+		Baseline:  true,
+	}
+	f.add(measure("sweep/stress", iters(5, 2),
+		map[string]string{"points": "3 sections x 5 procs", "baseline": "memoized"},
+		func() int64 {
+			eng.Reset()
+			rs, err := eng.Run(spec)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rs.Err(); err != nil {
+				fatal(err)
+			}
+			var events int64
+			for _, c := range rs.Cells {
+				if c.Result != nil {
+					events += c.Result.Events
+				}
+				if c.Base != nil {
+					events += c.Base.Events
+				}
+			}
+			return events
+		}))
+
+	// parallel/match: the real goroutine runtime (wall-clock, not
+	// simulated — no event count) on the cross-product burst.
+	prog, err := ops5.ParseProgram(workloads.TourneyLike)
+	if err != nil {
+		fatal(err)
+	}
+	wmes, err := ops5.ParseWMEs(workloads.TourneyLikeWMEs(30, 25))
+	if err != nil {
+		fatal(err)
+	}
+	changes := make([]rete.Change, len(wmes))
+	for i, w := range wmes {
+		w.ID, w.TimeTag = i+1, i+1
+		changes[i] = rete.Change{Tag: rete.Add, WME: w}
+	}
+	f.add(measure("parallel/match", iters(5, 2),
+		map[string]string{"workers": "4", "workload": "tourney-like 30x25"},
+		func() int64 {
+			net, err := rete.Compile(prog.Productions)
+			if err != nil {
+				fatal(err)
+			}
+			rt, err := parallel.New(net, parallel.Options{Workers: 4})
+			if err != nil {
+				fatal(err)
+			}
+			rt.Apply(changes)
+			rt.Close()
+			return 0
+		}))
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+
+	if *baseline != "" {
+		base, err := readFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regressions := Compare(base, f, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s\n", len(regressions), *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (ns tolerance %.0f%%)\n", *baseline, 100**tolerance)
+	}
+}
+
+func (f *File) add(b Benchmark) {
+	f.Benchmarks = append(f.Benchmarks, b)
+	ev := ""
+	if b.EventsPerSec > 0 {
+		ev = fmt.Sprintf("  %12.0f events/s", b.EventsPerSec)
+	}
+	fmt.Printf("%-16s %4d iters  %12.0f ns/op  %10.0f allocs/op  %12.0f B/op%s\n",
+		b.Name, b.Iters, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, ev)
+}
+
+// measure runs fn once to warm caches, then iters times under
+// wall-clock and allocation accounting. fn returns the number of
+// simulator events it processed (0 for wall-clock-only workloads).
+func measure(name string, iters int, meta map[string]string, fn func() int64) Benchmark {
+	fn() // warm-up: pools, rings, code paths
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events int64
+	for i := 0; i < iters; i++ {
+		events += fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	b := Benchmark{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Meta:        meta,
+	}
+	if events > 0 && elapsed > 0 {
+		b.EventsPerSec = float64(events) / elapsed.Seconds()
+	}
+	return b
+}
+
+// Compare gates cur against base: a benchmark regresses when its
+// ns/op grows beyond the tolerance fraction, or its allocs/op grows
+// beyond noise slack (1% + 8 allocations — allocation counts are
+// otherwise deterministic at fixed iteration counts). A benchmark
+// present in the baseline but missing from the current run is also a
+// regression: the gate must not pass by silently dropping coverage.
+func Compare(base, cur *File, tolerance float64) []string {
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + tolerance); c.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (+%.0f%% > %.0f%% tolerance)",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tolerance))
+		}
+		if limit := b.AllocsPerOp*1.01 + 8; c.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return regressions
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(2)
+}

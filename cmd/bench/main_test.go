@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkFile(bs ...Benchmark) *File {
+	return &File{SchemaVersion: 1, Benchmarks: bs}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := mkFile(
+		Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 100},
+		Benchmark{Name: "b", NsPerOp: 2000, AllocsPerOp: 0},
+	)
+	cur := mkFile(
+		Benchmark{Name: "a", NsPerOp: 1100, AllocsPerOp: 100}, // +10% < 25%
+		Benchmark{Name: "b", NsPerOp: 1500, AllocsPerOp: 0},   // faster
+		Benchmark{Name: "c", NsPerOp: 9999, AllocsPerOp: 999}, // new: not gated
+	)
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Errorf("want no regressions, got %v", regs)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := mkFile(Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 10})
+	cur := mkFile(Benchmark{Name: "a", NsPerOp: 1300, AllocsPerOp: 10})
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("want one ns/op regression, got %v", regs)
+	}
+	// The same growth passes with a looser tolerance.
+	if regs := Compare(base, cur, 0.5); len(regs) != 0 {
+		t.Errorf("want no regressions at 50%% tolerance, got %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := mkFile(Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 1000})
+	// Within noise slack (1% + 8): fine.
+	cur := mkFile(Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 1017})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Errorf("want allocs within slack to pass, got %v", regs)
+	}
+	// Beyond slack: regression, even though ns/op is unchanged.
+	cur = mkFile(Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 1100})
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := mkFile(
+		Benchmark{Name: "a", NsPerOp: 1000},
+		Benchmark{Name: "gone", NsPerOp: 1000},
+	)
+	cur := mkFile(Benchmark{Name: "a", NsPerOp: 1000})
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "gone") {
+		t.Errorf("want dropped benchmark flagged, got %v", regs)
+	}
+}
+
+func TestCompareBothAxesRegress(t *testing.T) {
+	base := mkFile(Benchmark{Name: "a", NsPerOp: 1000, AllocsPerOp: 10})
+	cur := mkFile(Benchmark{Name: "a", NsPerOp: 5000, AllocsPerOp: 500})
+	if regs := Compare(base, cur, 0.25); len(regs) != 2 {
+		t.Errorf("want both axes reported, got %v", regs)
+	}
+}

@@ -1,0 +1,67 @@
+package mpcrete
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestExperimentsGolden pins the complete experiment suite's JSON
+// output to the committed golden file, byte for byte. This is the
+// repo's strongest equivalence check: any change to the simulator —
+// the event heap, the accounting, the payload pooling — that shifts a
+// single makespan, message count, or busy time anywhere in the Fig
+// 5-1..5-6 / Table 5-2 / continuum results fails here. Refresh the
+// golden only for an intentional semantic change:
+//
+//	go run ./cmd/experiments -json -all > testdata/experiments_all.golden.json
+//
+// Only stdout is pinned; stderr carries human-facing notices (the
+// text-only Fig 5-3 reminder) and is allowed to change freely.
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run subprocess in short mode")
+	}
+	want, err := os.ReadFile("testdata/experiments_all.golden.json")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/experiments", "-json", "-all")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("cmd/experiments -json -all: %v\nstderr:\n%s", err, stderr.String())
+	}
+	got := stdout.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Locate the first divergence so the failure is actionable without
+	// dumping two 30 KB documents.
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	lo := at - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hiG, hiW := at+80, at+80
+	if hiG > len(got) {
+		hiG = len(got)
+	}
+	if hiW > len(want) {
+		hiW = len(want)
+	}
+	t.Errorf("experiment output diverges from golden at byte %d (got %d bytes, want %d)\ngot  ...%q...\nwant ...%q...",
+		at, len(got), len(want), got[lo:hiG], want[lo:hiW])
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"mpcrete/internal/trace"
+)
+
+// allocTrace builds a synthetic section of identical cycles: every
+// cycle fans a handful of roots into successor waves across buckets,
+// exercising broadcasts, remote sends, local follow-ons, and
+// instantiation messages.
+func allocTrace(cycles int) *trace.Trace {
+	tr := &trace.Trace{Name: "alloc", NBuckets: 32}
+	for c := 0; c < cycles; c++ {
+		cy := &trace.Cycle{Changes: 2, RootInsts: 1}
+		for r := 0; r < 6; r++ {
+			root := act('L', '+', r, 0,
+				act('R', '+', (r+7)%32, 1),
+				act('L', '+', (r+13)%32, 0,
+					act('L', '+', (r+21)%32, 1)))
+			cy.Roots = append(cy.Roots, root)
+		}
+		tr.Cycles = append(tr.Cycles, cy)
+	}
+	return tr
+}
+
+// TestSimulateSteadyStateAllocs pins the scratch-reuse property of
+// Simulate: once the first cycles have warmed the event heap, the
+// pending rings, and the payload free lists, each additional cycle
+// costs O(1) allocations (the per-cycle rows of the result matrices),
+// not O(activations). The marginal cost is measured by comparing a
+// short and a long run of the same per-cycle workload.
+func TestSimulateSteadyStateAllocs(t *testing.T) {
+	short, long := allocTrace(8), allocTrace(72)
+	cfg := NewConfig(8)
+	measure := func(tr *trace.Trace) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Simulate(tr, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a8, a72 := measure(short), measure(long)
+	perCycle := (a72 - a8) / 64
+	t.Logf("allocs: %d cycles = %.0f, %d cycles = %.0f (%.2f per extra cycle)",
+		8, a8, 72, a72, perCycle)
+	// Each extra cycle appends two result rows and may box a couple of
+	// bookkeeping values; anything beyond a handful means a per-
+	// activation allocation crept back into the hot path (each cycle
+	// here replays 24 activations and ~20 messages).
+	if perCycle > 4 {
+		t.Errorf("steady-state allocations = %.2f per cycle, want <= 4", perCycle)
+	}
+}

@@ -84,30 +84,45 @@ type Result struct {
 	// Insts is the total number of instantiation messages delivered to
 	// the control processor.
 	Insts int
+	// Events counts the discrete events the underlying network
+	// simulator executed — the natural unit of simulation throughput
+	// (cmd/bench reports events/sec from it). It is excluded from JSON
+	// so the structured experiment documents stay stable.
+	Events int64 `json:"-"`
 }
 
 // payloads
+//
+// The hot payloads (actTask, pairCompare — one per node activation)
+// travel as pointers drawn from per-run free lists: passing them by
+// value would box one heap object per simnet event, which made the
+// allocator the dominant cost of a sweep. A payload is recycled by the
+// handler as soon as it has been processed, except when the same
+// object was fanned out to several processors (Replicated broadcast),
+// which the shared flag marks.
 
 type bcastStart struct{ cycle int } // injected on the control processor
 type cyclePacket struct{ cycle int }
 type actTask struct {
-	cycle int
-	act   *trace.Activation
+	cycle  int
+	act    *trace.Activation
+	shared bool     // delivered to multiple processors; never recycled
+	free   *actTask // free-list link
 }
 type pairCompare struct {
 	cycle int
 	act   *trace.Activation
-	root  bool
+	free  *pairCompare // free-list link
 }
 type instMsg struct{}
 
 // Timeline labels for the busy spans of each payload kind
 // (simnet.TraceKinder).
-func (bcastStart) TraceKind() string  { return "cycle-start" }
-func (cyclePacket) TraceKind() string { return "cycle-packet" }
-func (actTask) TraceKind() string     { return "activation" }
-func (pairCompare) TraceKind() string { return "pair-compare" }
-func (instMsg) TraceKind() string     { return "inst" }
+func (*bcastStart) TraceKind() string  { return "cycle-start" }
+func (*cyclePacket) TraceKind() string { return "cycle-packet" }
+func (*actTask) TraceKind() string     { return "activation" }
+func (*pairCompare) TraceKind() string { return "pair-compare" }
+func (instMsg) TraceKind() string      { return "inst" }
 
 // simulator carries the run state shared by the handler closures.
 type simulator struct {
@@ -115,6 +130,61 @@ type simulator struct {
 	cfg Config
 	sim *simnet.Sim
 	res *Result
+
+	// matchIDs caches the match-processor id list (it is broadcast to
+	// every cycle); others caches, per processor, the list of all other
+	// match processors (Replicated fan-out).
+	matchIDs []int
+	others   [][]int
+
+	// bcast and packet are the per-cycle control payloads, reused
+	// across cycles: each cycle drains completely before the next is
+	// injected, so at most one of each is ever live.
+	bcast  bcastStart
+	packet cyclePacket
+
+	actFree  *actTask
+	pairFree *pairCompare
+}
+
+// newAct draws an activation payload from the free list.
+func (s *simulator) newAct(cycle int, a *trace.Activation) *actTask {
+	t := s.actFree
+	if t == nil {
+		t = &actTask{}
+	} else {
+		s.actFree = t.free
+	}
+	t.cycle, t.act, t.shared, t.free = cycle, a, false, nil
+	return t
+}
+
+// putAct recycles a processed activation payload.
+func (s *simulator) putAct(t *actTask) {
+	if t.shared {
+		return
+	}
+	t.act = nil
+	t.free = s.actFree
+	s.actFree = t
+}
+
+// newPair / putPair are the pairCompare analogue.
+func (s *simulator) newPair(cycle int, a *trace.Activation) *pairCompare {
+	t := s.pairFree
+	if t == nil {
+		t = &pairCompare{}
+	} else {
+		s.pairFree = t.free
+	}
+	t.cycle, t.act, t.free = cycle, a, nil
+	return t
+}
+
+func (s *simulator) putPair(t *pairCompare) {
+	t.act = nil
+	t.free = s.pairFree
+	s.pairFree = t
 }
 
 // Simulate replays a hash-table activity trace against the mapping.
@@ -143,12 +213,24 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		PerHop:            cfg.PerHop,
 		Contention:        cfg.Contention,
 		SoftwareBroadcast: cfg.SoftwareBroadcast,
+		TrackNetwork:      true,
+		PendingHint:       pendingHint(tr, nprocs),
 	}, s.handle)
+	s.matchIDs = s.computeMatchProcIDs()
 
-	for range tr.Cycles {
-		s.res.LeftActsPerSlot = append(s.res.LeftActsPerSlot, make([]int, cfg.MatchProcs))
-		s.res.ActsPerSlot = append(s.res.ActsPerSlot, make([]int, cfg.MatchProcs))
+	// One backing array per distribution matrix instead of one slice
+	// per cycle.
+	nc := len(tr.Cycles)
+	leftBack := make([]int, nc*cfg.MatchProcs)
+	actBack := make([]int, nc*cfg.MatchProcs)
+	s.res.LeftActsPerSlot = make([][]int, nc)
+	s.res.ActsPerSlot = make([][]int, nc)
+	for ci := range tr.Cycles {
+		s.res.LeftActsPerSlot[ci] = leftBack[ci*cfg.MatchProcs : (ci+1)*cfg.MatchProcs : (ci+1)*cfg.MatchProcs]
+		s.res.ActsPerSlot[ci] = actBack[ci*cfg.MatchProcs : (ci+1)*cfg.MatchProcs : (ci+1)*cfg.MatchProcs]
 	}
+	s.res.CycleTimes = make([]simnet.Time, 0, nc)
+	s.res.MsgsPerCycle = make([]int, 0, nc)
 
 	if cfg.Recorder != nil {
 		s.sim.SetRecorder(cfg.Recorder)
@@ -157,14 +239,18 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	for ci := range tr.Cycles {
 		start := s.sim.Now()
 		msgsBefore := s.sim.Messages()
-		cfg.Recorder.Instant(0, fmt.Sprintf("cycle %d", ci+1), int64(start))
-		s.sim.Inject(0, bcastStart{cycle: ci}, start)
+		if cfg.Recorder != nil {
+			cfg.Recorder.Instant(0, fmt.Sprintf("cycle %d", ci+1), int64(start))
+		}
+		s.bcast.cycle = ci
+		s.sim.Inject(0, &s.bcast, start)
 		end := s.sim.Run()
 		s.res.CycleTimes = append(s.res.CycleTimes, end-start)
 		s.res.MsgsPerCycle = append(s.res.MsgsPerCycle, s.sim.Messages()-msgsBefore)
 	}
 	s.res.Makespan = s.sim.Now()
 	s.res.Net = s.sim.Stats()
+	s.res.Events = s.sim.EventsProcessed()
 	if cfg.Metrics != nil {
 		s.publishMetrics(cfg.Metrics)
 	}
@@ -269,18 +355,30 @@ func (s *simulator) isRightMember(proc int) bool {
 	return s.cfg.Pairs && (proc-1)%2 == 1
 }
 
-// otherMatchProcs lists the match processors other than `self`.
+// otherMatchProcs lists the match processors other than `self`,
+// memoized per processor (the Replicated fan-out asks for the same
+// list once per successor).
 func (s *simulator) otherMatchProcs(self int) []int {
-	var out []int
-	for _, id := range s.matchProcIDs() {
+	if s.others == nil {
+		s.others = make([][]int, len(s.matchIDs)+1)
+	}
+	if out := s.others[self]; out != nil {
+		return out
+	}
+	out := make([]int, 0, len(s.matchIDs)-1)
+	for _, id := range s.matchIDs {
 		if id != self {
 			out = append(out, id)
 		}
 	}
+	s.others[self] = out
 	return out
 }
 
-func (s *simulator) matchProcIDs() []int {
+// matchProcIDs returns the cached match-processor id list.
+func (s *simulator) matchProcIDs() []int { return s.matchIDs }
+
+func (s *simulator) computeMatchProcIDs() []int {
 	n := s.cfg.MatchProcs
 	if s.cfg.Pairs {
 		n *= 2
@@ -292,16 +390,36 @@ func (s *simulator) matchProcIDs() []int {
 	return ids
 }
 
+// pendingHint sizes each processor's pending-task ring from the
+// trace's shape: the busiest cycle's root count spread over the
+// machine, doubled for the successor waves. A hint is only an initial
+// capacity — rings grow on demand.
+func pendingHint(tr *trace.Trace, nprocs int) int {
+	maxRoots := 0
+	for _, cy := range tr.Cycles {
+		if len(cy.Roots) > maxRoots {
+			maxRoots = len(cy.Roots)
+		}
+	}
+	hint := 2*maxRoots/nprocs + 4
+	if hint > 256 {
+		hint = 256
+	}
+	return hint
+}
+
 func (s *simulator) handle(ctx *simnet.Ctx, p simnet.Payload) {
 	switch v := p.(type) {
-	case bcastStart:
+	case *bcastStart:
 		s.handleCycleStart(ctx, v.cycle)
-	case cyclePacket:
+	case *cyclePacket:
 		s.handlePacket(ctx, v.cycle)
-	case actTask:
+	case *actTask:
 		s.handleActivation(ctx, v.cycle, v.act, false)
-	case pairCompare:
+		s.putAct(v)
+	case *pairCompare:
 		s.compareAndGenerate(ctx, v.cycle, v.act)
+		s.putPair(v)
 	case instMsg:
 		s.res.Insts++ // control bookkeeping; conflict resolution is out of match scope
 	default:
@@ -313,7 +431,8 @@ func (s *simulator) handle(ctx *simnet.Ctx, p simnet.Payload) {
 func (s *simulator) handleCycleStart(ctx *simnet.Ctx, cycle int) {
 	cy := s.tr.Cycles[cycle]
 	if !s.cfg.CentralRoots {
-		ctx.Broadcast(s.matchProcIDs(), cyclePacket{cycle: cycle})
+		s.packet.cycle = cycle
+		ctx.Broadcast(s.matchIDs, &s.packet)
 		return
 	}
 	// Centralized-alpha ablation: control evaluates the constant tests
@@ -321,7 +440,7 @@ func (s *simulator) handleCycleStart(ctx *simnet.Ctx, cycle int) {
 	ctx.Busy(s.cfg.Costs.ConstTests)
 	part := s.partition(cycle)
 	for _, root := range cy.Roots {
-		ctx.Send(s.leftProcOf(part[root.Bucket]), actTask{cycle: cycle, act: root})
+		ctx.Send(s.leftProcOf(part[root.Bucket]), s.newAct(cycle, root))
 	}
 	// Root instantiations (single-CE productions) stay on control.
 	ctx.Busy(simnet.Time(cy.RootInsts) * s.cfg.Costs.PerSuccessor)
@@ -403,7 +522,7 @@ func (s *simulator) handleActivation(ctx *simnet.Ctx, cycle int, a *trace.Activa
 		s.countAct(cycle, me, a)
 		ctx.Busy(s.cfg.Costs.LeftAddDel)
 		if a.Successors() > 0 {
-			ctx.Send(s.rightProcOf(me), pairCompare{cycle: cycle, act: a})
+			ctx.Send(s.rightProcOf(me), s.newPair(cycle, a))
 		}
 		return
 	}
@@ -426,11 +545,15 @@ func (s *simulator) emitSuccessors(ctx *simnet.Ctx, cycle int, a *trace.Activati
 		for _, child := range a.Children {
 			ctx.Busy(s.cfg.Costs.PerSuccessor)
 			// Update every copy: one broadcast to the other match
-			// processors plus the local store/processing.
+			// processors plus the local store/processing. The payload
+			// object is delivered to every copy, so it is marked shared
+			// and never recycled.
+			t := s.newAct(cycle, child)
+			t.shared = true
 			if dests := s.otherMatchProcs(ctx.Proc()); len(dests) > 0 {
-				ctx.Broadcast(dests, actTask{cycle: cycle, act: child})
+				ctx.Broadcast(dests, t)
 			}
-			ctx.Local(actTask{cycle: cycle, act: child})
+			ctx.Local(t)
 		}
 		for i := 0; i < a.Insts; i++ {
 			ctx.Busy(s.cfg.Costs.PerSuccessor)
@@ -442,12 +565,12 @@ func (s *simulator) emitSuccessors(ctx *simnet.Ctx, cycle int, a *trace.Activati
 		ctx.Busy(s.cfg.Costs.PerSuccessor)
 		dest := s.leftProcOf(part[child.Bucket])
 		if dest == ctx.Proc() {
-			ctx.Local(actTask{cycle: cycle, act: child})
+			ctx.Local(s.newAct(cycle, child))
 		} else {
 			// Left tokens always travel to the owning slot's left
 			// processor (communication is restricted to it), even from
 			// the right member of the same pair.
-			ctx.Send(dest, actTask{cycle: cycle, act: child})
+			ctx.Send(dest, s.newAct(cycle, child))
 		}
 	}
 	for i := 0; i < a.Insts; i++ {

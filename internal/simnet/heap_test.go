@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the container/heap reference the 4-ary heap is checked
+// against: same ordering (at, then seq), textbook implementation.
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestHeap4MatchesReference drives both heaps through identical
+// randomized push/pop interleavings and requires identical pop
+// sequences. Sequence numbers are unique, so the order is total and
+// any divergence is a heap bug, not a tie-break artifact.
+func TestHeap4MatchesReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rnd := rand.New(rand.NewSource(int64(trial)))
+		var h heap4[event]
+		var ref refHeap
+		seq := int64(0)
+		push := func() {
+			e := event{at: Time(rnd.Intn(50)), seq: seq, proc: int32(rnd.Intn(8))}
+			seq++
+			h.push(e)
+			heap.Push(&ref, e)
+		}
+		for op := 0; op < 2000; op++ {
+			if h.len() == 0 || rnd.Intn(3) != 0 {
+				push()
+				continue
+			}
+			got := h.pop()
+			want := heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("trial %d op %d: pop = %+v, reference = %+v", trial, op, got, want)
+			}
+		}
+		for h.len() > 0 {
+			got, want := h.pop(), heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("trial %d drain: pop = %+v, reference = %+v", trial, got, want)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftovers", trial, ref.Len())
+		}
+	}
+}
+
+// TestHeap4PopOrderSorted checks the basic min-heap invariant on a
+// pathological input: strictly descending times.
+func TestHeap4PopOrderSorted(t *testing.T) {
+	var h heap4[event]
+	const n = 257 // crosses several 4-ary levels, not a power of 4
+	for i := 0; i < n; i++ {
+		h.push(event{at: Time(n - i), seq: int64(i)})
+	}
+	prev := h.pop()
+	for h.len() > 0 {
+		e := h.pop()
+		if e.less(prev) {
+			t.Fatalf("out of order: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestTaskRingFIFO(t *testing.T) {
+	var r taskRing
+	payload := func(i int) Payload { return i }
+	next := 0
+	for i := 0; i < 100; i++ {
+		r.push(pendTask{payload: payload(i)})
+		// Drain in bursts to force wrap-around at several sizes.
+		for r.len() > i%3 {
+			got := r.pop()
+			if got.payload.(int) != next {
+				t.Fatalf("pop = %v, want %d", got.payload, next)
+			}
+			next++
+		}
+	}
+	for r.len() > 0 {
+		got := r.pop()
+		if got.payload.(int) != next {
+			t.Fatalf("drain pop = %v, want %d", got.payload, next)
+		}
+		next++
+	}
+	if next != 100 {
+		t.Fatalf("popped %d of 100", next)
+	}
+}

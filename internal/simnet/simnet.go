@@ -10,12 +10,18 @@
 // the handler accrues busy time and emits local tasks and messages
 // through the Ctx. Time is int64 nanoseconds, so the paper's 0.5 µs
 // latency is exactly representable.
+//
+// The event loop is built for replaying fine-grained traces (~100
+// simulated instructions per task over hundreds of thousands of
+// events): events are plain values in a 4-ary min-heap, pending tasks
+// live in per-processor ring buffers, and all optional accounting
+// (network occupancy, timeline recording) is gated off the hot path,
+// so a warmed-up uninstrumented run performs no allocations at all.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 
 	"mpcrete/internal/obs"
@@ -58,6 +64,18 @@ type Config struct {
 	// per destination); the default models hardware broadcast (one
 	// SendOverhead total), as on Nectar.
 	SoftwareBroadcast bool
+	// TrackNetwork enables network-occupancy accounting: with it set,
+	// Stats reports NetworkBusy (the union of message in-flight
+	// intervals — the §5.1 97-98% idleness figure). It is opt-in
+	// because the accounting costs memory and time per message; without
+	// it (and without a recorder) the send path does no flight
+	// bookkeeping at all and Stats reports NetworkBusy = 0.
+	TrackNetwork bool
+	// PendingHint preallocates each processor's pending-task ring to
+	// hold at least this many tasks, sized from trace statistics by
+	// clients that know their workload. Zero means a small default;
+	// rings grow on demand either way.
+	PendingHint int
 }
 
 // Payload is an opaque task description interpreted by the Handler.
@@ -78,13 +96,6 @@ func kindOf(p Payload) string {
 	return "task"
 }
 
-type task struct {
-	payload Payload
-	ready   Time
-	seq     int64
-	recv    bool // message delivery: pay RecvOverhead before running
-}
-
 type eventKind uint8
 
 const (
@@ -93,38 +104,80 @@ const (
 	evDepart                  // message enters the network (contention)
 )
 
+// event is one schedule entry. Events are stored by value in the
+// 4-ary heap — there is no boxed task object; the task is just the
+// (payload, recv) pair carried in the event and, once ready, in the
+// processor's pending ring.
 type event struct {
-	at   Time
-	seq  int64
-	kind eventKind
-	proc int // destination processor
-	from int // source processor (evDepart)
-	tk   *task
+	at      Time
+	seq     int64
+	payload Payload
+	kind    eventKind
+	recv    bool  // message delivery: pay RecvOverhead before running
+	proc    int32 // destination processor
+	from    int32 // source processor (evDepart)
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time, then by posting sequence — a total
+// order, so the pop sequence is independent of heap internals.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// pendTask is one entry of a processor's FIFO.
+type pendTask struct {
+	payload Payload
+	recv    bool
+}
+
+// taskRing is a growable power-of-two ring buffer FIFO. The previous
+// implementation re-sliced a shared slice (pending = pending[1:]),
+// which leaked capacity and re-allocated continuously; the ring
+// reaches a steady state after warm-up and never allocates again.
+type taskRing struct {
+	buf  []pendTask // len(buf) is a power of two (or zero)
+	head int
+	n    int
+}
+
+func (r *taskRing) len() int { return r.n }
+
+func (r *taskRing) push(t pendTask) {
+	if r.n == len(r.buf) {
+		r.grow(2 * r.n)
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *taskRing) pop() pendTask {
+	t := r.buf[r.head]
+	r.buf[r.head] = pendTask{} // release the payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return t
+}
+
+// grow re-allocates the ring to hold at least want entries (rounded up
+// to a power of two), unwrapping the live region.
+func (r *taskRing) grow(want int) {
+	size := 8
+	for size < want {
+		size *= 2
+	}
+	buf := make([]pendTask, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
 }
 
 type proc struct {
 	id        int
-	pending   []*task // FIFO: ordered by ready-event arrival
+	pending   taskRing // FIFO: ordered by ready-event arrival
 	busyUntil Time
 	running   bool
 
@@ -171,7 +224,8 @@ type Stats struct {
 	Makespan Time
 	Procs    []ProcStats
 	Messages int
-	// NetworkBusy is the union of message in-flight intervals.
+	// NetworkBusy is the union of message in-flight intervals; it is
+	// only accounted (and non-zero) with Config.TrackNetwork set.
 	NetworkBusy Time
 	// ContentionDelay is the total time messages spent waiting for
 	// links beyond their uncontended transit (zero unless
@@ -227,16 +281,18 @@ func (s *Stats) AvgUtilization() float64 {
 // (MRA cycles) with oracle termination detection, as the paper's
 // simulator does.
 type Sim struct {
-	cfg     Config
-	handler Handler
-	events  eventHeap
-	procs   []*proc
-	clock   Time
-	seq     int64
-	msgs    int
-	flights []flight
-	cont    *contention
-	rec     *obs.Recorder
+	cfg       Config
+	handler   Handler
+	events    heap4[event]
+	procs     []proc
+	clock     Time
+	seq       int64
+	msgs      int
+	processed int64
+	net       netAcct
+	ctx       Ctx // reused across tasks; valid only during a handler call
+	cont      *contention
+	rec       *obs.Recorder
 }
 
 type flight struct{ dep, arr Time }
@@ -256,9 +312,14 @@ func New(cfg Config, handler Handler) *Sim {
 	if cfg.Contention {
 		s.cont = &contention{free: map[Link]Time{}}
 	}
-	for i := 0; i < cfg.Procs; i++ {
-		s.procs = append(s.procs, &proc{id: i})
+	s.procs = make([]proc, cfg.Procs)
+	for i := range s.procs {
+		s.procs[i].id = i
+		if cfg.PendingHint > 0 {
+			s.procs[i].pending.grow(cfg.PendingHint)
+		}
 	}
+	s.events.grow(64)
 	return s
 }
 
@@ -272,6 +333,10 @@ func (s *Sim) Now() Time { return s.clock }
 // a full Stats snapshot).
 func (s *Sim) Messages() int { return s.msgs }
 
+// EventsProcessed returns the number of discrete events the simulator
+// has executed — the natural unit of simulation throughput.
+func (s *Sim) EventsProcessed() int64 { return s.processed }
+
 // SetRecorder attaches a timeline recorder (nil detaches). Busy spans
 // are tagged with the payload's TraceKind, message flights appear on
 // obs.NetworkTrack, and task-queue depth is sampled per processor.
@@ -283,40 +348,36 @@ func (s *Sim) Inject(p int, payload Payload, at Time) {
 	if at < s.clock {
 		panic(fmt.Sprintf("simnet: inject at %d before clock %d", at, s.clock))
 	}
-	s.post(&event{at: at, kind: evReady, proc: p, tk: &task{payload: payload, ready: at}})
+	s.post(event{at: at, kind: evReady, proc: int32(p), payload: payload})
 }
 
-func (s *Sim) post(e *event) {
+func (s *Sim) post(e event) {
 	e.seq = s.seq
 	s.seq++
-	if e.tk != nil {
-		e.tk.seq = e.seq
-	}
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 // Run processes events until the machine quiesces, returning the
 // clock. Call Stats for accounting.
 func (s *Sim) Run() Time {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for s.events.len() > 0 {
+		e := s.events.pop()
+		s.processed++
 		s.clock = e.at
-		p := s.procs[e.proc]
+		p := &s.procs[e.proc]
 		switch e.kind {
 		case evDepart:
-			arr := s.cont.traverse(&s.cfg, e.from, e.proc, e.at)
-			s.flights = append(s.flights, flight{e.at, arr})
-			s.recordFlight(e.from, e.proc, e.at, arr)
-			e.tk.ready = arr
-			s.post(&event{at: arr, kind: evReady, proc: e.proc, tk: e.tk})
+			arr := s.cont.traverse(&s.cfg, int(e.from), int(e.proc), e.at)
+			s.trackFlight(int(e.from), int(e.proc), e.at, arr)
+			s.post(event{at: arr, kind: evReady, proc: e.proc, payload: e.payload, recv: e.recv})
 			continue
 		case evReady:
-			p.pending = append(p.pending, e.tk)
-			if len(p.pending) > p.maxQueue {
-				p.maxQueue = len(p.pending)
+			p.pending.push(pendTask{payload: e.payload, recv: e.recv})
+			if n := p.pending.len(); n > p.maxQueue {
+				p.maxQueue = n
 			}
 			if s.rec != nil {
-				s.rec.Sample(p.id, "queue", int64(e.at), float64(len(p.pending)))
+				s.rec.Sample(p.id, "queue", int64(e.at), float64(p.pending.len()))
 			}
 		case evFree:
 			p.running = false
@@ -327,11 +388,10 @@ func (s *Sim) Run() Time {
 }
 
 func (s *Sim) tryStart(p *proc) {
-	if p.running || len(p.pending) == 0 {
+	if p.running || p.pending.len() == 0 {
 		return
 	}
-	tk := p.pending[0]
-	p.pending = p.pending[1:]
+	tk := p.pending.pop()
 	p.running = true
 
 	start := s.clock
@@ -340,7 +400,8 @@ func (s *Sim) tryStart(p *proc) {
 		// busyUntil.
 		start = p.busyUntil
 	}
-	ctx := &Ctx{sim: s, proc: p, start: start}
+	s.ctx = Ctx{sim: s, proc: p, start: start}
+	ctx := &s.ctx
 	if tk.recv {
 		ctx.accum += s.cfg.RecvOverhead
 		p.recvOver += s.cfg.RecvOverhead
@@ -370,25 +431,30 @@ func (s *Sim) tryStart(p *proc) {
 		}
 	}
 	if s.rec != nil {
-		s.rec.Sample(p.id, "queue", int64(s.clock), float64(len(p.pending)))
+		s.rec.Sample(p.id, "queue", int64(s.clock), float64(p.pending.len()))
 	}
-	s.post(&event{at: end, kind: evFree, proc: p.id})
+	s.post(event{at: end, kind: evFree, proc: int32(p.id)})
 }
 
-// recordFlight logs a message's network transit on the network track.
-func (s *Sim) recordFlight(from, to int, dep, arr Time) {
-	if s.rec == nil {
-		return
+// trackFlight feeds a message transit into the opt-in occupancy
+// accounting and the timeline recording, whichever are attached.
+func (s *Sim) trackFlight(from, to int, dep, arr Time) {
+	if s.cfg.TrackNetwork {
+		s.net.add(flight{dep, arr}, s.clock)
 	}
-	s.rec.Span(obs.NetworkTrack, "flight", int64(dep), int64(arr),
-		obs.Label{Key: "from", Value: strconv.Itoa(from)},
-		obs.Label{Key: "to", Value: strconv.Itoa(to)})
+	if s.rec != nil {
+		s.rec.Span(obs.NetworkTrack, "flight", int64(dep), int64(arr),
+			obs.Label{Key: "from", Value: strconv.Itoa(from)},
+			obs.Label{Key: "to", Value: strconv.Itoa(to)})
+	}
 }
 
 // Stats snapshots accounting up to the current clock.
 func (s *Sim) Stats() Stats {
 	st := Stats{Makespan: s.clock, Messages: s.msgs}
-	for _, p := range s.procs {
+	st.Procs = make([]ProcStats, 0, len(s.procs))
+	for i := range s.procs {
+		p := &s.procs[i]
 		st.Procs = append(st.Procs, ProcStats{
 			Busy:          p.busy,
 			SendOverhead:  p.sendOver,
@@ -402,21 +468,102 @@ func (s *Sim) Stats() Stats {
 			MaxQueueDepth: p.maxQueue,
 		})
 	}
-	st.NetworkBusy = mergeFlights(s.flights)
+	st.NetworkBusy = s.net.total(s.clock)
 	if s.cont != nil {
 		st.ContentionDelay = s.cont.delay
 	}
 	return st
 }
 
-// mergeFlights computes the union length of in-flight intervals.
+// netAcct accumulates the union length of message in-flight intervals
+// in bounded memory. Flights arrive unsorted (departure times are
+// task-local clocks ahead of the global clock), so they buffer until a
+// threshold and are then sorted, merged, and folded: a merged interval
+// that ends at or before the current clock can never be extended —
+// every future flight departs at or after the clock, and a departure
+// exactly at a folded endpoint contributes the same union length as
+// its merged continuation would — so its length moves into a running
+// total and its slot is reclaimed. The previous implementation kept
+// every flight for a terminal sort, which grew without bound on long
+// sweeps.
+type netAcct struct {
+	open   []flight
+	closed Time
+}
+
+// netCompactAt bounds the open-flight buffer: 4096 entries is 64 KiB
+// and amortizes the sort to ~log(4096) comparisons per message.
+const netCompactAt = 4096
+
+// flightByDep orders flights by departure; non-capturing, so sorting
+// with it does not allocate.
+func flightByDep(a, b flight) int {
+	switch {
+	case a.dep < b.dep:
+		return -1
+	case a.dep > b.dep:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (n *netAcct) add(f flight, now Time) {
+	n.open = append(n.open, f)
+	if len(n.open) >= netCompactAt {
+		n.compact(now)
+	}
+}
+
+// compact sorts and merges the open buffer in place, folding closed
+// intervals into the running total. Afterwards open holds only
+// disjoint intervals that extend past now, in sorted order.
+func (n *netAcct) compact(now Time) {
+	if len(n.open) == 0 {
+		return
+	}
+	slices.SortFunc(n.open, flightByDep)
+	out := n.open[:0]
+	cur := n.open[0]
+	fold := func(f flight) {
+		if f.arr <= now {
+			n.closed += f.arr - f.dep
+		} else {
+			out = append(out, f)
+		}
+	}
+	for _, f := range n.open[1:] {
+		if f.dep > cur.arr {
+			fold(cur)
+			cur = f
+		} else if f.arr > cur.arr {
+			cur.arr = f.arr
+		}
+	}
+	fold(cur)
+	n.open = out
+}
+
+// total returns the union length of all recorded flights.
+func (n *netAcct) total(now Time) Time {
+	n.compact(now)
+	t := n.closed
+	for _, f := range n.open {
+		t += f.arr - f.dep
+	}
+	return t
+}
+
+// mergeFlights computes the union length of in-flight intervals in one
+// shot — the reference implementation netAcct is property-tested
+// against.
 func mergeFlights(fs []flight) Time {
 	if len(fs) == 0 {
 		return 0
 	}
 	sorted := make([]flight, len(fs))
 	copy(sorted, fs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dep < sorted[j].dep })
+	slices.SortFunc(sorted, flightByDep)
 	var total Time
 	curStart, curEnd := sorted[0].dep, sorted[0].arr
 	for _, f := range sorted[1:] {
@@ -431,7 +578,9 @@ func mergeFlights(fs []flight) Time {
 	return total
 }
 
-// Ctx is the execution context of a running task.
+// Ctx is the execution context of a running task. It is owned by the
+// simulator and valid only for the duration of the handler call; a
+// handler must not retain it.
 type Ctx struct {
 	sim   *Sim
 	proc  *proc
@@ -456,8 +605,7 @@ func (c *Ctx) Busy(d Time) {
 // Local enqueues a follow-on task on this processor, ready at the
 // task-local clock, with no communication cost.
 func (c *Ctx) Local(payload Payload) {
-	c.sim.post(&event{at: c.Now(), kind: evReady, proc: c.proc.id,
-		tk: &task{payload: payload, ready: c.Now()}})
+	c.sim.post(event{at: c.Now(), kind: evReady, proc: int32(c.proc.id), payload: payload})
 }
 
 // Send transmits a message to processor `to`. The sender pays
@@ -471,16 +619,13 @@ func (c *Ctx) Send(to int, payload Payload) {
 	c.proc.msgsOut++
 	dep := c.Now()
 	s.msgs++
-	tk := &task{payload: payload, recv: true}
 	if s.cont != nil {
-		s.post(&event{at: dep, kind: evDepart, proc: to, from: c.proc.id, tk: tk})
+		s.post(event{at: dep, kind: evDepart, proc: int32(to), from: int32(c.proc.id), payload: payload, recv: true})
 		return
 	}
 	arr := dep + s.transit(c.proc.id, to)
-	tk.ready = arr
-	s.flights = append(s.flights, flight{dep, arr})
-	s.recordFlight(c.proc.id, to, dep, arr)
-	s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
+	s.trackFlight(c.proc.id, to, dep, arr)
+	s.post(event{at: arr, kind: evReady, proc: int32(to), payload: payload, recv: true})
 }
 
 // Broadcast transmits a message to every processor in dests. With
@@ -505,15 +650,12 @@ func (c *Ctx) Broadcast(dests []int, payload Payload) {
 	}
 	for _, to := range dests {
 		s.msgs++
-		tk := &task{payload: payload, recv: true}
 		if s.cont != nil {
-			s.post(&event{at: dep, kind: evDepart, proc: to, from: c.proc.id, tk: tk})
+			s.post(event{at: dep, kind: evDepart, proc: int32(to), from: int32(c.proc.id), payload: payload, recv: true})
 			continue
 		}
 		arr := dep + s.transit(c.proc.id, to)
-		tk.ready = arr
-		s.flights = append(s.flights, flight{dep, arr})
-		s.recordFlight(c.proc.id, to, dep, arr)
-		s.post(&event{at: arr, kind: evReady, proc: to, tk: tk})
+		s.trackFlight(c.proc.id, to, dep, arr)
+		s.post(event{at: arr, kind: evReady, proc: int32(to), payload: payload, recv: true})
 	}
 }

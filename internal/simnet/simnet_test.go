@@ -36,7 +36,7 @@ func TestTwoProcessorsRunInParallel(t *testing.T) {
 }
 
 func TestMessageTiming(t *testing.T) {
-	cfg := Config{Procs: 2, SendOverhead: US(5), RecvOverhead: US(3), Latency: US(0.5)}
+	cfg := Config{Procs: 2, SendOverhead: US(5), RecvOverhead: US(3), Latency: US(0.5), TrackNetwork: true}
 	s := closureSim(cfg)
 	var receivedAt Time
 	recv := closureTask(func(ctx *Ctx) {
@@ -183,6 +183,56 @@ func TestNetworkBusyMerging(t *testing.T) {
 	// Identical intervals collapse.
 	if mergeFlights([]flight{{5, 6}, {5, 6}, {5, 6}}) != 1 {
 		t.Error("identical intervals should merge to length 1")
+	}
+}
+
+// TestNetworkTrackingOptIn pins the gating: without TrackNetwork the
+// send path keeps no flight records and Stats reports zero occupancy.
+func TestNetworkTrackingOptIn(t *testing.T) {
+	s := closureSim(Config{Procs: 2, Latency: US(0.5)})
+	s.Inject(0, closureTask(func(ctx *Ctx) {
+		ctx.Send(1, closureTask(func(ctx *Ctx) {}))
+	}), 0)
+	s.Run()
+	st := s.Stats()
+	if st.NetworkBusy != 0 {
+		t.Errorf("untracked NetworkBusy = %v, want 0", st.NetworkBusy)
+	}
+	if st.Messages != 1 {
+		t.Errorf("messages = %d", st.Messages)
+	}
+	if len(s.net.open) != 0 {
+		t.Errorf("untracked run buffered %d flights", len(s.net.open))
+	}
+}
+
+// TestNetAcctBoundedMatchesReference drives the incremental accountant
+// past several compaction thresholds with unsorted, overlapping
+// flights and checks it against the one-shot reference while its
+// buffer stays bounded.
+func TestNetAcctBoundedMatchesReference(t *testing.T) {
+	var acct netAcct
+	var all []flight
+	// A deterministic pseudo-random walk: now advances monotonically,
+	// departures land in [now, now+40), lengths in [1, 50).
+	rnd := uint64(1)
+	next := func(n uint64) Time {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return Time(rnd % n)
+	}
+	var now Time
+	for i := 0; i < 3*netCompactAt; i++ {
+		now += next(3)
+		dep := now + next(40)
+		f := flight{dep, dep + 1 + next(49)}
+		all = append(all, f)
+		acct.add(f, now)
+		if len(acct.open) > netCompactAt {
+			t.Fatalf("open buffer grew to %d (threshold %d)", len(acct.open), netCompactAt)
+		}
+	}
+	if got, want := acct.total(now), mergeFlights(all); got != want {
+		t.Errorf("incremental union = %d, reference = %d", got, want)
 	}
 }
 

@@ -78,6 +78,17 @@ func New(opts ...Option) *Engine {
 // is the memoization saving.
 func (e *Engine) Simulations() int64 { return e.sims.Load() }
 
+// Reset drops the memoized results (keeping the simulation counter),
+// so the next Run is a cold sweep. Benchmarks use it to measure the
+// full simulate-everything cost on a long-lived engine; long-running
+// hosts can use it to release result memory between unrelated sweeps.
+// It must not be called concurrently with Run.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.cache = map[cacheKey]*cacheEntry{}
+	e.mu.Unlock()
+}
+
 // Run expands the spec and executes it on the worker pool. The
 // returned cells are in expansion order regardless of completion
 // order. Individual point failures (including panics inside the

@@ -52,6 +52,27 @@ func TestCompareAllocRegression(t *testing.T) {
 	}
 }
 
+func TestComparePerBenchmarkTolerance(t *testing.T) {
+	// A baseline benchmark with its own looser NsTolerance passes where
+	// the global tolerance would flag it...
+	base := mkFile(Benchmark{Name: "wall", NsPerOp: 1000, NsTolerance: 0.6})
+	cur := mkFile(Benchmark{Name: "wall", NsPerOp: 1500})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Errorf("want per-benchmark tolerance to absorb +50%%, got %v", regs)
+	}
+	// ...but still gates growth beyond it.
+	cur = mkFile(Benchmark{Name: "wall", NsPerOp: 1700})
+	if regs := Compare(base, cur, 0.25); len(regs) != 1 {
+		t.Errorf("want +70%% flagged at 60%% tolerance, got %v", regs)
+	}
+	// A tighter per-benchmark value never tightens below the global.
+	base = mkFile(Benchmark{Name: "wall", NsPerOp: 1000, NsTolerance: 0.05})
+	cur = mkFile(Benchmark{Name: "wall", NsPerOp: 1200})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Errorf("want global tolerance to govern, got %v", regs)
+	}
+}
+
 func TestCompareMissingBenchmark(t *testing.T) {
 	base := mkFile(
 		Benchmark{Name: "a", NsPerOp: 1000},

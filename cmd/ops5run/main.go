@@ -9,6 +9,7 @@
 //	ops5run -program rules.ops5 -wmes initial.wmes [-cycles 1000]
 //	        [-strategy lex|mea] [-trace out.trace] [-v]
 //	ops5run -program rules.ops5 -parallel 4 -timeline out.json
+//	ops5run -program rules.ops5 -parallel 4 -route-roots
 //	ops5run -program rules.ops5 -parallel 4 -debug-addr localhost:6060
 package main
 
@@ -37,6 +38,7 @@ func main() {
 	watch := flag.Int("watch", 0, "OPS5 watch level: 1 = firings, 2 = + wme changes")
 	dotPath := flag.String("dot", "", "write the compiled Rete network as Graphviz DOT here")
 	par := flag.Int("parallel", 0, "run the match phase on the parallel runtime with this many workers")
+	routeRoots := flag.Bool("route-roots", false, "hash-route root activations from the control goroutine (Fig 3-2) instead of broadcasting changes (requires -parallel)")
 	timelinePath := flag.String("timeline", "", "write the parallel matcher's wall-clock Chrome trace timeline here (requires -parallel)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar (live runtime stats) on this address")
 	flag.Parse()
@@ -69,6 +71,9 @@ func main() {
 	if *timelinePath != "" && *par <= 0 {
 		fatal("timeline", fmt.Errorf("-timeline records the parallel matcher; add -parallel N"))
 	}
+	if *routeRoots && *par <= 0 {
+		fatal("route-roots", fmt.Errorf("-route-roots selects the parallel runtime's root delivery; add -parallel N"))
+	}
 	var timeline *obs.Recorder
 	var rt *parallel.Runtime
 	if *par > 0 {
@@ -81,9 +86,10 @@ func main() {
 		net, err := rete.Compile(prog.Productions)
 		fatal("compile", err)
 		rt, err = parallel.New(net, parallel.Options{
-			Workers:  *par,
-			NBuckets: *nbuckets,
-			Recorder: timeline,
+			Workers:    *par,
+			NBuckets:   *nbuckets,
+			RouteRoots: *routeRoots,
+			Recorder:   timeline,
 		})
 		fatal("parallel runtime", err)
 		defer rt.Close()

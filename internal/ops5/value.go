@@ -117,6 +117,33 @@ func (v Value) Key() string {
 	}
 }
 
+const fnvPrime64 = 1099511628211
+
+// HashFNV folds the value's canonical Key() encoding into a running
+// FNV-1a hash without materializing the string — the hot-path
+// equivalent of hashing Key()'s bytes, producing identical hashes.
+func (v Value) HashFNV(h uint64) uint64 {
+	switch v.Kind {
+	case KindSym:
+		h = (h ^ 's') * fnvPrime64
+		h = (h ^ ':') * fnvPrime64
+		for i := 0; i < len(v.Sym); i++ {
+			h = (h ^ uint64(v.Sym[i])) * fnvPrime64
+		}
+	case KindNum:
+		h = (h ^ 'n') * fnvPrime64
+		h = (h ^ ':') * fnvPrime64
+		var buf [32]byte
+		b := strconv.AppendFloat(buf[:0], v.Num, 'b', -1, 64)
+		for i := 0; i < len(b); i++ {
+			h = (h ^ uint64(b[i])) * fnvPrime64
+		}
+	default:
+		h = (h ^ '_') * fnvPrime64
+	}
+	return h
+}
+
 // PredOp enumerates the OPS5 predicate operators.
 type PredOp uint8
 

@@ -33,7 +33,7 @@ func TestEngineOnParallelRuntime(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			run := func(par bool, workers int) (string, int, bool) {
+			run := func(par bool, workers int, routed bool) (string, int, bool) {
 				prog, err := ops5.ParseProgram(c.program)
 				if err != nil {
 					t.Fatal(err)
@@ -45,7 +45,7 @@ func TestEngineOnParallelRuntime(t *testing.T) {
 				var out bytes.Buffer
 				opts := engine.Options{Output: &out}
 				if par {
-					rt, err := New(net, Options{Workers: workers})
+					rt, err := New(net, Options{Workers: workers, RouteRoots: routed})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -68,16 +68,18 @@ func TestEngineOnParallelRuntime(t *testing.T) {
 				return out.String(), fired, e.Halted()
 			}
 
-			seqOut, seqFired, seqHalted := run(false, 0)
-			for _, workers := range []int{1, 3, 6} {
-				parOut, parFired, parHalted := run(true, workers)
-				if parFired != seqFired || parHalted != seqHalted {
-					t.Fatalf("workers=%d: fired/halted %d/%v, sequential %d/%v",
-						workers, parFired, parHalted, seqFired, seqHalted)
-				}
-				if parOut != seqOut {
-					t.Fatalf("workers=%d: output diverged:\n--- sequential ---\n%s--- parallel ---\n%s",
-						workers, seqOut, parOut)
+			seqOut, seqFired, seqHalted := run(false, 0, false)
+			for _, routed := range []bool{false, true} {
+				for _, workers := range []int{1, 3, 6} {
+					parOut, parFired, parHalted := run(true, workers, routed)
+					if parFired != seqFired || parHalted != seqHalted {
+						t.Fatalf("workers=%d routed=%v: fired/halted %d/%v, sequential %d/%v",
+							workers, routed, parFired, parHalted, seqFired, seqHalted)
+					}
+					if parOut != seqOut {
+						t.Fatalf("workers=%d routed=%v: output diverged:\n--- sequential ---\n%s--- parallel ---\n%s",
+							workers, routed, seqOut, parOut)
+					}
 				}
 			}
 		})

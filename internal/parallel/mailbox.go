@@ -2,17 +2,24 @@ package parallel
 
 import "sync"
 
-// mailbox is an unbounded FIFO message queue. Unbounded matters: with
-// bounded channels, two workers exchanging cross-product bursts can
-// fill each other's inboxes and deadlock; the paper's cross-product
-// section routinely aims thousands of tokens at one bucket owner.
-// Per-sender FIFO order is preserved, which the runtime relies on for
+// mailbox is an unbounded FIFO message queue consumed in batches.
+// Unbounded matters: with bounded channels, two workers exchanging
+// cross-product bursts can fill each other's inboxes and deadlock; the
+// paper's cross-product section routinely aims thousands of tokens at
+// one bucket owner. Per-sender FIFO order is preserved — pushBatch
+// appends a sender's coalesced messages in order, and drain hands the
+// queue back in arrival order — which the runtime relies on for
 // add-before-delete ordering of same-token activations.
+//
+// The consumer side is batched: drain swaps the whole pending queue
+// for an empty buffer donated by the caller, so the owning worker
+// takes the lock once per turn no matter how many messages arrived,
+// and the two buffers ping-pong between worker and mailbox with no
+// per-message allocation in steady state.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []message
-	head   int // consumed prefix length
 	closed bool
 }
 
@@ -22,47 +29,63 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// push enqueues a message; it never blocks.
+// push enqueues one message; it never blocks. Sends on a closed
+// mailbox are dropped silently: during shutdown a straggler worker
+// flushing its coalescing buffer can race close, and by the time Close
+// is legal (the runtime is quiescent) no droppable message can carry
+// live work.
 func (m *mailbox) push(msg message) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		panic("parallel: send on closed mailbox")
+		return
 	}
 	m.queue = append(m.queue, msg)
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
-// pop dequeues the next message, blocking until one is available or
-// the mailbox closes (ok == false).
-func (m *mailbox) pop() (message, bool) {
+// pushBatch enqueues a sender's coalesced messages in order under one
+// lock acquisition. The batch is copied, so the caller may reuse its
+// buffer immediately. Like push, it drops silently after close.
+func (m *mailbox) pushBatch(msgs []message) {
+	if len(msgs) == 0 {
+		return
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for m.head == len(m.queue) && !m.closed {
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, msgs...)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// drain blocks until at least one message is pending (or the mailbox
+// closes, reported as ok == false), then takes the entire pending
+// queue in one swap: the caller receives every queued message and
+// donates buf (truncated, capacity kept) as the mailbox's next backing
+// array. Pending messages are still delivered after close; ok == false
+// means closed *and* empty.
+func (m *mailbox) drain(buf []message) (batch []message, ok bool) {
+	buf = buf[:0]
+	m.mu.Lock()
+	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if m.head == len(m.queue) {
-		return message{}, false
+	if len(m.queue) == 0 {
+		m.mu.Unlock()
+		return buf, false
 	}
-	msg := m.queue[m.head]
-	m.queue[m.head] = message{} // release payload references promptly
-	m.head++
-	// Compact once the consumed prefix dominates, so a long-lived
-	// mailbox's backing array stays proportional to its live contents.
-	if m.head > 64 && m.head*2 >= len(m.queue) {
-		n := copy(m.queue, m.queue[m.head:])
-		for i := n; i < len(m.queue); i++ {
-			m.queue[i] = message{}
-		}
-		m.queue = m.queue[:n]
-		m.head = 0
-	}
-	return msg, true
+	batch = m.queue
+	m.queue = buf
+	m.mu.Unlock()
+	return batch, true
 }
 
 // close wakes all blocked readers; pending messages are still
-// delivered before pop reports closure.
+// delivered before drain reports closure, and later sends are dropped.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true

@@ -5,91 +5,135 @@ import (
 	"testing"
 )
 
-func TestMailboxFIFO(t *testing.T) {
-	m := newMailbox()
-	for i := 0; i < 500; i++ {
-		m.push(message{kind: msgAct, changes: nil})
-	}
-	for i := 0; i < 500; i++ {
-		if _, ok := m.pop(); !ok {
-			t.Fatalf("pop %d failed", i)
-		}
-	}
-	m.close()
-	if _, ok := m.pop(); ok {
-		t.Fatal("pop after close and drain should report closed")
-	}
+// seqMsg encodes a sequence number in a message via inject pointer
+// identity (message has no spare integer field).
+func seqMsg(seqs map[*migrateIn]int, seq int) message {
+	mi := &migrateIn{}
+	seqs[mi] = seq
+	return message{kind: msgAct, inject: mi}
 }
 
-func TestMailboxOrderAcrossCompaction(t *testing.T) {
+func TestMailboxDrainFIFO(t *testing.T) {
 	m := newMailbox()
-	next := 0
-	sent := 0
-	// Interleave pushes and pops so the compaction path triggers while
-	// messages remain queued.
+	seqs := map[*migrateIn]int{}
+	sent, next := 0, 0
+	var batch []message
+	// Interleave single pushes, batched pushes, and drains so both the
+	// swap path and buffer reuse are exercised with messages pending.
 	for round := 0; round < 50; round++ {
-		for i := 0; i < 37; i++ {
-			msg := message{kind: msgCycle}
-			msg.act.Tag = 0
-			msg.changes = nil
-			msg.migrate = nil
-			// Encode a sequence number in an unused field via a
-			// one-element slice length trick is ugly; use inject ptr
-			// identity instead.
-			mi := &migrateIn{}
-			msg.inject = mi
-			seqOf[mi] = sent
+		for i := 0; i < 3; i++ {
+			m.push(seqMsg(seqs, sent))
 			sent++
-			m.push(msg)
 		}
-		for i := 0; i < 29; i++ {
-			msg, ok := m.pop()
-			if !ok {
-				t.Fatal("unexpected close")
-			}
-			if got := seqOf[msg.inject]; got != next {
+		var b []message
+		for i := 0; i < 17; i++ {
+			b = append(b, seqMsg(seqs, sent))
+			sent++
+		}
+		m.pushBatch(b)
+		if round%3 != 0 {
+			continue // let the queue accumulate across rounds
+		}
+		var ok bool
+		batch, ok = m.drain(batch)
+		if !ok {
+			t.Fatal("unexpected close")
+		}
+		for _, msg := range batch {
+			if got := seqs[msg.inject]; got != next {
 				t.Fatalf("out of order: got %d want %d", got, next)
 			}
 			next++
 		}
 	}
-	// Drain the remainder.
+	// Drain the remainder, then observe closure.
+	m.close()
 	for next < sent {
-		msg, ok := m.pop()
+		var ok bool
+		batch, ok = m.drain(batch)
 		if !ok {
-			t.Fatal("unexpected close")
+			t.Fatalf("closed with %d of %d undelivered", sent-next, sent)
 		}
-		if got := seqOf[msg.inject]; got != next {
-			t.Fatalf("drain out of order: got %d want %d", got, next)
+		for _, msg := range batch {
+			if got := seqs[msg.inject]; got != next {
+				t.Fatalf("drain out of order: got %d want %d", got, next)
+			}
+			next++
 		}
-		next++
+	}
+	if _, ok := m.drain(batch); ok {
+		t.Fatal("drain after close and empty should report closed")
 	}
 }
 
-var seqOf = map[*migrateIn]int{}
+func TestMailboxPushBatchCopies(t *testing.T) {
+	m := newMailbox()
+	seqs := map[*migrateIn]int{}
+	buf := []message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
+	m.pushBatch(buf)
+	// The sender reuses its buffer immediately, as workers do.
+	buf[0] = seqMsg(seqs, 99)
+	buf[1] = seqMsg(seqs, 99)
+	batch, ok := m.drain(nil)
+	if !ok || len(batch) != 2 {
+		t.Fatalf("drain = %d messages, ok=%v; want 2", len(batch), ok)
+	}
+	for i, msg := range batch {
+		if got := seqs[msg.inject]; got != i {
+			t.Fatalf("message %d overwritten by buffer reuse: seq %d", i, got)
+		}
+	}
+}
+
+// TestMailboxSendAfterCloseDropped is the shutdown-race regression
+// test: during Close a straggler worker flushing its coalescing buffer
+// can race the mailbox close; such sends must be dropped silently, not
+// panic.
+func TestMailboxSendAfterCloseDropped(t *testing.T) {
+	m := newMailbox()
+	m.push(message{kind: msgAct})
+	m.close()
+	m.push(message{kind: msgAct})  // dropped, no panic
+	m.pushBatch([]message{{}, {}}) // dropped, no panic
+	m.pushBatch(nil)               // no-op
+	if batch, ok := m.drain(nil); !ok || len(batch) != 1 {
+		t.Fatalf("drain = %d messages, ok=%v; want the 1 pre-close message", len(batch), ok)
+	}
+	if _, ok := m.drain(nil); ok {
+		t.Fatal("post-close pushes must not be delivered")
+	}
+}
 
 func TestMailboxConcurrentProducers(t *testing.T) {
 	m := newMailbox()
-	const producers, per = 8, 200
+	const producers, per, batchLen = 8, 200, 5
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var buf []message
 			for i := 0; i < per; i++ {
-				m.push(message{kind: msgAct})
+				buf = append(buf, message{kind: msgAct})
+				if len(buf) == batchLen {
+					m.pushBatch(buf)
+					buf = buf[:0]
+				}
 			}
+			m.pushBatch(buf)
 		}()
 	}
 	received := 0
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		var batch []message
+		var ok bool
 		for received < producers*per {
-			if _, ok := m.pop(); !ok {
+			if batch, ok = m.drain(batch); !ok {
 				return
 			}
-			received++
+			received += len(batch)
 		}
 	}()
 	wg.Wait()

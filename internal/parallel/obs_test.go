@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"strconv"
 	"testing"
 
 	"mpcrete/internal/obs"
@@ -10,8 +11,10 @@ import (
 )
 
 // TestRuntimeTimeline runs a match phase under a recorder and checks
-// the wall-clock timeline: per-worker cycle spans, a quiescence span
-// on the control track, and a valid Chrome export.
+// the wall-clock timeline: one span per drained mailbox batch on each
+// worker (with per-kind message counts, so observability costs one
+// span per turn rather than one per message), a quiescence span on the
+// control track, and a valid Chrome export.
 func TestRuntimeTimeline(t *testing.T) {
 	net, _ := compileProds(t,
 		`(p pair (team ^name <t>) (slot ^id <s>) --> (make pairing ^team <t> ^slot <s>))`)
@@ -41,15 +44,32 @@ func TestRuntimeTimeline(t *testing.T) {
 		t.Fatalf("conflict set = %d, want 16", len(got))
 	}
 
-	cycleSpans := map[int]int{}
+	// Each worker reports batched spans: the sum of per-worker "msgs"
+	// counts must cover one cycle message per worker plus every
+	// routed activation, with one span per drained batch.
+	batchSpans := map[int]int{}
+	batchMsgs := map[int]int{}
+	cycleMsgs := 0
 	quiesce := 0
 	for _, sp := range rec.Spans() {
 		if sp.T1 < sp.T0 {
 			t.Errorf("span %v ends before it starts", sp)
 		}
 		switch {
-		case sp.Kind == "cycle":
-			cycleSpans[sp.Proc]++
+		case sp.Kind == "batch":
+			batchSpans[sp.Proc]++
+			for _, l := range sp.Labels {
+				n, err := strconv.Atoi(l.Value)
+				if err != nil {
+					t.Errorf("batch label %s=%q is not a count", l.Key, l.Value)
+				}
+				switch l.Key {
+				case "msgs":
+					batchMsgs[sp.Proc] += n
+				case "cycles":
+					cycleMsgs += n
+				}
+			}
 		case sp.Kind == "quiesce" && sp.Proc == rt.controlTrack():
 			quiesce++
 			if len(sp.Labels) != 1 || sp.Labels[0].Key != "waves" {
@@ -57,8 +77,16 @@ func TestRuntimeTimeline(t *testing.T) {
 			}
 		}
 	}
-	if cycleSpans[0] != 1 || cycleSpans[1] != 1 {
-		t.Errorf("cycle spans per worker = %v, want one each", cycleSpans)
+	for w := 0; w < 2; w++ {
+		if batchSpans[w] < 1 {
+			t.Errorf("worker %d: no batch spans", w)
+		}
+		if batchMsgs[w] < 1 {
+			t.Errorf("worker %d: batch spans cover %d messages", w, batchMsgs[w])
+		}
+	}
+	if cycleMsgs != 2 {
+		t.Errorf("cycle messages across batch spans = %d, want one per worker", cycleMsgs)
 	}
 	if quiesce != 1 {
 		t.Errorf("quiesce spans = %d, want 1", quiesce)
@@ -68,9 +96,52 @@ func TestRuntimeTimeline(t *testing.T) {
 	if err := rec.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"worker 0"`, `"worker 1"`, `"control"`, `"cycle-broadcast"`} {
+	for _, want := range []string{`"worker 0"`, `"worker 1"`, `"control"`, `"cycle-broadcast"`, `"batch"`} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("chrome trace missing %s", want)
 		}
+	}
+}
+
+// TestRuntimeTimelineRouted checks the routed-mode control-track
+// instant: one "cycle-route" event carrying the change and root
+// counts.
+func TestRuntimeTimelineRouted(t *testing.T) {
+	net, _ := compileProds(t,
+		`(p pair (team ^name <t>) (slot ^id <s>) --> (make pairing ^team <t> ^slot <s>))`)
+	rec := obs.NewRecorder()
+	rt, err := New(net, Options{Workers: 2, RouteRoots: true, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var changes []rete.Change
+	for i := 0; i < 4; i++ {
+		w := ops5.NewWME("team", "name", i)
+		w.ID, w.TimeTag = i+1, i+1
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+	}
+	rt.Apply(changes)
+
+	routed := 0
+	for _, in := range rec.Instants() {
+		if in.Name != "cycle-route" {
+			continue
+		}
+		routed++
+		got := map[string]string{}
+		for _, l := range in.Labels {
+			got[l.Key] = l.Value
+		}
+		if got["changes"] != "4" {
+			t.Errorf("cycle-route changes label = %q, want 4", got["changes"])
+		}
+		if got["roots"] == "" || got["roots"] == "0" {
+			t.Errorf("cycle-route roots label = %q, want > 0", got["roots"])
+		}
+	}
+	if routed != 1 {
+		t.Errorf("cycle-route instants = %d, want 1", routed)
 	}
 }

@@ -5,7 +5,20 @@
 // the Fig 3-3 variation — the control goroutine broadcasts each
 // cycle's wme changes, every worker runs all constant tests and keeps
 // the root activations whose buckets it owns, and successor (left)
-// tokens travel to the worker owning their bucket.
+// tokens travel to the worker owning their bucket. Options.RouteRoots
+// selects the Fig 3-2 scheme instead: the control goroutine runs the
+// constant tests once and hash-routes each root activation to its
+// owner.
+//
+// The message plane is batched, because the paper's central finding is
+// that per-message overhead is what makes or breaks MPC speedups:
+// workers drain their whole mailbox under one lock per turn, coalesce
+// outgoing activations into per-destination buffers flushed once per
+// handled message, deliver conflict-set deltas in bulk, and account
+// termination-detection counters per batch. Steady-state cycles reuse
+// the same buffers, the shared cycle packet, and arena-carved tokens,
+// so the per-message cost the paper prices at 0–32 µs stays far below
+// a node activation's work here.
 //
 // This is the "real implementation" the paper planned as future work
 // (on Nectar), transplanted to a shared-nothing goroutine machine. It
@@ -51,17 +64,37 @@ type Options struct {
 	Partition sched.Partition
 	// Detector selects the termination-detection scheme.
 	Detector Detector
+	// RouteRoots selects the paper's Fig 3-2 scheme: the control
+	// goroutine runs the constant tests once per cycle and hash-routes
+	// each root activation to the worker owning its bucket, instead of
+	// broadcasting the cycle's changes for every worker to filter (the
+	// Fig 3-3 default). Routing eliminates the redundant all-workers
+	// constant-test pass at the cost of serializing constant tests on
+	// the control goroutine; the netted instantiation output is
+	// identical either way.
+	RouteRoots bool
 	// Recorder, when non-nil, receives a wall-clock timeline of the
-	// run: one span per mailbox message processed on each worker and a
-	// quiescence-wait span (with the termination-detection wave count)
-	// on the control track. Timestamps are nanoseconds since New.
+	// run: one span per drained mailbox batch on each worker (labelled
+	// with per-kind message counts, so -timeline no longer pays one
+	// span per message) and a quiescence-wait span (with the
+	// termination-detection wave count) on the control track.
+	// Timestamps are nanoseconds since New.
 	Recorder *obs.Recorder
+}
+
+// cyclePacket is the broadcast payload of one match phase. A single
+// packet, owned by the Runtime and reused across cycles, is shared
+// read-only by every worker — the control goroutine ships one pooled
+// changes slice per cycle rather than per-worker copies.
+type cyclePacket struct {
+	changes []rete.Change
 }
 
 // message is the worker-mailbox protocol.
 type message struct {
 	kind    msgKind
-	changes []rete.Change   // msgCycle
+	bucket  int32           // msgAct: the activation's hash bucket, computed by the sender for routing
+	cycle   *cyclePacket    // msgCycle: shared, read-only
 	act     rete.Activation // msgAct
 	migrate *migrateOut     // msgMigrateOut
 	inject  *migrateIn      // msgMigrateIn
@@ -74,7 +107,7 @@ const (
 	msgAct
 	msgMigrateOut
 	msgMigrateIn
-	msgStop
+	numMsgKinds
 )
 
 // Stats reports per-worker work counts (snapshot).
@@ -96,16 +129,25 @@ type Runtime struct {
 	net  *rete.Network
 	opts Options
 
-	workers []*worker
-	instCh  chan rete.InstChange
+	workers  []*worker
+	cyclePkt *cyclePacket
+
+	// root-routing state (RouteRoots mode): the control goroutine's
+	// constant-test processor plus reusable per-destination buffers.
+	rootProc    *rete.Processor
+	rootBufs    [][]message
+	rootScratch []rete.Activation
 
 	counter *termdet.Counter
 	counts  []*termdet.ChannelCounts // one per worker + control last
 	four    *termdet.FourCounter
 
-	instWG sync.WaitGroup
-	instMu sync.Mutex
-	insts  []rete.InstChange
+	// insts is the control goroutine's conflict-set intake; workers
+	// append their buffered deltas in bulk at end of turn. netter holds
+	// the netting scratch reused across cycles.
+	instMu  sync.Mutex
+	insts   []rete.InstChange
+	netting netter
 
 	processed []atomic.Int64
 	msgsSent  []atomic.Int64
@@ -130,6 +172,19 @@ type worker struct {
 	proc  *rete.Processor
 	inbox *mailbox
 	done  sync.WaitGroup
+
+	// turn-local state, reused across turns: the drained batch, the
+	// constant-test scratch, the per-destination coalescing buffers,
+	// and the conflict-set delta buffer. pendingSends counts messages
+	// buffered in outBufs since the last flush; turnProcessed/turnSent
+	// accumulate the per-activation counters published once per turn.
+	batch         []message
+	rootScratch   []rete.Activation
+	outBufs       [][]message
+	instBuf       []rete.InstChange
+	pendingSends  int
+	turnProcessed int64
+	turnSent      int64
 
 	// migration accounting, read by Repartition after its barrier.
 	migratedEntries int
@@ -161,12 +216,16 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 	rt := &Runtime{
 		net:       net,
 		opts:      opts,
-		instCh:    make(chan rete.InstChange, 4096),
+		cyclePkt:  &cyclePacket{},
 		counter:   termdet.NewCounter(),
 		processed: make([]atomic.Int64, opts.Workers),
 		msgsSent:  make([]atomic.Int64, opts.Workers),
 		rec:       opts.Recorder,
 		epoch:     time.Now(),
+	}
+	if opts.RouteRoots {
+		rt.rootProc = rete.NewProcessor(net, opts.NBuckets)
+		rt.rootBufs = make([][]message, opts.Workers)
 	}
 	if rt.rec != nil {
 		for i := 0; i < opts.Workers; i++ {
@@ -181,36 +240,22 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{
-			id:    i,
-			rt:    rt,
-			proc:  rete.NewProcessor(net, opts.NBuckets),
-			inbox: newMailbox(),
+			id:      i,
+			rt:      rt,
+			proc:    rete.NewProcessor(net, opts.NBuckets),
+			inbox:   newMailbox(),
+			outBufs: make([][]message, opts.Workers),
 		}
 		rt.workers = append(rt.workers, w)
 		w.done.Add(1)
 		go w.loop()
 	}
-
-	rt.instWG.Add(1)
-	go rt.collectInsts()
 	return rt, nil
 }
 
 // controlCounts returns the control goroutine's message counters.
 func (rt *Runtime) controlCounts() *termdet.ChannelCounts {
 	return rt.counts[len(rt.counts)-1]
-}
-
-// collectInsts is the control processor's conflict-set intake.
-func (rt *Runtime) collectInsts() {
-	defer rt.instWG.Done()
-	for ic := range rt.instCh {
-		rt.instMu.Lock()
-		rt.insts = append(rt.insts, ic)
-		rt.instMu.Unlock()
-		rt.controlCounts().IncRecv()
-		rt.counter.Done()
-	}
 }
 
 // Apply runs one parallel match phase and returns the conflict-set
@@ -221,19 +266,12 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 	if rt.closed {
 		panic("parallel: Apply after Close")
 	}
-	rt.instMu.Lock()
-	rt.insts = nil
-	rt.instMu.Unlock()
+	rt.insts = rt.insts[:0] // quiescent: no worker holds instMu
 
-	// Broadcast the cycle packet.
-	if rt.rec != nil {
-		rt.rec.Instant(rt.controlTrack(), "cycle-broadcast", rt.nowNS(),
-			obs.Label{Key: "changes", Value: strconv.Itoa(len(changes))})
-	}
-	for _, w := range rt.workers {
-		rt.counter.Add(1)
-		rt.controlCounts().IncSent()
-		w.inbox.push(message{kind: msgCycle, changes: changes})
+	if rt.opts.RouteRoots {
+		rt.routeRoots(changes)
+	} else {
+		rt.broadcast(changes)
 	}
 
 	// Wait for global quiescence.
@@ -258,11 +296,58 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 			obs.Label{Key: "waves", Value: strconv.Itoa(waves)})
 	}
 
-	rt.instMu.Lock()
-	raw := rt.insts
-	rt.insts = nil
-	rt.instMu.Unlock()
-	return netInsts(raw)
+	rt.cyclePkt.changes = nil // release the caller's slice
+	return rt.netting.net(rt.insts)
+}
+
+// broadcast ships the cycle packet to every worker (Fig 3-3): one
+// pooled packet shared read-only, one outstanding-work registration
+// and one sent-counter update for the whole wave.
+func (rt *Runtime) broadcast(changes []rete.Change) {
+	if rt.rec != nil {
+		rt.rec.Instant(rt.controlTrack(), "cycle-broadcast", rt.nowNS(),
+			obs.Label{Key: "changes", Value: strconv.Itoa(len(changes))})
+	}
+	rt.cyclePkt.changes = changes
+	rt.counter.Add(len(rt.workers))
+	rt.controlCounts().AddSent(len(rt.workers))
+	msg := message{kind: msgCycle, cycle: rt.cyclePkt}
+	for _, w := range rt.workers {
+		w.inbox.push(msg)
+	}
+}
+
+// routeRoots runs the constant tests once on the control goroutine and
+// hash-routes each root activation to its owner (Fig 3-2), coalescing
+// per destination so each worker's mailbox is locked at most once.
+func (rt *Runtime) routeRoots(changes []rete.Change) {
+	sent := 0
+	for _, ch := range changes {
+		rt.rootScratch = rt.rootProc.RootActivationsInto(ch, rt.rootScratch[:0])
+		for _, act := range rt.rootScratch {
+			b := rt.rootProc.Bucket(act)
+			owner := rt.opts.Partition[b]
+			rt.rootBufs[owner] = append(rt.rootBufs[owner], message{kind: msgAct, bucket: int32(b), act: act})
+			sent++
+		}
+	}
+	if rt.rec != nil {
+		rt.rec.Instant(rt.controlTrack(), "cycle-route", rt.nowNS(),
+			obs.Label{Key: "changes", Value: strconv.Itoa(len(changes))},
+			obs.Label{Key: "roots", Value: strconv.Itoa(sent)})
+	}
+	if sent == 0 {
+		return
+	}
+	rt.counter.Add(sent)
+	rt.controlCounts().AddSent(sent)
+	for dst, buf := range rt.rootBufs {
+		if len(buf) == 0 {
+			continue
+		}
+		rt.workers[dst].inbox.pushBatch(buf)
+		rt.rootBufs[dst] = buf[:0]
+	}
 }
 
 // Stats snapshots per-worker counters.
@@ -279,141 +364,223 @@ func (rt *Runtime) Stats() Stats {
 	return s
 }
 
-// Close stops the workers and the collector. The runtime cannot be
-// reused.
+// Close stops the workers. The runtime cannot be reused. Any message a
+// straggler flushes at a closed mailbox is dropped silently (Close is
+// only legal on a quiescent runtime, so no dropped message carries
+// live work).
 func (rt *Runtime) Close() {
 	if rt.closed {
 		return
 	}
 	rt.closed = true
 	for _, w := range rt.workers {
-		w.inbox.push(message{kind: msgStop})
+		w.inbox.close()
 	}
 	for _, w := range rt.workers {
 		w.done.Wait()
 	}
-	close(rt.instCh)
-	rt.instWG.Wait()
 }
 
-// loop is the worker goroutine: one match processor of the mapping.
+// loop is the worker goroutine: one match processor of the mapping. It
+// consumes its mailbox one drained batch at a time — one lock
+// acquisition per turn, however many messages arrived — and flushes
+// coalesced outgoing activations at the end of each handled message.
 func (w *worker) loop() {
 	defer w.done.Done()
 	rt := w.rt
 	for {
-		msg, ok := w.inbox.pop()
-		if !ok || msg.kind == msgStop {
+		var ok bool
+		w.batch, ok = w.inbox.drain(w.batch)
+		if !ok {
 			return
 		}
 		var t0 int64
 		if rt.rec != nil {
 			t0 = rt.nowNS()
 		}
-		switch msg.kind {
-		case msgCycle:
-			// Constant tests run on every worker (duplicated work, the
-			// coarse granularity of Section 3.2); only locally-owned
-			// roots are processed.
-			for _, ch := range msg.changes {
-				for _, act := range w.proc.RootActivations(ch) {
-					if rt.opts.Partition[w.proc.Bucket(act)] == w.id {
-						w.process(act)
+		var kinds [numMsgKinds]int
+		for i := range w.batch {
+			msg := &w.batch[i]
+			kinds[msg.kind]++
+			switch msg.kind {
+			case msgCycle:
+				// Constant tests run on every worker (duplicated work,
+				// the coarse granularity of Section 3.2); only
+				// locally-owned roots are processed.
+				for _, ch := range msg.cycle.changes {
+					w.rootScratch = w.proc.RootActivationsInto(ch, w.rootScratch[:0])
+					for _, act := range w.rootScratch {
+						b := w.proc.Bucket(act)
+						if rt.opts.Partition[b] == w.id {
+							w.process(act, b)
+						}
 					}
 				}
+			case msgAct:
+				w.process(msg.act, int(msg.bucket))
+			case msgMigrateOut:
+				w.handleMigrateOut(msg.migrate)
+			case msgMigrateIn:
+				w.proc.InjectBucket(msg.inject.contents)
 			}
-		case msgAct:
-			w.process(msg.act)
-		case msgMigrateOut:
-			w.handleMigrateOut(msg.migrate)
-		case msgMigrateIn:
-			w.proc.InjectBucket(msg.inject.contents)
+			w.flushActs()
 		}
+		n := len(w.batch)
 		if rt.rec != nil {
-			rt.rec.Span(w.id, msgKindName(msg.kind), t0, rt.nowNS())
+			rt.rec.Span(w.id, "batch", t0, rt.nowNS(), batchLabels(n, &kinds)...)
 		}
-		rt.counts[w.id].IncRecv()
-		rt.counter.Done()
+		// Deliver buffered conflict-set deltas and publish counters
+		// before deregistering the batch, so quiescence implies the
+		// control goroutine sees every delta.
+		w.flushInsts()
+		w.publishCounters()
+		rt.counts[w.id].AddRecv(n)
+		rt.counter.Add(-n)
 	}
 }
 
-// msgKindName labels worker timeline spans by mailbox message kind.
-func msgKindName(k msgKind) string {
-	switch k {
-	case msgCycle:
-		return "cycle"
-	case msgAct:
-		return "activation"
-	case msgMigrateOut:
-		return "migrate-out"
-	case msgMigrateIn:
-		return "migrate-in"
-	default:
-		return "msg"
+// batchLabels annotates a drained-batch span with its total and
+// per-kind message counts.
+func batchLabels(n int, kinds *[numMsgKinds]int) []obs.Label {
+	labels := make([]obs.Label, 0, 1+int(numMsgKinds))
+	labels = append(labels, obs.Label{Key: "msgs", Value: strconv.Itoa(n)})
+	names := [numMsgKinds]string{"cycles", "acts", "migrates-out", "migrates-in"}
+	for k, c := range kinds {
+		if c > 0 {
+			labels = append(labels, obs.Label{Key: names[k], Value: strconv.Itoa(c)})
+		}
 	}
+	return labels
 }
 
-// sendInst forwards an instantiation delta to the control goroutine.
-func (w *worker) sendInst(ic rete.InstChange) {
+// flushActs ships the coalescing buffers: outstanding work and sent
+// counters are accounted for the whole flush before any message
+// becomes visible, then each destination mailbox is locked once.
+func (w *worker) flushActs() {
+	if w.pendingSends == 0 {
+		return
+	}
 	rt := w.rt
-	rt.counter.Add(1)
-	rt.counts[w.id].IncSent()
-	rt.instCount.Add(1)
-	rt.instCh <- ic
+	rt.counter.Add(w.pendingSends)
+	rt.counts[w.id].AddSent(w.pendingSends)
+	w.turnSent += int64(w.pendingSends)
+	w.pendingSends = 0
+	for dst, buf := range w.outBufs {
+		if len(buf) == 0 {
+			continue
+		}
+		rt.workers[dst].inbox.pushBatch(buf)
+		w.outBufs[dst] = buf[:0]
+	}
+}
+
+// flushInsts delivers the turn's conflict-set deltas to the control
+// goroutine in one append.
+func (w *worker) flushInsts() {
+	if len(w.instBuf) == 0 {
+		return
+	}
+	rt := w.rt
+	rt.instMu.Lock()
+	rt.insts = append(rt.insts, w.instBuf...)
+	rt.instMu.Unlock()
+	rt.instCount.Add(int64(len(w.instBuf)))
+	w.instBuf = w.instBuf[:0]
+}
+
+// publishCounters folds the turn-local activation counters into the
+// shared snapshot atomics (once per turn, not once per activation).
+func (w *worker) publishCounters() {
+	if w.turnProcessed > 0 {
+		w.rt.processed[w.id].Add(w.turnProcessed)
+		w.turnProcessed = 0
+	}
+	if w.turnSent > 0 {
+		w.rt.msgsSent[w.id].Add(w.turnSent)
+		w.turnSent = 0
+	}
+}
+
+// sendInst buffers an instantiation delta for bulk delivery to the
+// control goroutine at end of turn.
+func (w *worker) sendInst(ic rete.InstChange) {
+	w.instBuf = append(w.instBuf, ic)
 }
 
 // process performs one activation, routing successors to the workers
 // owning their buckets. Locally-owned successors are processed
-// recursively — the zero-message fast path of the fine granularity.
-func (w *worker) process(act rete.Activation) {
+// recursively — the zero-message fast path of the fine granularity;
+// remote successors are coalesced per destination and flushed at end
+// of turn. bucket is the activation's hash bucket, already computed by
+// whoever routed the activation here.
+func (w *worker) process(act rete.Activation, bucket int) {
 	rt := w.rt
 	if act.Node.Kind == rete.KindProduction {
 		// A root activation of a single-CE production.
 		w.sendInst(w.proc.BuildInst(act))
 		return
 	}
-	rt.processed[w.id].Add(1)
+	w.turnProcessed++
 
-	w.proc.Process(act,
+	w.proc.ProcessAt(act, bucket,
 		func(child rete.Activation) {
 			if child.Node.Kind == rete.KindProduction {
 				w.sendInst(w.proc.BuildInst(child))
 				return
 			}
-			owner := rt.opts.Partition[w.proc.Bucket(child)]
+			b := w.proc.Bucket(child)
+			owner := rt.opts.Partition[b]
 			if owner == w.id {
-				w.process(child)
+				w.process(child, b)
 				return
 			}
-			rt.counter.Add(1)
-			rt.counts[w.id].IncSent()
-			rt.msgsSent[w.id].Add(1)
-			rt.workers[owner].inbox.push(message{kind: msgAct, act: child})
+			w.outBufs[owner] = append(w.outBufs[owner], message{kind: msgAct, bucket: int32(b), act: child})
+			w.pendingSends++
 		},
 		func(rete.InstChange) {
 			panic("parallel: unexpected instantiation emission")
 		})
 }
 
-// netInsts nets raw deltas per instantiation key: within one match
+// netter nets raw deltas per instantiation key: within one match
 // phase an instantiation may be added and deleted several times (e.g.
 // through negative-node transients whose interleaving is
 // order-dependent); only the net effect is meaningful, and netting
-// makes the result independent of worker scheduling.
-func netInsts(raw []rete.InstChange) []rete.InstChange {
-	type acc struct {
-		net  int
-		last rete.InstChange
+// makes the result independent of worker scheduling. The index map and
+// accumulator slices are scratch reused across cycles; the returned
+// slice is freshly allocated (callers may retain it).
+type netter struct {
+	idx  map[string]int
+	accs []netAcc
+	keys []string
+}
+
+type netAcc struct {
+	net  int
+	last rete.InstChange
+}
+
+func (n *netter) net(raw []rete.InstChange) []rete.InstChange {
+	if len(raw) == 0 {
+		return nil
 	}
-	byKey := map[string]*acc{}
-	var keys []string
+	if n.idx == nil {
+		n.idx = make(map[string]int)
+	} else {
+		clear(n.idx)
+	}
+	n.accs = n.accs[:0]
+	n.keys = n.keys[:0]
 	for _, ic := range raw {
 		k := ic.Key()
-		a, ok := byKey[k]
+		i, ok := n.idx[k]
 		if !ok {
-			a = &acc{}
-			byKey[k] = a
-			keys = append(keys, k)
+			i = len(n.accs)
+			n.idx[k] = i
+			n.accs = append(n.accs, netAcc{})
+			n.keys = append(n.keys, k)
 		}
+		a := &n.accs[i]
 		if ic.Tag == rete.Add {
 			a.net++
 		} else {
@@ -421,10 +588,10 @@ func netInsts(raw []rete.InstChange) []rete.InstChange {
 		}
 		a.last = ic
 	}
-	sort.Strings(keys)
+	sort.Strings(n.keys)
 	var out []rete.InstChange
-	for _, k := range keys {
-		a := byKey[k]
+	for _, k := range n.keys {
+		a := &n.accs[n.idx[k]]
 		switch {
 		case a.net > 0:
 			ic := a.last
@@ -437,4 +604,10 @@ func netInsts(raw []rete.InstChange) []rete.InstChange {
 		}
 	}
 	return out
+}
+
+// netInsts is the one-shot form of netter.net (tests use it).
+func netInsts(raw []rete.InstChange) []rete.InstChange {
+	var n netter
+	return n.net(raw)
 }

@@ -104,6 +104,96 @@ func TestParallelMatchesSequentialBlocksLike(t *testing.T) {
 	}
 }
 
+// TestRoutedMatchesSequential is the random add/delete parity check of
+// TestParallelMatchesSequentialBlocksLike with RouteRoots (Fig 3-2):
+// constant tests run once on the control goroutine and root
+// activations are hash-routed to their owners. The netted conflict-set
+// trajectory must be identical to the sequential matcher's.
+func TestRoutedMatchesSequential(t *testing.T) {
+	srcs := []string{
+		`(p join (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))`,
+		`(p neg (a ^x <v>) -(d ^x <v>) --> (halt))`,
+		`(p solo (e ^k 1) --> (halt))`,
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, det := range []Detector{CountingDetector, FourCounterDetector} {
+			t.Run(fmt.Sprintf("w%d-det%d", workers, det), func(t *testing.T) {
+				net, _ := compileProds(t, srcs...)
+				seqNet, _ := compileProds(t, srcs...)
+				seq := rete.NewMatcher(seqNet, rete.MatcherOptions{NBuckets: 64})
+				rt, err := New(net, Options{Workers: workers, NBuckets: 64, Detector: det, RouteRoots: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+
+				seqCS, parCS := map[string]bool{}, map[string]bool{}
+				id := 1
+				step := func(tag rete.Tag, w *ops5.WME) {
+					ch := []rete.Change{{Tag: tag, WME: w}}
+					applyDeltas(seqCS, seq.Apply(ch))
+					applyDeltas(parCS, rt.Apply(ch))
+					if !setsEqual(seqCS, parCS) {
+						t.Fatalf("divergence after %v %v:\nseq: %v\npar: %v", tag, w, seqCS, parCS)
+					}
+				}
+				mk := func(class string, x int) *ops5.WME {
+					w := ops5.NewWME(class, "x", x)
+					if class == "e" {
+						w = ops5.NewWME(class, "k", x)
+					}
+					w.ID, w.TimeTag = id, id
+					id++
+					return w
+				}
+				var live []*ops5.WME
+				rng := rand.New(rand.NewSource(41))
+				for i := 0; i < 60; i++ {
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						j := rng.Intn(len(live))
+						step(rete.Delete, live[j])
+						live = append(live[:j], live[j+1:]...)
+					} else {
+						w := mk([]string{"a", "b", "c", "d", "e"}[rng.Intn(5)], rng.Intn(3))
+						step(rete.Add, w)
+						live = append(live, w)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRoutedCrossProductBurst runs the Tourney pathology in routed
+// mode: every root activation funnels through the control goroutine's
+// constant tests and the cross-product tokens still converge.
+func TestRoutedCrossProductBurst(t *testing.T) {
+	net, _ := compileProds(t, `(p cross (a ^x <u>) (b ^y <w>) --> (halt))`)
+	rt, err := New(net, Options{Workers: 4, NBuckets: 64, RouteRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	cs := map[string]bool{}
+	id := 1
+	var changes []rete.Change
+	for i := 0; i < 40; i++ {
+		w := ops5.NewWME("a", "x", i)
+		w.ID, w.TimeTag = id, id
+		id++
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+		w2 := ops5.NewWME("b", "y", i)
+		w2.ID, w2.TimeTag = id, id
+		id++
+		changes = append(changes, rete.Change{Tag: rete.Add, WME: w2})
+	}
+	applyDeltas(cs, rt.Apply(changes))
+	if len(cs) != 1600 {
+		t.Fatalf("cross product = %d, want 1600", len(cs))
+	}
+}
+
 func TestParallelCrossProductBurst(t *testing.T) {
 	// The Tourney pathology: a join with no equality tests sends every
 	// token to one bucket owner. Exercises the unbounded mailbox.
@@ -226,6 +316,155 @@ func TestParallelCloseIdempotent(t *testing.T) {
 	}
 	rt.Close()
 	rt.Close()
+}
+
+// TestAddBeforeDeleteSameCycle pins the per-sender FIFO guarantee at
+// the runtime level: a modify-style transient — the same wme added and
+// deleted within one cycle — must leave no residue in the token
+// memories. If a worker reordered the two same-bucket activations
+// (processing the delete before the add), a stale token would survive
+// and produce a spurious match in a later cycle.
+func TestAddBeforeDeleteSameCycle(t *testing.T) {
+	for _, routed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("routed=%v", routed), func(t *testing.T) {
+			net, _ := compileProds(t, `(p j (a ^x <v>) (b ^x <v>) --> (halt))`)
+			rt, err := New(net, Options{Workers: 4, NBuckets: 64, RouteRoots: routed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			transient := ops5.NewWME("a", "x", 1)
+			transient.ID, transient.TimeTag = 1, 1
+			if out := rt.Apply([]rete.Change{
+				{Tag: rete.Add, WME: transient},
+				{Tag: rete.Delete, WME: transient},
+			}); len(out) != 0 {
+				t.Fatalf("transient add+delete netted to %v", out)
+			}
+
+			// A partner in a later cycle must not match the dead token.
+			b := ops5.NewWME("b", "x", 1)
+			b.ID, b.TimeTag = 2, 2
+			if out := rt.Apply([]rete.Change{{Tag: rete.Add, WME: b}}); len(out) != 0 {
+				t.Fatalf("stale token matched: %v", out)
+			}
+
+			// And a live wme must still match, proving the path works.
+			a := ops5.NewWME("a", "x", 1)
+			a.ID, a.TimeTag = 3, 3
+			out := rt.Apply([]rete.Change{{Tag: rete.Add, WME: a}})
+			if len(out) != 1 || out[0].Tag != rete.Add {
+				t.Fatalf("live add netted to %v, want one add", out)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocs pins the tentpole's O(1)-allocations claim: a
+// steady-state cycle whose activations flow through the batched
+// message plane (join work, cross-worker token sends, no conflict-set
+// deltas) must not allocate per message or per token. The arena carves
+// tokens in chunks and the mailbox/coalescing buffers are reused, so
+// the amortized allocation count per cycle stays a small constant.
+func TestSteadyStateAllocs(t *testing.T) {
+	net, _ := compileProds(t, `(p j (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))`)
+	rt, err := New(net, Options{Workers: 4, NBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Resident 'a' wmes; the measured cycles add and delete matching
+	// 'b' wmes, which join against them but never complete (no 'c'), so
+	// tokens and messages flow every cycle with zero instantiations.
+	id := 1
+	var warm []rete.Change
+	for i := 0; i < 8; i++ {
+		w := ops5.NewWME("a", "x", i)
+		w.ID, w.TimeTag = id, id
+		id++
+		warm = append(warm, rete.Change{Tag: rete.Add, WME: w})
+	}
+	rt.Apply(warm)
+
+	bs := make([]*ops5.WME, 8)
+	for i := range bs {
+		bs[i] = ops5.NewWME("b", "x", i)
+		bs[i].ID, bs[i].TimeTag = id, id
+		id++
+	}
+	adds := make([]rete.Change, len(bs))
+	dels := make([]rete.Change, len(bs))
+	for i, w := range bs {
+		adds[i] = rete.Change{Tag: rete.Add, WME: w}
+		dels[i] = rete.Change{Tag: rete.Delete, WME: w}
+	}
+	rt.Apply(adds)
+	rt.Apply(dels) // warm the buffers once
+
+	avg := testing.AllocsPerRun(100, func() {
+		rt.Apply(adds)
+		rt.Apply(dels)
+	})
+	// 16 token-bearing activations cross the message plane per
+	// iteration; per-message or per-token allocation would show up as
+	// avg >= 16. The arena amortizes token chunks to fractions.
+	if avg > 8 {
+		t.Errorf("steady-state cycle pair allocates %.1f times, want <= 8", avg)
+	}
+}
+
+// TestCrossProductBurstStress hammers the Tourney-shaped pathology —
+// repeated cross-product bursts with interleaved deletions across both
+// modes — to shake out deadlocks and races in the batched flush /
+// drain protocol (run under -race in CI).
+func TestCrossProductBurstStress(t *testing.T) {
+	rounds, n := 6, 20
+	if testing.Short() {
+		rounds, n = 2, 8
+	}
+	for _, routed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("routed=%v", routed), func(t *testing.T) {
+			net, _ := compileProds(t, `(p cross (a ^x <u>) (b ^y <w>) --> (halt))`)
+			rt, err := New(net, Options{Workers: 8, NBuckets: 64, RouteRoots: routed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			cs := map[string]bool{}
+			id := 1
+			for round := 0; round < rounds; round++ {
+				var adds []rete.Change
+				var wmes []*ops5.WME
+				for i := 0; i < n; i++ {
+					w := ops5.NewWME("a", "x", i)
+					w.ID, w.TimeTag = id, id
+					id++
+					adds = append(adds, rete.Change{Tag: rete.Add, WME: w})
+					wmes = append(wmes, w)
+					w2 := ops5.NewWME("b", "y", i)
+					w2.ID, w2.TimeTag = id, id
+					id++
+					adds = append(adds, rete.Change{Tag: rete.Add, WME: w2})
+					wmes = append(wmes, w2)
+				}
+				applyDeltas(cs, rt.Apply(adds))
+				if len(cs) != n*n {
+					t.Fatalf("round %d: cross product = %d, want %d", round, len(cs), n*n)
+				}
+				var dels []rete.Change
+				for _, w := range wmes {
+					dels = append(dels, rete.Change{Tag: rete.Delete, WME: w})
+				}
+				applyDeltas(cs, rt.Apply(dels))
+				if len(cs) != 0 {
+					t.Fatalf("round %d: %d instantiations survive deletion", round, len(cs))
+				}
+			}
+		})
+	}
 }
 
 func TestNetInsts(t *testing.T) {

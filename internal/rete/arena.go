@@ -1,0 +1,58 @@
+package rete
+
+import "mpcrete/internal/ops5"
+
+// Arena chunk sizes. Tokens are small (one slice header), so a chunk
+// amortizes the per-token allocation to ~1/256; wme-pointer backing is
+// carved from larger blocks because token widths vary.
+const (
+	tokenChunkLen  = 256
+	wmeRefChunkLen = 1024
+)
+
+// tokenArena amortizes Token and wme-slice allocation for a single
+// Processor. Tokens produced by the match are long-lived (they are
+// stored in the left memories), so the arena never recycles them
+// individually: it hands out pointers into chunk-allocated blocks and
+// drops its own reference to a block once the block is exhausted, at
+// which point the block's lifetime is exactly the lifetime of the
+// tokens carved from it. Steady-state match cycles therefore cost
+// O(tokens/chunk) allocations instead of two per token (the Token and
+// its WMEs backing array).
+//
+// The arena is single-owner, like the Processor that embeds it: the
+// sequential Matcher and each parallel worker own one apiece.
+type tokenArena struct {
+	tokens []Token     // unconsumed tail of the current token chunk
+	wmes   []*ops5.WME // unconsumed tail of the current backing chunk
+}
+
+// newToken returns a fresh token with an n-wide WMEs slice, both carved
+// from the arena. The slice is full-capacity-capped so an append can
+// never bleed into a neighbouring token's backing.
+func (ar *tokenArena) newToken(n int) *Token {
+	if len(ar.tokens) == 0 {
+		ar.tokens = make([]Token, tokenChunkLen)
+	}
+	t := &ar.tokens[0]
+	ar.tokens = ar.tokens[1:]
+	if n > len(ar.wmes) {
+		size := wmeRefChunkLen
+		if n > size {
+			size = n
+		}
+		ar.wmes = make([]*ops5.WME, size)
+	}
+	t.WMEs = ar.wmes[:n:n]
+	ar.wmes = ar.wmes[n:]
+	return t
+}
+
+// extend returns a token covering t's wmes plus w, carved from the
+// processor's arena — the hot-path replacement for Token.Extend.
+func (p *Processor) extend(t *Token, w *ops5.WME) *Token {
+	nt := p.arena.newToken(len(t.WMEs) + 1)
+	copy(nt.WMEs, t.WMEs)
+	nt.WMEs[len(t.WMEs)] = w
+	return nt
+}

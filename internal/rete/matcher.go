@@ -1,7 +1,7 @@
 package rete
 
 import (
-	"fmt"
+	"strconv"
 )
 
 // Change is one working-memory change presented to the matcher: an
@@ -46,15 +46,27 @@ type InstChange struct {
 }
 
 // Key identifies the instantiation by production name and matched wme
-// IDs; an add and its corresponding delete share a key.
+// IDs; an add and its corresponding delete share a key. The encoding
+// is exactly fmt.Sprintf("%s%v", name, ids) — e.g. `pair[3 17]` — but
+// built with strconv because Key is on the conflict-set netting hot
+// path of the parallel runtime.
 func (ic *InstChange) Key() string {
-	ids := make([]int, 0, len(ic.WMEs))
+	b := make([]byte, 0, len(ic.Prod.Name)+2+8*len(ic.WMEs))
+	b = append(b, ic.Prod.Name...)
+	b = append(b, '[')
+	first := true
 	for _, w := range ic.WMEs {
-		if w != nil {
-			ids = append(ids, w.ID)
+		if w == nil {
+			continue
 		}
+		if !first {
+			b = append(b, ' ')
+		}
+		first = false
+		b = strconv.AppendInt(b, int64(w.ID), 10)
 	}
-	return fmt.Sprintf("%s%v", ic.Prod.Name, ids)
+	b = append(b, ']')
+	return string(b)
 }
 
 // Listener observes match activity; the trace recorder implements it.
@@ -189,7 +201,7 @@ func (m *Matcher) step(q queued, out *[]InstChange) {
 		m.listener.Activation(ev)
 	}
 
-	m.proc.Process(q.act,
+	m.proc.ProcessAt(q.act, ev.Bucket,
 		func(child Activation) {
 			m.queue = append(m.queue, queued{act: child, parentSeq: ev.Seq})
 		},

@@ -16,13 +16,34 @@ type memEntry struct {
 	count int       // negative-node left entries: matching right wmes
 }
 
+// memEntryChunkLen is the arena chunk size for memEntry allocation.
+const memEntryChunkLen = 256
+
 // Memory is one of the two global hash tables (left or right). Buckets
 // hold entries for many nodes; an activation scans only its own bucket,
 // filtering by node identity — exactly the paper's data structure.
+//
+// Entries are carved from chunks (chunk holds the current tail) so
+// steady-state add/remove churn allocates O(1/memEntryChunkLen) per
+// stored token instead of one heap object each. Removed entries are
+// never reused — a scan interrupted by recursive processing may still
+// hold pointers into the bucket's old slice — so a chunk becomes
+// garbage only when every entry carved from it is unreachable.
 type Memory struct {
 	side    Side
 	buckets [][]*memEntry
 	size    int
+	chunk   []memEntry
+}
+
+// newEntry carves a zeroed entry from the current chunk.
+func (m *Memory) newEntry() *memEntry {
+	if len(m.chunk) == 0 {
+		m.chunk = make([]memEntry, memEntryChunkLen)
+	}
+	e := &m.chunk[0]
+	m.chunk = m.chunk[1:]
+	return e
 }
 
 // NewMemory creates a memory with the given power-of-two bucket count.
@@ -45,7 +66,8 @@ func (m *Memory) Bucket(key uint64) int { return int(key & uint64(len(m.buckets)
 // addLeft stores a left token for node n in bucket b and returns the
 // entry (so negative nodes can maintain counts).
 func (m *Memory) addLeft(b int, n *Node, t *Token) *memEntry {
-	e := &memEntry{node: n, token: t}
+	e := m.newEntry()
+	e.node, e.token = n, t
 	m.buckets[b] = append(m.buckets[b], e)
 	m.size++
 	return e
@@ -53,7 +75,8 @@ func (m *Memory) addLeft(b int, n *Node, t *Token) *memEntry {
 
 // addRight stores a right wme for node n in bucket b.
 func (m *Memory) addRight(b int, n *Node, w *ops5.WME) *memEntry {
-	e := &memEntry{node: n, wme: w}
+	e := m.newEntry()
+	e.node, e.wme = n, w
 	m.buckets[b] = append(m.buckets[b], e)
 	m.size++
 	return e

@@ -30,6 +30,7 @@ type Processor struct {
 	net   *Network
 	left  *Memory
 	right *Memory
+	arena tokenArena
 }
 
 // NewProcessor creates a processor with the given bucket count
@@ -62,7 +63,16 @@ func (p *Processor) Bucket(a Activation) int { return p.left.Bucket(a.HashKey())
 // directly by wmes"). Copy-and-constraint node copies filter right
 // tokens here.
 func (p *Processor) RootActivations(ch Change) []Activation {
-	var out []Activation
+	return p.RootActivationsInto(ch, nil)
+}
+
+// RootActivationsInto is RootActivations appending into a reusable
+// buffer — the entry point for hot-path callers (the parallel runtime's
+// per-cycle constant-test pass, and the control processor when it
+// hash-routes root activations to their owners instead of
+// broadcasting). Left root tokens are carved from the processor's
+// arena.
+func (p *Processor) RootActivationsInto(ch Change, out []Activation) []Activation {
 	for _, a := range p.net.AlphasForClass(ch.WME.Class) {
 		if !a.Matches(ch.WME) {
 			continue
@@ -73,7 +83,9 @@ func (p *Processor) RootActivations(ch Change) []Activation {
 			}
 			act := Activation{Node: r.Node, Side: r.Side, Tag: ch.Tag, WME: ch.WME}
 			if r.Side == Left {
-				act.Token = &Token{WMEs: []*ops5.WME{ch.WME}}
+				t := p.arena.newToken(1)
+				t.WMEs[0] = ch.WME
+				act.Token = t
 				act.WME = nil
 			}
 			out = append(out, act)
@@ -88,15 +100,25 @@ func (p *Processor) RootActivations(ch Change) []Activation {
 // The caller must route every activation for a given bucket to the
 // same Processor, or memory state will be inconsistent.
 func (p *Processor) Process(a Activation, emit func(Activation), inst func(InstChange)) {
+	p.ProcessAt(a, p.Bucket(a), emit, inst)
+}
+
+// ProcessAt is Process with the activation's hash bucket supplied by
+// the caller. Both the sequential matcher and the parallel runtime
+// already compute the bucket to route the activation (for the trace
+// event and for worker ownership respectively), so this entry point
+// halves the HashKey work on the hot path. bucket is ignored for
+// production and dummy nodes, which touch no memory.
+func (p *Processor) ProcessAt(a Activation, bucket int, emit func(Activation), inst func(InstChange)) {
 	switch a.Node.Kind {
 	case KindProduction:
 		inst(p.BuildInst(a))
 	case KindDummy:
 		p.emitTo(a.Node, a.Token, a.Tag, emit)
 	case KindJoin:
-		p.processJoin(a, emit)
+		p.processJoin(a, bucket, emit)
 	case KindNegative:
-		p.processNegative(a, emit)
+		p.processNegative(a, bucket, emit)
 	}
 }
 
@@ -159,9 +181,8 @@ func (p *Processor) emitTo(n *Node, t *Token, tag Tag, emit func(Activation)) {
 	}
 }
 
-func (p *Processor) processJoin(a Activation, emit func(Activation)) {
+func (p *Processor) processJoin(a Activation, b int, emit func(Activation)) {
 	n := a.Node
-	b := p.Bucket(a)
 	if a.Side == Left {
 		if a.Tag == Add {
 			p.left.addLeft(b, n, a.Token)
@@ -170,7 +191,7 @@ func (p *Processor) processJoin(a Activation, emit func(Activation)) {
 		}
 		p.right.scan(b, n, func(e *memEntry) {
 			if p.testsPass(n, a.Token, e.wme) {
-				p.emitTo(n, a.Token.Extend(e.wme), a.Tag, emit)
+				p.emitTo(n, p.extend(a.Token, e.wme), a.Tag, emit)
 			}
 		})
 		return
@@ -182,14 +203,13 @@ func (p *Processor) processJoin(a Activation, emit func(Activation)) {
 	}
 	p.left.scan(b, n, func(e *memEntry) {
 		if p.testsPass(n, e.token, a.WME) {
-			p.emitTo(n, e.token.Extend(a.WME), a.Tag, emit)
+			p.emitTo(n, p.extend(e.token, a.WME), a.Tag, emit)
 		}
 	})
 }
 
-func (p *Processor) processNegative(a Activation, emit func(Activation)) {
+func (p *Processor) processNegative(a Activation, b int, emit func(Activation)) {
 	n := a.Node
-	b := p.Bucket(a)
 	if a.Side == Left {
 		if a.Tag == Add {
 			count := 0

@@ -1,7 +1,6 @@
 package rete
 
 import (
-	"hash/fnv"
 	"strconv"
 	"strings"
 
@@ -50,20 +49,31 @@ func (t *Token) IDKey() string {
 // String renders the token's wme IDs for diagnostics.
 func (t *Token) String() string { return "[" + t.IDKey() + "]" }
 
+// FNV-1a parameters; the inlined hash below must keep producing the
+// same keys as hash/fnv (pinned by TestHashKeyMatchesFNVReference), so
+// bucket assignments — and with them traces and partition statistics —
+// are stable across the optimization.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // HashKey computes the distributed-hash-table key for an activation of
 // node n: the node id plus the values bound to the variables tested for
 // equality at n (Section 3.1). A left token supplies the left-side
 // values, a right wme the right-side values; consistent pairs hash
 // identically by construction. Nodes with no equality tests hash on
 // the node id alone — the cross-product pathology observed in Tourney.
+//
+// The hash is FNV-1a, computed inline with no allocations (the
+// hash/fnv writer and the materialized value keys were the hottest
+// allocation sites of the parallel runtime's message plane).
 func HashKey(n *Node, side Side, t *Token, w *ops5.WME) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := uint64(fnvOffset64)
 	id := uint64(n.ID)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(id >> (8 * i))
+		h = (h ^ uint64(byte(id>>(8*i)))) * fnvPrime64
 	}
-	h.Write(buf[:])
 	for _, jt := range n.EqTests {
 		var v ops5.Value
 		if side == Left {
@@ -71,8 +81,8 @@ func HashKey(n *Node, side Side, t *Token, w *ops5.WME) uint64 {
 		} else {
 			v = w.Get(jt.RightAttr)
 		}
-		h.Write([]byte(v.Key()))
-		h.Write([]byte{0})
+		h = v.HashFNV(h)
+		h *= fnvPrime64 // separator byte 0: (h ^ 0) * prime
 	}
-	return h.Sum64()
+	return h
 }

@@ -90,6 +90,16 @@ func (c *ChannelCounts) IncSent() { c.sent.Add(1) }
 // IncRecv records one message fully processed. Call AFTER processing.
 func (c *ChannelCounts) IncRecv() { c.recv.Add(1) }
 
+// AddSent records n messages sent. Call BEFORE the sends become
+// visible — a batching sender accounts a whole coalesced flush with one
+// atomic instead of one per message.
+func (c *ChannelCounts) AddSent(n int) { c.sent.Add(int64(n)) }
+
+// AddRecv records n messages fully processed. Call AFTER the whole
+// batch has been processed (including any sends the processing
+// performed).
+func (c *ChannelCounts) AddRecv(n int) { c.recv.Add(int64(n)) }
+
 // Snapshot reads the counters.
 func (c *ChannelCounts) Snapshot() (sent, recv int64) {
 	// Read recv before sent: overcounting sent relative to recv is the

@@ -1,0 +1,43 @@
+package analysis
+
+import "mpcrete/internal/trace"
+
+// CriticalPath returns the length of the longest chain of dependent
+// activations in one cycle: a successor activation cannot begin until
+// the comparison that generated it completes, so no processor count
+// can finish the cycle's match phase in fewer dependent activation
+// steps. This is the trace-level analogue of the paper's Section 4.4
+// observation that speedup saturates once the per-cycle dependency
+// chain, not the activation volume, is the binding constraint.
+//
+// The bound is deliberately in activation steps, not microseconds:
+// multiplying by the per-activation hash cost gives a makespan lower
+// bound for any simulator overhead configuration.
+func CriticalPath(c *trace.Cycle) int {
+	var depth func(a *trace.Activation) int
+	depth = func(a *trace.Activation) int {
+		max := 0
+		for _, ch := range a.Children {
+			if d := depth(ch); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	best := 0
+	for _, r := range c.Roots {
+		if d := depth(r); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// CriticalPaths returns CriticalPath for every cycle of the trace.
+func CriticalPaths(t *trace.Trace) []int {
+	out := make([]int, len(t.Cycles))
+	for i, c := range t.Cycles {
+		out[i] = CriticalPath(c)
+	}
+	return out
+}

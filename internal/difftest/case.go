@@ -1,0 +1,195 @@
+// Package difftest is the differential correctness harness: it
+// generates random but well-typed OPS5 programs and workloads
+// (gen.go), runs each through every match implementation the repo has
+// — the sequential Rete matcher, the parallel runtime across worker
+// counts and both message-plane modes, and the shared / unshared /
+// copy-and-constraint network variants — and asserts they agree on
+// every observable: per-cycle netted conflict sets, firing sequence,
+// final working memory, and write output (check.go). Failures shrink
+// to a minimal reproduction (shrink.go) persisted as a .ops5 corpus
+// file.
+//
+// This mirrors the differential-simulation methodology of Marzolla &
+// D'Angelo (parallel engine validated against a sequential oracle over
+// randomized workloads) applied to the paper's central claim: the
+// distributed hash-table match computes the same conflict set as
+// uniprocessor Rete regardless of processor count, interleaving, or
+// network variant.
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mpcrete/internal/ops5"
+)
+
+// ScriptOp is one working-memory change in a scripted cycle: an add of
+// a literal wme, or a removal of the n'th previously-added wme
+// (1-based, in script order). Scripts replay at the matcher level, so
+// they can express match-phase shapes the engine's act phase never
+// produces directly — most importantly the same-cycle add-then-delete
+// transient of a modify.
+type ScriptOp struct {
+	Remove int       // when > 0: delete the Remove'th prior add
+	WME    *ops5.WME // when Remove == 0: the wme to add
+}
+
+// Case is one differential test input: an OPS5 program plus either an
+// initial working-memory store to run through full match-resolve-act
+// cycles (WMESrc), or a scripted sequence of per-cycle change lists to
+// replay through the matchers alone (Script). Exactly one of the two
+// is set.
+type Case struct {
+	Name    string
+	ProgSrc string
+	WMESrc  string
+	Script  [][]ScriptOp
+}
+
+// IsScript reports whether the case replays at the matcher level.
+func (c *Case) IsScript() bool { return len(c.Script) > 0 }
+
+// sectionMark introduces a section in the .ops5 case encoding; the
+// OPS5 lexer treats these lines as comments, so a case file's program
+// section is also a valid plain OPS5 source file.
+const sectionMark = ";;; "
+
+// Encode renders the case in the .ops5 corpus file format: the program
+// source, then either one ";;; wmes" section of wme literals or a
+// ";;; cycle" section per scripted cycle, where each line is a wme
+// literal (an add) or a "(remove N)" directive.
+func (c *Case) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(strings.TrimRight(c.ProgSrc, "\n"))
+	b.WriteByte('\n')
+	if c.IsScript() {
+		for _, cyc := range c.Script {
+			b.WriteString(sectionMark + "cycle\n")
+			for _, op := range cyc {
+				if op.Remove > 0 {
+					fmt.Fprintf(&b, "(remove %d)\n", op.Remove)
+				} else {
+					b.WriteString(op.WME.String())
+					b.WriteByte('\n')
+				}
+			}
+		}
+	} else if strings.TrimSpace(c.WMESrc) != "" {
+		b.WriteString(sectionMark + "wmes\n")
+		b.WriteString(strings.TrimRight(c.WMESrc, "\n"))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Decode parses the .ops5 corpus file format produced by Encode. The
+// program section must parse; wme and script sections must parse line
+// by line; remove directives must reference a prior add.
+func Decode(name string, data []byte) (Case, error) {
+	c := Case{Name: name}
+	lines := strings.Split(string(data), "\n")
+	section := "prog"
+	var prog, wmes []string
+	adds := 0
+	for _, line := range lines {
+		if strings.HasPrefix(line, sectionMark) {
+			section = strings.TrimSpace(strings.TrimPrefix(line, sectionMark))
+			switch section {
+			case "wmes":
+				if c.IsScript() {
+					return c, fmt.Errorf("difftest: case %s mixes wmes and cycle sections", name)
+				}
+			case "cycle":
+				c.Script = append(c.Script, nil)
+			default:
+				return c, fmt.Errorf("difftest: case %s: unknown section %q", name, section)
+			}
+			continue
+		}
+		switch section {
+		case "prog":
+			prog = append(prog, line)
+		case "wmes":
+			wmes = append(wmes, line)
+		case "cycle":
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" || strings.HasPrefix(trimmed, ";") {
+				continue
+			}
+			cyc := len(c.Script) - 1
+			if n, ok := parseRemove(trimmed); ok {
+				if n < 1 || n > adds {
+					return c, fmt.Errorf("difftest: case %s: (remove %d) with %d prior adds", name, n, adds)
+				}
+				c.Script[cyc] = append(c.Script[cyc], ScriptOp{Remove: n})
+				continue
+			}
+			ws, err := ops5.ParseWMEs(trimmed)
+			if err != nil || len(ws) != 1 {
+				return c, fmt.Errorf("difftest: case %s: bad script line %q: %v", name, trimmed, err)
+			}
+			adds++
+			c.Script[cyc] = append(c.Script[cyc], ScriptOp{WME: ws[0]})
+		}
+	}
+	c.ProgSrc = strings.TrimRight(strings.Join(prog, "\n"), "\n") + "\n"
+	c.WMESrc = strings.Join(wmes, "\n")
+	if _, err := ops5.ParseProgram(c.ProgSrc); err != nil {
+		return c, fmt.Errorf("difftest: case %s: program: %w", name, err)
+	}
+	if !c.IsScript() && strings.TrimSpace(c.WMESrc) != "" {
+		if _, err := ops5.ParseWMEs(c.WMESrc); err != nil {
+			return c, fmt.Errorf("difftest: case %s: wmes: %w", name, err)
+		}
+	}
+	return c, nil
+}
+
+// parseRemove recognizes a "(remove N)" script directive.
+func parseRemove(line string) (n int, ok bool) {
+	inner, found := strings.CutPrefix(line, "(remove ")
+	if !found {
+		return 0, false
+	}
+	inner, found = strings.CutSuffix(inner, ")")
+	if !found {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(inner, "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// LoadCorpus decodes every .ops5 case under dir, sorted by filename
+// for deterministic test order.
+func LoadCorpus(dir string) ([]Case, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ops5") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var cases []Case
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c, err := Decode(strings.TrimSuffix(name, ".ops5"), data)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}

@@ -1,0 +1,404 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpcrete/internal/engine"
+	"mpcrete/internal/obs"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+)
+
+// checkNBuckets is the hash-space size every configuration runs with.
+// Small enough that a handful of wmes spreads across several workers,
+// large enough to exercise the partition map.
+const checkNBuckets = 64
+
+// CheckOptions tune the differential run matrix.
+type CheckOptions struct {
+	// MaxCycles caps engine-level runs (default 50); hitting the cap is
+	// itself a compared outcome, so non-terminating generated programs
+	// still check cleanly.
+	MaxCycles int
+	// Workers lists the parallel worker counts to test (default
+	// {1, 2, 4, 8}); each runs in both broadcast and routed-roots mode.
+	Workers []int
+	// ChaosSeed, when non-zero, enables the parallel runtime's chaos
+	// scheduling layer for every parallel configuration.
+	ChaosSeed int64
+	// Budget caps the total conflict-set size summed over cycles
+	// (default 50000). The cap cuts off cross-product explosions
+	// deterministically: every configuration truncates at the same
+	// cycle, so truncated runs still compare exactly.
+	Budget int
+	// Metrics, when non-nil, is handed to every parallel runtime (soak
+	// runs aggregate parallel.dropped_post_close across the whole run).
+	Metrics *obs.Registry
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 50
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.Budget <= 0 {
+		o.Budget = 50000
+	}
+	return o
+}
+
+// Outcome is everything observable about one configuration's run,
+// normalized for comparison.
+type Outcome struct {
+	// Cycles holds one fingerprint line per cycle. Engine-level: the
+	// fired instantiation key plus the sorted post-refraction conflict
+	// set. Script-level: the sorted netted deltas plus the resulting
+	// conflict set.
+	Cycles []string
+	// FinalWM is the final working memory, one sorted line per wme
+	// (engine-level only).
+	FinalWM []string
+	// Output is the accumulated write-action text (engine-level only).
+	Output string
+	Fired  int
+	Halted bool
+	// Err records a deterministic interpreter error (e.g. cycle limit);
+	// errors must reproduce identically across configurations.
+	Err string
+	// Truncated is set when the Budget cut the run short.
+	Truncated bool
+}
+
+// diff returns a description of the first difference from o to other,
+// or "" when equal.
+func (o *Outcome) diff(other *Outcome) string {
+	for i := 0; i < len(o.Cycles) && i < len(other.Cycles); i++ {
+		if o.Cycles[i] != other.Cycles[i] {
+			return fmt.Sprintf("cycle %d:\n  ref: %s\n  got: %s", i, o.Cycles[i], other.Cycles[i])
+		}
+	}
+	if len(o.Cycles) != len(other.Cycles) {
+		return fmt.Sprintf("cycle count: ref %d, got %d", len(o.Cycles), len(other.Cycles))
+	}
+	for i := 0; i < len(o.FinalWM) && i < len(other.FinalWM); i++ {
+		if o.FinalWM[i] != other.FinalWM[i] {
+			return fmt.Sprintf("final wm[%d]: ref %s, got %s", i, o.FinalWM[i], other.FinalWM[i])
+		}
+	}
+	if len(o.FinalWM) != len(other.FinalWM) {
+		return fmt.Sprintf("final wm size: ref %d, got %d", len(o.FinalWM), len(other.FinalWM))
+	}
+	switch {
+	case o.Output != other.Output:
+		return fmt.Sprintf("write output: ref %q, got %q", o.Output, other.Output)
+	case o.Fired != other.Fired:
+		return fmt.Sprintf("fired: ref %d, got %d", o.Fired, other.Fired)
+	case o.Halted != other.Halted:
+		return fmt.Sprintf("halted: ref %v, got %v", o.Halted, other.Halted)
+	case o.Err != other.Err:
+		return fmt.Sprintf("err: ref %q, got %q", o.Err, other.Err)
+	case o.Truncated != other.Truncated:
+		return fmt.Sprintf("truncated: ref %v, got %v", o.Truncated, other.Truncated)
+	}
+	return ""
+}
+
+// Mismatch reports a divergence between the sequential reference and
+// one configuration.
+type Mismatch struct {
+	Case   Case
+	Config string
+	Detail string
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("difftest: case %s: %s diverges from sequential reference: %s", m.Case.Name, m.Config, m.Detail)
+}
+
+// matcherFor builds the match implementation for one configuration
+// over a freshly compiled network. close is non-nil for parallel
+// configurations.
+type config struct {
+	name  string
+	build func(prods []*ops5.Production, opts CheckOptions) (*rete.Network, engine.MatchApplier, func(), error)
+}
+
+// compileVariant compiles prods with the named network variant:
+// "shared" (default compilation), "unshared" (no node sharing), or
+// "candc" (copy-and-constrain k=2 applied to every eligible join of a
+// shared network).
+func compileVariant(prods []*ops5.Production, variant string) (*rete.Network, error) {
+	net, err := rete.CompileWith(prods, rete.CompileOptions{DisableSharing: variant == "unshared"})
+	if err != nil {
+		return nil, err
+	}
+	if variant == "candc" {
+		// Split every terminal join (all successors are production
+		// nodes). Chained splits are out: cloning a join rewires only
+		// its original parent's successor list, so stacking copies
+		// through a join-over-join pyramid loses replication paths —
+		// the paper's source-level transformation likewise targets one
+		// culprit node. Snapshot first: CopyAndConstrain appends clones
+		// to net.Nodes.
+		joins := make([]*rete.Node, 0, len(net.Nodes))
+		for _, n := range net.Nodes {
+			if n.Kind != rete.KindJoin {
+				continue
+			}
+			terminal := true
+			for _, s := range n.Succs {
+				if s.Kind != rete.KindProduction {
+					terminal = false
+					break
+				}
+			}
+			if terminal {
+				joins = append(joins, n)
+			}
+		}
+		for _, n := range joins {
+			if _, err := net.CopyAndConstrain(n, 2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return net, nil
+}
+
+// seqConfig is a sequential-matcher configuration over a network
+// variant.
+func seqConfig(variant string) config {
+	name := "seq"
+	if variant != "shared" {
+		name = "seq-" + variant
+	}
+	return config{name: name, build: func(prods []*ops5.Production, _ CheckOptions) (*rete.Network, engine.MatchApplier, func(), error) {
+		net, err := compileVariant(prods, variant)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return net, rete.NewMatcher(net, rete.MatcherOptions{NBuckets: checkNBuckets}), nil, nil
+	}}
+}
+
+// parConfig is a parallel-runtime configuration: worker count, message
+// plane mode, and network variant.
+func parConfig(workers int, routed bool, variant string) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("par-w%d-%s", workers, mode)
+	if variant != "shared" {
+		name += "-" + variant
+	}
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (*rete.Network, engine.MatchApplier, func(), error) {
+		net, err := compileVariant(prods, variant)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rt, err := parallel.New(net, parallel.Options{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+			ChaosSeed:  opts.ChaosSeed,
+			Metrics:    opts.Metrics,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return net, rt, rt.Close, nil
+	}}
+}
+
+// configMatrix is the full run matrix: the sequential reference comes
+// first, then the sequential network variants, the parallel sweep over
+// worker counts and both message-plane modes, and cross-variant
+// parallel runs (a routed copy-and-constraint runtime is the paper's
+// Fig 3-2 machine executing a Section 5.2.2 network).
+func configMatrix(opts CheckOptions) []config {
+	configs := []config{
+		seqConfig("shared"),
+		seqConfig("unshared"),
+		seqConfig("candc"),
+	}
+	for _, w := range opts.Workers {
+		configs = append(configs, parConfig(w, false, "shared"), parConfig(w, true, "shared"))
+	}
+	cross := 4
+	if len(opts.Workers) > 0 {
+		cross = opts.Workers[len(opts.Workers)-1]
+	}
+	configs = append(configs,
+		parConfig(cross, false, "unshared"),
+		parConfig(cross, true, "candc"),
+	)
+	return configs
+}
+
+// Check runs the case through every configuration and returns the
+// first divergence from the sequential shared reference, or nil when
+// all agree. Each configuration re-parses the case from source, so the
+// printer→parser round trip is itself under test on every call.
+func Check(c Case, opts CheckOptions) *Mismatch {
+	opts = opts.withDefaults()
+	configs := configMatrix(opts)
+	var ref *Outcome
+	for _, cfg := range configs {
+		out := runConfig(c, cfg, opts)
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if d := ref.diff(out); d != "" {
+			return &Mismatch{Case: c, Config: cfg.name, Detail: d}
+		}
+	}
+	return nil
+}
+
+// runConfig executes the case under one configuration. Build or parse
+// errors become outcome errors, so a variant that rejects a program
+// every other variant accepts shows up as a divergence.
+func runConfig(c Case, cfg config, opts CheckOptions) *Outcome {
+	prog, err := ops5.ParseProgram(c.ProgSrc)
+	if err != nil {
+		return &Outcome{Err: "parse: " + err.Error()}
+	}
+	net, matcher, closer, err := cfg.build(prog.Productions, opts)
+	if err != nil {
+		return &Outcome{Err: "build: " + err.Error()}
+	}
+	if closer != nil {
+		defer closer()
+	}
+	if c.IsScript() {
+		return runScript(c, matcher, opts)
+	}
+	return runEngine(c, prog, net, matcher, opts)
+}
+
+// runEngine drives the full match-resolve-act loop, fingerprinting
+// each cycle's fired instantiation and post-refraction conflict set,
+// and capturing the final working memory and write output.
+func runEngine(c Case, prog *ops5.Program, net *rete.Network, matcher engine.MatchApplier, opts CheckOptions) *Outcome {
+	o := &Outcome{}
+	var buf bytes.Buffer
+	e, err := engine.NewWithNetwork(prog, net, engine.Options{Matcher: matcher, Output: &buf})
+	if err != nil {
+		o.Err = "engine: " + err.Error()
+		return o
+	}
+	if strings.TrimSpace(c.WMESrc) != "" {
+		wmes, err := ops5.ParseWMEs(c.WMESrc)
+		if err != nil {
+			o.Err = "wmes: " + err.Error()
+			return o
+		}
+		e.InsertWMEs(wmes...)
+	}
+	budget := opts.Budget
+	for cycle := 0; cycle < opts.MaxCycles; cycle++ {
+		fired, err := e.Step()
+		if err != nil {
+			o.Err = err.Error()
+			break
+		}
+		cs := e.ConflictSet()
+		keys := make([]string, len(cs))
+		for i, in := range cs {
+			keys[i] = in.Key()
+		}
+		sort.Strings(keys)
+		line := "-"
+		if fired != nil {
+			line = fired.Key()
+		}
+		o.Cycles = append(o.Cycles, line+" | "+strings.Join(keys, " "))
+		if fired == nil {
+			break
+		}
+		budget -= len(cs)
+		if budget < 0 {
+			o.Truncated = true
+			break
+		}
+	}
+	o.Fired = e.Fired()
+	o.Halted = e.Halted()
+	o.Output = buf.String()
+	for _, w := range e.WMEs() {
+		o.FinalWM = append(o.FinalWM, fmt.Sprintf("%d:%d:%s", w.ID, w.TimeTag, w))
+	}
+	return o
+}
+
+// runScript replays the scripted change lists straight through the
+// matcher, fingerprinting each cycle's netted deltas and the running
+// conflict set. IDs and time tags are assigned in script order, so
+// every configuration sees byte-identical changes.
+func runScript(c Case, matcher engine.MatchApplier, opts CheckOptions) *Outcome {
+	o := &Outcome{}
+	var added []*ops5.WME
+	conflict := map[string]bool{}
+	budget := opts.Budget
+	for _, cyc := range c.Script {
+		var changes []rete.Change
+		for _, op := range cyc {
+			if op.Remove > 0 {
+				changes = append(changes, rete.Change{Tag: rete.Delete, WME: added[op.Remove-1]})
+				continue
+			}
+			w := op.WME.Clone()
+			w.ID = len(added) + 1
+			w.TimeTag = w.ID
+			added = append(added, w)
+			changes = append(changes, rete.Change{Tag: rete.Add, WME: w})
+		}
+		// Net the raw deltas per key before fingerprinting: the
+		// sequential matcher reports transients (an instantiation added
+		// and deleted within one phase) that the parallel runtime nets
+		// away, and only the net effect is meaningful.
+		deltas := matcher.Apply(changes)
+		counts := map[string]int{}
+		for _, ic := range deltas {
+			if ic.Tag == rete.Add {
+				counts[ic.Key()]++
+			} else {
+				counts[ic.Key()]--
+			}
+		}
+		var parts []string
+		for k, n := range counts {
+			switch {
+			case n > 0:
+				parts = append(parts, "+"+k)
+				conflict[k] = true
+			case n < 0:
+				parts = append(parts, "-"+k)
+				delete(conflict, k)
+			}
+		}
+		sort.Strings(parts)
+		cs := make([]string, 0, len(conflict))
+		for k := range conflict {
+			cs = append(cs, k)
+		}
+		sort.Strings(cs)
+		o.Cycles = append(o.Cycles, strings.Join(parts, " ")+" | "+strings.Join(cs, " "))
+		// Budget counts netted deltas so every configuration truncates
+		// at the same cycle (raw counts differ between matchers).
+		budget -= len(parts)
+		if budget < 0 {
+			o.Truncated = true
+			break
+		}
+	}
+	return o
+}

@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzOpts keeps per-input cost low so 30s smoke runs cover many
+// inputs; the differential matrix is still the full variant set with a
+// reduced worker sweep.
+var fuzzOpts = CheckOptions{MaxCycles: 20, Workers: []int{1, 2, 4}, Budget: 10000}
+
+// FuzzDifferential is the generative fuzz target: the fuzzer mutates a
+// seed and the generator knob bytes; every input maps to a valid
+// program, so all fuzzing effort lands on the differential oracle
+// rather than the parser.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{5, 3, 3, 3, 3, 90, 40, 20})
+	f.Add(int64(3), []byte{1, 1, 1, 1, 1, 0, 0, 0})   // Tourney-shaped: no discriminating tests
+	f.Add(int64(4), []byte{4, 3, 2, 2, 2, 99, 49, 0}) // negation-heavy
+	f.Fuzz(func(t *testing.T, seed int64, knobs []byte) {
+		c := Gen(seed, ConfigFromBytes(knobs))
+		if mis := Check(c, fuzzOpts); mis != nil {
+			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+		}
+	})
+}
+
+// FuzzMatcherDifferential drives scripted matcher-level replay —
+// same-cycle add/delete transients and mass deletions the engine act
+// phase cannot express directly — with chaos enabled on the parallel
+// configurations.
+func FuzzMatcherDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(seed, seed*7)
+	}
+	f.Fuzz(func(t *testing.T, seed, chaosSeed int64) {
+		opts := fuzzOpts
+		opts.ChaosSeed = chaosSeed
+		c := GenScript(seed, ConfigFromBytes(nil))
+		if mis := Check(c, opts); mis != nil {
+			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+		}
+	})
+}
+
+// FuzzCase fuzzes the corpus file format itself: the committed .ops5
+// cases seed the corpus, and any mutation that still decodes runs
+// through the differential oracle. Undecodable mutations only assert
+// that Decode fails cleanly.
+func FuzzCase(f *testing.F) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".ops5") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8<<10 {
+			t.Skip("oversized")
+		}
+		c, err := Decode("fuzz", data)
+		if err != nil {
+			t.Skip() // malformed input rejected cleanly
+		}
+		if mis := Check(c, fuzzOpts); mis != nil {
+			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+		}
+	})
+}

@@ -1,0 +1,365 @@
+package difftest
+
+import (
+	"strings"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+// Shrink reduces a failing case to a (locally) minimal one: the
+// returned case still satisfies fails, and no single reduction the
+// shrinker knows — dropping a production, a wme or script op, a
+// condition element, an attribute test, or an RHS action — produces a
+// smaller case that does. fails must be deterministic (Check with
+// fixed options is; so is any predicate built on runConfig outcomes).
+// If fails(c) is false, c is returned unchanged.
+func Shrink(c Case, fails func(Case) bool) Case {
+	if !fails(c) {
+		return c
+	}
+	// Iterate to a fixpoint: dropping a production can unlock dropping
+	// the wmes only it matched, and vice versa.
+	for {
+		before := size(c)
+		c = shrinkProductions(c, fails)
+		if c.IsScript() {
+			c = shrinkScript(c, fails)
+		} else {
+			c = shrinkWMEs(c, fails)
+		}
+		c = shrinkWithin(c, fails)
+		if size(c) >= before {
+			return c
+		}
+	}
+}
+
+// size is the shrink-progress measure: source bytes plus script ops.
+func size(c Case) int {
+	n := len(c.ProgSrc) + len(c.WMESrc)
+	for _, cyc := range c.Script {
+		n += len(cyc)
+	}
+	return n
+}
+
+// minimize ddmin-reduces an index set: it tries removing progressively
+// smaller chunks (halves first, then singles) and keeps any removal
+// that still fails. test receives the kept-index mask and must rebuild
+// and check the candidate. The returned mask marks survivors.
+func minimize(n int, test func(keep []bool) bool) []bool {
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	kept := n
+	for chunk := n; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < n; {
+			// Select the next `chunk` kept indexes starting at lo.
+			cand := make([]bool, n)
+			copy(cand, keep)
+			removed := 0
+			hi := lo
+			for ; hi < n && removed < chunk; hi++ {
+				if cand[hi] {
+					cand[hi] = false
+					removed++
+				}
+			}
+			if removed == 0 {
+				break
+			}
+			if kept-removed >= 0 && test(cand) {
+				copy(keep, cand)
+				kept -= removed
+				// Retry the same window: more may go.
+				continue
+			}
+			lo = hi
+		}
+	}
+	return keep
+}
+
+// parseOrNil parses the case's program, returning nil on error (a
+// shrink candidate that fails to parse is simply rejected).
+func parseOrNil(src string) *ops5.Program {
+	p, err := ops5.ParseProgram(src)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// viable reports whether a candidate program is well-formed enough to
+// hand to the harness: every production validates and the network
+// compiles. Candidates that are not viable are skipped, so the
+// shrinker never trades a real divergence for a build error.
+func viable(prog *ops5.Program) bool {
+	if prog == nil || len(prog.Productions) == 0 {
+		return false
+	}
+	for _, p := range prog.Productions {
+		if p.Validate() != nil {
+			return false
+		}
+	}
+	_, err := rete.Compile(prog.Productions)
+	return err == nil
+}
+
+// rebuildProg renders a program keeping only the masked productions.
+func rebuildProg(prog *ops5.Program, keep []bool) *ops5.Program {
+	out := &ops5.Program{Literalizes: prog.Literalizes}
+	for i, p := range prog.Productions {
+		if keep[i] {
+			out.Productions = append(out.Productions, p)
+		}
+	}
+	return out
+}
+
+func shrinkProductions(c Case, fails func(Case) bool) Case {
+	prog := parseOrNil(c.ProgSrc)
+	if prog == nil {
+		return c
+	}
+	best := c
+	minimize(len(prog.Productions), func(keep []bool) bool {
+		cand := rebuildProg(prog, keep)
+		if !viable(cand) {
+			return false
+		}
+		cc := best
+		cc.ProgSrc = cand.String()
+		if fails(cc) {
+			best = cc
+			return true
+		}
+		return false
+	})
+	return best
+}
+
+func shrinkWMEs(c Case, fails func(Case) bool) Case {
+	lines := nonEmptyLines(c.WMESrc)
+	if len(lines) == 0 {
+		return c
+	}
+	best := c
+	minimize(len(lines), func(keep []bool) bool {
+		var kept []string
+		for i, l := range lines {
+			if keep[i] {
+				kept = append(kept, l)
+			}
+		}
+		cc := best
+		cc.WMESrc = strings.Join(kept, "\n")
+		if fails(cc) {
+			best = cc
+			return true
+		}
+		return false
+	})
+	return best
+}
+
+// shrinkScript reduces scripted cases op by op. Dropping an add
+// invalidates later (remove N) references, so the rebuild renumbers:
+// every surviving remove is rewritten against the surviving adds, and
+// a remove whose target add was dropped makes the candidate
+// non-viable.
+func shrinkScript(c Case, fails func(Case) bool) Case {
+	flat, bounds := flattenScript(c.Script)
+	best := c
+	minimize(len(flat), func(keep []bool) bool {
+		script, ok := rebuildScript(flat, bounds, keep)
+		if !ok {
+			return false
+		}
+		cc := best
+		cc.Script = script
+		if fails(cc) {
+			best = cc
+			return true
+		}
+		return false
+	})
+	return best
+}
+
+// flattenScript lists every op with its cycle's end offsets.
+func flattenScript(script [][]ScriptOp) (flat []ScriptOp, bounds []int) {
+	for _, cyc := range script {
+		flat = append(flat, cyc...)
+		bounds = append(bounds, len(flat))
+	}
+	return flat, bounds
+}
+
+// rebuildScript reassembles a script from surviving ops, renumbering
+// remove references to the surviving adds. ok is false when a kept
+// remove targets a dropped add. Empty cycles are elided.
+func rebuildScript(flat []ScriptOp, bounds []int, keep []bool) ([][]ScriptOp, bool) {
+	// newIndex[old add ordinal] = new add ordinal (1-based), 0 if dropped.
+	var newIndex []int
+	adds := 0
+	for i, op := range flat {
+		if op.Remove > 0 {
+			continue
+		}
+		if keep[i] {
+			adds++
+			newIndex = append(newIndex, adds)
+		} else {
+			newIndex = append(newIndex, 0)
+		}
+	}
+	var script [][]ScriptOp
+	i, addOrdinal := 0, 0
+	for _, end := range bounds {
+		var cyc []ScriptOp
+		for ; i < end; i++ {
+			op := flat[i]
+			if op.Remove == 0 {
+				addOrdinal++
+			}
+			if !keep[i] {
+				continue
+			}
+			if op.Remove > 0 {
+				renum := newIndex[op.Remove-1]
+				if renum == 0 {
+					return nil, false
+				}
+				cyc = append(cyc, ScriptOp{Remove: renum})
+			} else {
+				cyc = append(cyc, ScriptOp{WME: op.WME})
+			}
+		}
+		if len(cyc) > 0 {
+			script = append(script, cyc)
+		}
+	}
+	if len(script) == 0 {
+		return nil, false
+	}
+	return script, true
+}
+
+// shrinkWithin reduces inside each production: RHS actions, condition
+// elements (renumbering remove/modify CE targets), and attribute
+// tests. Each reduction re-validates and re-checks.
+func shrinkWithin(c Case, fails func(Case) bool) Case {
+	best := c
+	for {
+		improved := false
+		prog := parseOrNil(best.ProgSrc)
+		if prog == nil {
+			return best
+		}
+		for pi := range prog.Productions {
+			for _, cand := range reduceProduction(prog.Productions[pi]) {
+				mut := &ops5.Program{Literalizes: prog.Literalizes}
+				mut.Productions = append(mut.Productions, prog.Productions...)
+				mut.Productions[pi] = cand
+				if !viable(mut) {
+					continue
+				}
+				cc := best
+				cc.ProgSrc = mut.String()
+				if fails(cc) {
+					best = cc
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break // re-parse and restart from the smaller program
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// reduceProduction enumerates one-step reductions of a production:
+// drop an RHS action, drop an attribute test, or drop a CE (fixing up
+// RHS CE indexes; reductions that orphan a remove/modify target are
+// not emitted — Validate would reject them anyway).
+func reduceProduction(p *ops5.Production) []*ops5.Production {
+	var out []*ops5.Production
+	for ai := range p.RHS {
+		q := cloneProduction(p)
+		q.RHS = append(q.RHS[:ai], q.RHS[ai+1:]...)
+		out = append(out, q)
+	}
+	for ci := range p.LHS {
+		if q, ok := dropCE(p, ci); ok {
+			out = append(out, q)
+		}
+	}
+	for ci, ce := range p.LHS {
+		if len(ce.Tests) < 2 {
+			continue
+		}
+		for ti := range ce.Tests {
+			q := cloneProduction(p)
+			q.LHS[ci].Tests = append(append([]ops5.AttrTest{}, ce.Tests[:ti]...), ce.Tests[ti+1:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// dropCE removes condition element ci (0-based), decrementing RHS CE
+// indexes above it. ok is false when an action targets the dropped CE.
+func dropCE(p *ops5.Production, ci int) (*ops5.Production, bool) {
+	q := cloneProduction(p)
+	q.LHS = append(q.LHS[:ci], q.LHS[ci+1:]...)
+	for ai := range q.RHS {
+		a := &q.RHS[ai]
+		for ii, idx := range a.CEIndexes {
+			switch {
+			case idx == ci+1:
+				return nil, false
+			case idx > ci+1:
+				a.CEIndexes[ii] = idx - 1
+			}
+		}
+	}
+	return q, true
+}
+
+// cloneProduction deep-copies the slices the reducers mutate.
+func cloneProduction(p *ops5.Production) *ops5.Production {
+	q := &ops5.Production{Name: p.Name}
+	for _, ce := range p.LHS {
+		nce := ce
+		nce.Tests = append([]ops5.AttrTest{}, ce.Tests...)
+		q.LHS = append(q.LHS, nce)
+	}
+	for _, a := range p.RHS {
+		na := a
+		na.CEIndexes = append([]int{}, a.CEIndexes...)
+		na.Assigns = append([]ops5.AttrAssign{}, a.Assigns...)
+		na.Args = append([]ops5.Expr{}, a.Args...)
+		q.RHS = append(q.RHS, na)
+	}
+	return q
+}
+
+// nonEmptyLines splits src into trimmed non-empty, non-comment lines.
+func nonEmptyLines(src string) []string {
+	var out []string
+	for _, l := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(l)
+		if t != "" && !strings.HasPrefix(t, ";") {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -157,6 +157,18 @@ func (e *Engine) Matcher() MatchApplier { return e.matcher }
 // WMCount returns the current working-memory size.
 func (e *Engine) WMCount() int { return len(e.wm) }
 
+// WMEs returns the live working-memory elements sorted by ID — the
+// final-state artifact the differential test harness compares across
+// match implementations.
+func (e *Engine) WMEs() []*ops5.WME {
+	out := make([]*ops5.WME, 0, len(e.wm))
+	for _, w := range e.wm {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Fired returns the number of instantiations fired so far.
 func (e *Engine) Fired() int { return e.fired }
 
@@ -206,6 +218,17 @@ func (e *Engine) removeWME(w *ops5.WME) {
 			}
 		}
 		if !found {
+			return
+		}
+	}
+	// A wme can be targeted twice in one act phase — e.g. a remove and a
+	// modify of the same CE, or two modifies whose CEs matched the same
+	// wme. Only the first deletion is real; a duplicate delete reaching
+	// the matcher would unwind join and negative-node effects twice
+	// (driving negative counts below zero and leaking stale
+	// instantiations).
+	for _, ch := range e.pending {
+		if ch.Tag == rete.Delete && ch.WME.ID == w.ID {
 			return
 		}
 	}

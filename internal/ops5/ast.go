@@ -2,6 +2,7 @@ package ops5
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -238,6 +239,37 @@ func (p *Production) String() string {
 type Program struct {
 	Literalizes map[string][]string // class -> declared attributes
 	Productions []*Production
+}
+
+// String renders the whole program in OPS5 source syntax: literalize
+// declarations first (sorted by class for determinism), then the
+// productions in order. The output re-parses to an equal program, which
+// the generative test harness relies on to persist generated programs
+// as corpus files.
+func (p *Program) String() string {
+	var b strings.Builder
+	classes := make([]string, 0, len(p.Literalizes))
+	for c := range p.Literalizes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		b.WriteString("(literalize ")
+		b.WriteString(c)
+		for _, a := range p.Literalizes[c] {
+			b.WriteByte(' ')
+			b.WriteString(a)
+		}
+		b.WriteString(")\n")
+	}
+	for _, prod := range p.Productions {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(prod.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // Validate checks structural well-formedness of a production:

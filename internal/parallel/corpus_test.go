@@ -1,0 +1,43 @@
+package parallel_test
+
+import (
+	"testing"
+
+	"mpcrete/internal/difftest"
+)
+
+// TestSharedCorpusUnderChaos replays the shared difftest corpus —
+// same-cycle add-before-delete transients, cross-product bursts,
+// negation feedback — through the parallel runtime's differential
+// matrix with the chaos scheduling layer enabled across several seeds.
+// The corpus files double as fuzz seeds (internal/difftest) and as the
+// regression suite here: any interleaving sensitivity in batching,
+// flush coalescing, or termination detection shows up as a conflict-set
+// divergence against the sequential reference.
+func TestSharedCorpusUnderChaos(t *testing.T) {
+	cases, err := difftest.LoadCorpus("../difftest/testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("shared corpus is empty")
+	}
+	chaosSeeds := []int64{1, 7, 42}
+	if testing.Short() {
+		chaosSeeds = chaosSeeds[:1]
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			for _, seed := range chaosSeeds {
+				opts := difftest.CheckOptions{
+					MaxCycles: 30,
+					Workers:   []int{2, 4, 8},
+					ChaosSeed: seed,
+				}
+				if mis := difftest.Check(c, opts); mis != nil {
+					t.Fatalf("chaos seed %d: %v", seed, mis)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+
+	"mpcrete/internal/obs"
+)
 
 // mailbox is an unbounded FIFO message queue consumed in batches.
 // Unbounded matters: with bounded channels, two workers exchanging
@@ -21,23 +25,29 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []message
 	closed bool
+	// dropped counts post-close sends (the parallel.dropped_post_close
+	// obs counter; nil is a no-op). Close is only legal on a quiescent
+	// runtime, so during normal operation the count stays zero — soak
+	// runs assert exactly that.
+	dropped *obs.Counter
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(dropped *obs.Counter) *mailbox {
+	m := &mailbox{dropped: dropped}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
 // push enqueues one message; it never blocks. Sends on a closed
-// mailbox are dropped silently: during shutdown a straggler worker
-// flushing its coalescing buffer can race close, and by the time Close
-// is legal (the runtime is quiescent) no droppable message can carry
-// live work.
+// mailbox are dropped (and counted): during shutdown a straggler
+// worker flushing its coalescing buffer can race close, and by the
+// time Close is legal (the runtime is quiescent) no droppable message
+// can carry live work.
 func (m *mailbox) push(msg message) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.dropped.Inc()
 		return
 	}
 	m.queue = append(m.queue, msg)
@@ -47,7 +57,7 @@ func (m *mailbox) push(msg message) {
 
 // pushBatch enqueues a sender's coalesced messages in order under one
 // lock acquisition. The batch is copied, so the caller may reuse its
-// buffer immediately. Like push, it drops silently after close.
+// buffer immediately. Like push, it drops (and counts) after close.
 func (m *mailbox) pushBatch(msgs []message) {
 	if len(msgs) == 0 {
 		return
@@ -55,6 +65,7 @@ func (m *mailbox) pushBatch(msgs []message) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.dropped.Add(int64(len(msgs)))
 		return
 	}
 	m.queue = append(m.queue, msgs...)
@@ -77,6 +88,24 @@ func (m *mailbox) drain(buf []message) (batch []message, ok bool) {
 	if len(m.queue) == 0 {
 		m.mu.Unlock()
 		return buf, false
+	}
+	batch = m.queue
+	m.queue = buf
+	m.mu.Unlock()
+	return batch, true
+}
+
+// tryDrain is the non-blocking drain the chaos layer uses while it
+// holds deferred messages: it takes whatever is pending (possibly
+// nothing) without waiting. ok == false means closed and empty, as for
+// drain.
+func (m *mailbox) tryDrain(buf []message) (batch []message, ok bool) {
+	buf = buf[:0]
+	m.mu.Lock()
+	if len(m.queue) == 0 {
+		closed := m.closed
+		m.mu.Unlock()
+		return buf, !closed
 	}
 	batch = m.queue
 	m.queue = buf

@@ -3,6 +3,8 @@ package parallel
 import (
 	"sync"
 	"testing"
+
+	"mpcrete/internal/obs"
 )
 
 // seqMsg encodes a sequence number in a message via inject pointer
@@ -14,7 +16,7 @@ func seqMsg(seqs map[*migrateIn]int, seq int) message {
 }
 
 func TestMailboxDrainFIFO(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(nil)
 	seqs := map[*migrateIn]int{}
 	sent, next := 0, 0
 	var batch []message
@@ -67,7 +69,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 }
 
 func TestMailboxPushBatchCopies(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(nil)
 	seqs := map[*migrateIn]int{}
 	buf := []message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
 	m.pushBatch(buf)
@@ -87,10 +89,13 @@ func TestMailboxPushBatchCopies(t *testing.T) {
 
 // TestMailboxSendAfterCloseDropped is the shutdown-race regression
 // test: during Close a straggler worker flushing its coalescing buffer
-// can race the mailbox close; such sends must be dropped silently, not
-// panic.
+// can race the mailbox close; such sends must be dropped — not panic —
+// and each drop must be visible on the parallel.dropped_post_close
+// counter so soak runs can assert it stays zero in normal operation.
 func TestMailboxSendAfterCloseDropped(t *testing.T) {
-	m := newMailbox()
+	reg := obs.NewRegistry()
+	dropped := reg.Counter("parallel.dropped_post_close")
+	m := newMailbox(dropped)
 	m.push(message{kind: msgAct})
 	m.close()
 	m.push(message{kind: msgAct})  // dropped, no panic
@@ -102,10 +107,29 @@ func TestMailboxSendAfterCloseDropped(t *testing.T) {
 	if _, ok := m.drain(nil); ok {
 		t.Fatal("post-close pushes must not be delivered")
 	}
+	if got := dropped.Value(); got != 3 {
+		t.Fatalf("dropped_post_close = %d, want 3 (one push + two batched)", got)
+	}
+}
+
+func TestMailboxTryDrain(t *testing.T) {
+	m := newMailbox(nil)
+	if batch, ok := m.tryDrain(nil); !ok || len(batch) != 0 {
+		t.Fatalf("tryDrain on empty open mailbox = (%d, %v), want (0, true)", len(batch), ok)
+	}
+	m.push(message{kind: msgAct})
+	batch, ok := m.tryDrain(nil)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("tryDrain = (%d, %v), want (1, true)", len(batch), ok)
+	}
+	m.close()
+	if _, ok := m.tryDrain(batch); ok {
+		t.Fatal("tryDrain on closed empty mailbox must report closure")
+	}
 }
 
 func TestMailboxConcurrentProducers(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(nil)
 	const producers, per, batchLen = 8, 200, 5
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

@@ -80,6 +80,20 @@ type Options struct {
 	// termination-detection wave count) on the control track.
 	// Timestamps are nanoseconds since New.
 	Recorder *obs.Recorder
+	// ChaosSeed, when non-zero, enables the chaos scheduling layer
+	// (see chaos.go): workers randomly reorder drained activation runs
+	// (preserving per-bucket FIFO order, the only ordering the match
+	// relies on), defer coalesced flushes, split turns, and jitter
+	// timing so -race stress explores interleavings a quiet machine
+	// never produces. The netted conflict-set output must be unchanged
+	// — the differential harness asserts exactly that. Zero (the
+	// default) compiles to the unperturbed fast path.
+	ChaosSeed int64
+	// Metrics, when non-nil, receives runtime counters; currently
+	// parallel.dropped_post_close, the number of messages dropped by
+	// post-close mailbox sends (normal operation keeps it zero; soak
+	// runs assert that).
+	Metrics *obs.Registry
 }
 
 // cyclePacket is the broadcast payload of one match phase. A single
@@ -156,6 +170,10 @@ type Runtime struct {
 	rec   *obs.Recorder
 	epoch time.Time
 
+	// ctlChaos perturbs the control goroutine's quiescence wait when
+	// chaos is enabled (nil otherwise).
+	ctlChaos *chaos
+
 	closed bool
 }
 
@@ -189,6 +207,10 @@ type worker struct {
 	// migration accounting, read by Repartition after its barrier.
 	migratedEntries int
 	migrationMsgs   int
+
+	// chaos is the worker's scheduling perturbator (nil unless
+	// Options.ChaosSeed is set).
+	chaos *chaos
 }
 
 // New creates and starts a runtime. Close must be called to stop the
@@ -227,6 +249,10 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 		rt.rootProc = rete.NewProcessor(net, opts.NBuckets)
 		rt.rootBufs = make([][]message, opts.Workers)
 	}
+	dropped := opts.Metrics.Counter("parallel.dropped_post_close")
+	if opts.ChaosSeed != 0 {
+		rt.ctlChaos = newChaos(opts.ChaosSeed, opts.Workers)
+	}
 	if rt.rec != nil {
 		for i := 0; i < opts.Workers; i++ {
 			rt.rec.SetTrack(i, fmt.Sprintf("worker %d", i))
@@ -243,8 +269,11 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 			id:      i,
 			rt:      rt,
 			proc:    rete.NewProcessor(net, opts.NBuckets),
-			inbox:   newMailbox(),
+			inbox:   newMailbox(dropped),
 			outBufs: make([][]message, opts.Workers),
+		}
+		if opts.ChaosSeed != 0 {
+			w.chaos = newChaos(opts.ChaosSeed, i)
 		}
 		rt.workers = append(rt.workers, w)
 		w.done.Add(1)
@@ -282,10 +311,17 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 	waves := 0
 	if rt.opts.Detector == FourCounterDetector {
 		yield := runtime.Gosched
+		if rt.ctlChaos != nil {
+			// Jittered polling stretches the window between the two
+			// four-counter passes, the interval the protocol must
+			// tolerate in-flight messages across.
+			yield = rt.ctlChaos.yield
+		}
 		if rt.rec != nil {
+			inner := yield
 			yield = func() {
 				waves++
-				runtime.Gosched()
+				inner()
 			}
 		}
 		rt.four.WaitTerminated(yield)
@@ -390,7 +426,11 @@ func (w *worker) loop() {
 	rt := w.rt
 	for {
 		var ok bool
-		w.batch, ok = w.inbox.drain(w.batch)
+		if w.chaos == nil {
+			w.batch, ok = w.inbox.drain(w.batch)
+		} else {
+			w.batch, ok = w.chaos.nextBatch(w)
+		}
 		if !ok {
 			return
 		}
@@ -423,8 +463,11 @@ func (w *worker) loop() {
 			case msgMigrateIn:
 				w.proc.InjectBucket(msg.inject.contents)
 			}
-			w.flushActs()
+			w.flushActs(false)
 		}
+		// Force out anything a chaotic flush deferral held back; a
+		// no-op on the plain path (per-message flushes left nothing).
+		w.flushActs(true)
 		n := len(w.batch)
 		if rt.rec != nil {
 			rt.rec.Span(w.id, "batch", t0, rt.nowNS(), batchLabels(n, &kinds)...)
@@ -456,8 +499,16 @@ func batchLabels(n int, kinds *[numMsgKinds]int) []obs.Label {
 // flushActs ships the coalescing buffers: outstanding work and sent
 // counters are accounted for the whole flush before any message
 // becomes visible, then each destination mailbox is locked once.
-func (w *worker) flushActs() {
+// Under chaos a non-forced flush may be randomly deferred — the
+// pending messages simply coalesce into a later flush of the same
+// turn, which the end-of-turn forced call guarantees. Deferral is safe
+// because the turn's batch stays registered with the termination
+// detector until after the forced flush.
+func (w *worker) flushActs(force bool) {
 	if w.pendingSends == 0 {
+		return
+	}
+	if !force && w.chaos != nil && w.chaos.deferFlush() {
 		return
 	}
 	rt := w.rt

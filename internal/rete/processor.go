@@ -186,8 +186,11 @@ func (p *Processor) processJoin(a Activation, b int, emit func(Activation)) {
 	if a.Side == Left {
 		if a.Tag == Add {
 			p.left.addLeft(b, n, a.Token)
-		} else {
-			p.left.removeLeft(b, n, a.Token)
+		} else if p.left.removeLeft(b, n, a.Token) == nil {
+			// Duplicate delete: the token's join effects were already
+			// unwound when it was first removed. Scanning again would
+			// emit a second wave of successor deletes.
+			return
 		}
 		p.right.scan(b, n, func(e *memEntry) {
 			if p.testsPass(n, a.Token, e.wme) {
@@ -198,8 +201,9 @@ func (p *Processor) processJoin(a Activation, b int, emit func(Activation)) {
 	}
 	if a.Tag == Add {
 		p.right.addRight(b, n, a.WME)
-	} else {
-		p.right.removeRight(b, n, a.WME.ID)
+	} else if p.right.removeRight(b, n, a.WME.ID) == nil {
+		// Duplicate delete of a wme already out of right memory.
+		return
 	}
 	p.left.scan(b, n, func(e *memEntry) {
 		if p.testsPass(n, e.token, a.WME) {
@@ -242,7 +246,13 @@ func (p *Processor) processNegative(a Activation, b int, emit func(Activation)) 
 		})
 		return
 	}
-	p.right.removeRight(b, n, a.WME.ID)
+	if p.right.removeRight(b, n, a.WME.ID) == nil {
+		// Duplicate delete: the counts were already decremented when
+		// the wme was first removed; decrementing again would drive
+		// them negative and break the next add's 0 -> 1 transition,
+		// leaking a stale instantiation.
+		return
+	}
 	p.left.scan(b, n, func(e *memEntry) {
 		if p.testsPass(n, e.token, a.WME) {
 			e.count--

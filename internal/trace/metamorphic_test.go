@@ -1,0 +1,195 @@
+package trace_test
+
+// Metamorphic properties of the Section 5.2 trace transformations:
+// SplitFanout and ScatterNode redistribute work across hash buckets
+// but must not invent or lose it. The properties are checked against
+// the real calibrated sections (Rubik, Tourney, Weaver), whose heavy
+// cross products and fan-outs actually trigger both rewrites.
+
+import (
+	"testing"
+
+	"mpcrete/internal/analysis"
+	"mpcrete/internal/trace"
+	"mpcrete/internal/workloads"
+)
+
+func sections() []*trace.Trace { return workloads.Sections() }
+
+// tripleCounts tallies activations by (node, side, tag) — the identity
+// of the work, independent of which bucket or copy performs it.
+func tripleCounts(t *trace.Trace) map[[3]int]int {
+	m := map[[3]int]int{}
+	for _, c := range t.Cycles {
+		c.Walk(func(a *trace.Activation) {
+			m[[3]int{a.Node, int(a.Side), int(a.Tag)}]++
+		})
+	}
+	return m
+}
+
+func totalInsts(t *trace.Trace) int { return t.Stats().Instantiations }
+
+// TestSplitFanoutConservation: splitting a hot activation into k
+// copies must (1) keep the trace valid, (2) preserve instantiation
+// counts exactly, (3) preserve per-cycle critical-path lower bounds
+// exactly — copies sit at the depth of the original, so the dependency
+// chain neither stretches nor contracts, which is precisely why the
+// rewrite is a pure win in the simulator — and (4) only ever add
+// work in groups of k-1 copies of an existing (node, side, tag)
+// triple, never invent new work identities or drop existing ones.
+func TestSplitFanoutConservation(t *testing.T) {
+	const k = 4
+	for _, tr := range sections() {
+		t.Run(tr.Name, func(t *testing.T) {
+			// Pick a threshold below the section's own max fan-out so the
+			// transform is guaranteed to fire regardless of calibration.
+			threshold := maxChildFanout(tr) / 2
+			if threshold < 1 {
+				t.Skipf("%s has no multi-child activations", tr.Name)
+			}
+			split := trace.SplitFanout(tr, threshold, k)
+			if err := split.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := totalInsts(split), totalInsts(tr); got != want {
+				t.Fatalf("instantiations changed: %d, want %d", got, want)
+			}
+			before, after := analysis.CriticalPaths(tr), analysis.CriticalPaths(split)
+			for ci := range before {
+				if after[ci] != before[ci] {
+					t.Fatalf("cycle %d: critical path changed %d -> %d", ci, before[ci], after[ci])
+				}
+			}
+			orig, now := tripleCounts(tr), tripleCounts(split)
+			grew := 0
+			for tri, n := range now {
+				o, ok := orig[tri]
+				if !ok {
+					t.Fatalf("split invented work identity %v", tri)
+				}
+				if n < o {
+					t.Fatalf("split lost work: %v %d -> %d", tri, o, n)
+				}
+				if (n-o)%(k-1) != 0 {
+					t.Fatalf("%v grew by %d, not a multiple of k-1=%d", tri, n-o, k-1)
+				}
+				grew += n - o
+			}
+			if len(now) != len(orig) {
+				t.Fatalf("split dropped a work identity: %d triples -> %d", len(orig), len(now))
+			}
+			if grew == 0 {
+				t.Fatalf("threshold %d split nothing in %s; section no longer exercises the transform", threshold, tr.Name)
+			}
+		})
+	}
+}
+
+// TestScatterNodeConservation: copy-and-constraint at the trace level
+// reassigns a node's activations across derived buckets and must
+// change NOTHING else — same forest shape, same (node, side, tag,
+// insts) per activation, same critical paths, and only activations of
+// the scattered node may move buckets.
+func TestScatterNodeConservation(t *testing.T) {
+	const k = 4
+	for _, tr := range sections() {
+		t.Run(tr.Name, func(t *testing.T) {
+			node := hottestNode(tr)
+			sc := trace.ScatterNode(tr, node, k)
+			if err := sc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for ci := range tr.Cycles {
+				var a, b []*trace.Activation
+				tr.Cycles[ci].Walk(func(x *trace.Activation) { a = append(a, x) })
+				sc.Cycles[ci].Walk(func(x *trace.Activation) { b = append(b, x) })
+				if len(a) != len(b) {
+					t.Fatalf("cycle %d: activation count changed %d -> %d", ci, len(a), len(b))
+				}
+				for i := range a {
+					x, y := a[i], b[i]
+					if x.Node != y.Node || x.Side != y.Side || x.Tag != y.Tag ||
+						x.Insts != y.Insts || len(x.Children) != len(y.Children) {
+						t.Fatalf("cycle %d activation %d: identity changed: %+v -> %+v", ci, i, x, y)
+					}
+					if x.Bucket != y.Bucket {
+						if x.Node != node {
+							t.Fatalf("cycle %d: node %d moved buckets but only node %d was scattered", ci, x.Node, node)
+						}
+						moved++
+					}
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("scatter of node %d moved no activation in %s", node, tr.Name)
+			}
+			before, after := analysis.CriticalPaths(tr), analysis.CriticalPaths(sc)
+			for ci := range before {
+				if after[ci] != before[ci] {
+					t.Fatalf("cycle %d: critical path changed %d -> %d", ci, before[ci], after[ci])
+				}
+			}
+		})
+	}
+}
+
+// TestCriticalPathIsLowerBound pins the meaning of the helper against
+// the structural facts every trace satisfies: the critical path is at
+// least 1 when a cycle has roots, never exceeds the cycle's activation
+// count, and a single-chain synthetic cycle has critical path equal to
+// its length.
+func TestCriticalPathIsLowerBound(t *testing.T) {
+	for _, tr := range sections() {
+		for ci, c := range tr.Cycles {
+			cp := analysis.CriticalPath(c)
+			n := c.Activations()
+			if n > 0 && (cp < 1 || cp > n) {
+				t.Fatalf("%s cycle %d: critical path %d outside [1,%d]", tr.Name, ci, cp, n)
+			}
+		}
+	}
+	chain := &trace.Activation{Node: 1, Bucket: 0}
+	tip := chain
+	for i := 0; i < 9; i++ {
+		next := &trace.Activation{Node: 1, Bucket: 0}
+		tip.Children = []*trace.Activation{next}
+		tip = next
+	}
+	c := &trace.Cycle{Roots: []*trace.Activation{chain}}
+	if got := analysis.CriticalPath(c); got != 10 {
+		t.Fatalf("chain of 10: critical path = %d", got)
+	}
+}
+
+// maxChildFanout is the largest number of child activations any single
+// activation generates (instantiations excluded — SplitFanout splits
+// on child count).
+func maxChildFanout(tr *trace.Trace) int {
+	max := 0
+	for _, c := range tr.Cycles {
+		c.Walk(func(a *trace.Activation) {
+			if len(a.Children) > max {
+				max = len(a.Children)
+			}
+		})
+	}
+	return max
+}
+
+// hottestNode picks the node with the most activations — the natural
+// copy-and-constraint target, and guaranteed to exist in a section.
+func hottestNode(tr *trace.Trace) int {
+	counts := map[int]int{}
+	for _, c := range tr.Cycles {
+		c.Walk(func(a *trace.Activation) { counts[a.Node]++ })
+	}
+	best, bestN := 0, -1
+	for n, ct := range counts {
+		if ct > bestN {
+			best, bestN = n, ct
+		}
+	}
+	return best
+}

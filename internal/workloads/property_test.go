@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+)
+
+// allPrograms enumerates every OPS5 program source the package ships,
+// paired with a representative initial working memory.
+func allPrograms() []struct{ name, prog, wmes string } {
+	return []struct{ name, prog, wmes string }{
+		{"blocks-world", BlocksWorld, BlocksWorldWMEs(4)},
+		{"tourney-like", TourneyLike, TourneyLikeWMEs(4, 4)},
+		{"monkey-bananas", MonkeyBananas, MonkeyBananasWMEs},
+		{"counter-chain", CounterChain, "(counter ^name a ^value 0)"},
+		{"queens", Queens, QueensWMEs(4)},
+		{"configurator", Configurator, ConfiguratorWMEs(ConfiguratorOrder{ID: "o1", CPUs: 1, Disks: 2, PowerMax: 400})},
+	}
+}
+
+// TestProgramsParseValidateCompile is the blanket property over every
+// shipped program: it parses, every production validates, the Rete
+// network compiles, and the workload's wme builder emits parseable
+// working memory.
+func TestProgramsParseValidateCompile(t *testing.T) {
+	for _, w := range allPrograms() {
+		t.Run(w.name, func(t *testing.T) {
+			prog, err := ops5.ParseProgram(w.prog)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(prog.Productions) == 0 {
+				t.Fatal("no productions")
+			}
+			for _, p := range prog.Productions {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("validate %s: %v", p.Name, err)
+				}
+			}
+			if _, err := rete.Compile(prog.Productions); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, err := ops5.ParseWMEs(w.wmes); err != nil {
+				t.Fatalf("wmes: %v", err)
+			}
+		})
+	}
+}
+
+// TestProgramPrinterRoundTrip pins the printer/parser inverse property
+// difftest's shrinker depends on: rendering a parsed program with
+// Program.String and re-parsing it must reach a printer fixpoint — the
+// second render is byte-identical to the first — and preserve the
+// production list.
+func TestProgramPrinterRoundTrip(t *testing.T) {
+	for _, w := range allPrograms() {
+		t.Run(w.name, func(t *testing.T) {
+			prog, err := ops5.ParseProgram(w.prog)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			printed := prog.String()
+			reparsed, err := ops5.ParseProgram(printed)
+			if err != nil {
+				t.Fatalf("printed program does not re-parse: %v\n%s", err, printed)
+			}
+			if got, want := len(reparsed.Productions), len(prog.Productions); got != want {
+				t.Fatalf("round trip lost productions: %d, want %d", got, want)
+			}
+			for i := range prog.Productions {
+				if reparsed.Productions[i].Name != prog.Productions[i].Name {
+					t.Fatalf("production %d renamed: %s -> %s",
+						i, prog.Productions[i].Name, reparsed.Productions[i].Name)
+				}
+			}
+			if again := reparsed.String(); again != printed {
+				t.Fatalf("printer not a fixpoint:\n--- first\n%s\n--- second\n%s", printed, again)
+			}
+		})
+	}
+}
+
+// TestProgramRoundTripPreservesBehavior runs each workload through a
+// bounded engine run twice — once from the original source, once from
+// the printed round trip — and asserts identical recorded traces, the
+// strongest printer-correctness property available without comparing
+// ASTs field by field.
+func TestProgramRoundTripPreservesBehavior(t *testing.T) {
+	for _, w := range allPrograms() {
+		t.Run(w.name, func(t *testing.T) {
+			prog, err := ops5.ParseProgram(w.prog)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tr1, _, err := RecordRun(w.name, w.prog, w.wmes, 25)
+			if err != nil {
+				t.Fatalf("original run: %v", err)
+			}
+			tr2, _, err := RecordRun(w.name, prog.String(), w.wmes, 25)
+			if err != nil {
+				t.Fatalf("round-trip run: %v", err)
+			}
+			s1, s2 := tr1.Stats(), tr2.Stats()
+			if s1 != s2 {
+				t.Fatalf("round trip changed behavior:\noriginal:   %+v\nround trip: %+v", s1, s2)
+			}
+		})
+	}
+}

@@ -31,6 +31,10 @@
 //	                  the runtime family: N ∈ {1,2,4,8} workers, det ∈
 //	                  {count,four} termination detectors, mode ∈ {bcast,
 //	                  routed} root delivery (Fig 3-3 vs Fig 3-2)
+//	obs/flight-<off|on>
+//	                  the causal flight recorder's overhead on the same
+//	                  burst: off = nil recorder (the always-paid nil
+//	                  check), on = full per-event recording
 //
 // Wall-clock-only benchmarks (the parallel family) are scheduled by the
 // Go runtime and inherently noisier than the simulator workloads; they
@@ -256,6 +260,35 @@ func main() {
 					})
 			}
 		}
+	}
+
+	// obs/flight-*: the flight recorder's cost on the same burst —
+	// flight-off pins the nil-recorder path (one nil check per event
+	// site; the disabled path's zero allocs/event is additionally pinned
+	// by TestDisabledPathZeroAlloc in internal/obs), flight-on the
+	// per-event store cost with a full causal recorder attached.
+	for _, fl := range []struct {
+		name     string
+		recorder bool
+	}{{"obs/flight-off", false}, {"obs/flight-on", true}} {
+		fl := fl
+		b := measure(fl.name, iters(15, 5),
+			map[string]string{"workers": "4", "recorder": fmt.Sprint(fl.recorder), "workload": "tourney-like 30x25"},
+			func() int64 {
+				opts := parallel.Options{Workers: 4}
+				if fl.recorder {
+					opts.Causal = parallel.NewFlightRecorder(4, 0, 0, rete.DefaultNBuckets)
+				}
+				rt, err := parallel.New(net, opts)
+				if err != nil {
+					fatal(err)
+				}
+				rt.Apply(changes)
+				rt.Close()
+				return 0
+			})
+		b.NsTolerance = parallelNsTolerance
+		f.add(b)
 	}
 
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -43,6 +44,8 @@ func main() {
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 		cycles   = flag.Int("cycles", 30, "max recognize-act cycles per case")
 		out      = flag.String("out", "difftest-repros", "directory for shrunk .ops5 repro files")
+		flight   = flag.Int("flight", 64, "cycles of causal flight trace retained per parallel run (0 = off)")
+		force    = flag.String("force-divergence", "", "perturb configs whose name contains this substring (drills the divergence path)")
 	)
 	flag.Parse()
 
@@ -53,9 +56,11 @@ func main() {
 	}
 	metrics := obs.NewRegistry()
 	opts := difftest.CheckOptions{
-		MaxCycles: *cycles,
-		Workers:   ws,
-		Metrics:   metrics,
+		MaxCycles:       *cycles,
+		Workers:         ws,
+		Metrics:         metrics,
+		FlightCycles:    *flight,
+		ForceDivergence: *force,
 	}
 
 	deadline := time.Now().Add(*duration)
@@ -111,16 +116,52 @@ func main() {
 }
 
 // writeRepro shrinks the diverging case against the same configuration
-// matrix that caught it and persists the minimal corpus file.
+// matrix that caught it and persists the minimal corpus file. When the
+// matrix is instrumented (-flight), the shrunk case's own divergence
+// dump lands next to the repro as <name>.flight.json (raw causal
+// rings) and <name>.trace.json (Chrome trace-event format, loadable in
+// about:tracing / Perfetto).
 func writeRepro(dir string, mis *difftest.Mismatch, opts difftest.CheckOptions) (string, error) {
+	var last *difftest.Mismatch
 	shrunk := difftest.Shrink(mis.Case, func(c difftest.Case) bool {
-		return difftest.Check(c, opts) != nil
+		m := difftest.Check(c, opts)
+		if m != nil {
+			last = m
+		}
+		return m != nil
 	})
+	if last == nil {
+		last = mis // Shrink's predicate never fired: keep the original
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, shrunk.Name+".ops5")
-	return path, os.WriteFile(path, shrunk.Encode(), 0o644)
+	if err := os.WriteFile(path, shrunk.Encode(), 0o644); err != nil {
+		return "", err
+	}
+	if last.Dump != nil {
+		if err := writeDump(filepath.Join(dir, shrunk.Name+".flight.json"), last.Dump.WriteJSON); err != nil {
+			return path, err
+		}
+		if err := writeDump(filepath.Join(dir, shrunk.Name+".trace.json"), last.Dump.WriteChromeTrace); err != nil {
+			return path, err
+		}
+	}
+	return path, nil
+}
+
+// writeDump streams one dump rendering to a file.
+func writeDump(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
 	"mpcrete/internal/difftest"
@@ -61,5 +63,37 @@ func TestWriteRepro(t *testing.T) {
 	}
 	if _, err := difftest.Decode("repro", data); err != nil {
 		t.Fatalf("written repro does not decode: %v", err)
+	}
+}
+
+// TestWriteReproFlightDump pins the post-mortem artifacts: a forced
+// divergence on an instrumented matrix writes the causal flight dump
+// and its Chrome-trace rendering next to the shrunk repro.
+func TestWriteReproFlightDump(t *testing.T) {
+	opts := difftest.CheckOptions{
+		MaxCycles:       10,
+		Workers:         []int{2},
+		FlightCycles:    8,
+		ForceDivergence: "par-w2-bcast",
+	}
+	c := difftest.Gen(3, difftest.GenConfig{})
+	mis := difftest.Check(c, opts)
+	if mis == nil {
+		t.Fatal("forced divergence not reported")
+	}
+	dir := t.TempDir()
+	path, err := writeRepro(dir, mis, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := strings.TrimSuffix(path, ".ops5")
+	for _, suffix := range []string{".flight.json", ".trace.json"} {
+		data, err := os.ReadFile(base + suffix)
+		if err != nil {
+			t.Fatalf("missing dump artifact: %v", err)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("%s%s is not valid JSON", base, suffix)
+		}
 	}
 }

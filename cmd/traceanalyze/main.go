@@ -48,6 +48,20 @@ func main() {
 		fmt.Printf("\nper-cycle summary at %d processors (run2 overheads), makespan %.1f µs:\n",
 			*procs, res.Makespan.Microseconds())
 		experiments.RenderPerCycle(os.Stdout, reg)
+
+		// The dependency-chain floor no processor count can beat
+		// (Section 4.4): per-cycle critical paths in dependent
+		// activation steps.
+		bounds := analysis.CriticalPaths(tr)
+		total, deepest, at := 0, 0, 0
+		for i, b := range bounds {
+			total += b
+			if b > deepest {
+				deepest, at = b, i+1
+			}
+		}
+		fmt.Printf("critical-path lower bound: %d dependent steps over %d cycles (mean %.1f), deepest cycle %d at depth %d\n",
+			total, len(bounds), float64(total)/float64(max(len(bounds), 1)), at, deepest)
 	}
 
 	if *tune {

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"mpcrete/internal/obs"
+)
+
+// Happens-before reconstruction: stitch a flight-recorder dump's
+// per-track event rings into one causal DAG. Two edge families order
+// the events — program order within a track (a single goroutine's
+// events are totally ordered by sequence number) and message order
+// across tracks (a batch's send happens-before every recv carrying its
+// stamp). Everything the runtime does is ordered by the transitive
+// closure of those two relations; a cycle in the graph would mean the
+// recorder (or the runtime) is broken, so TopoOrder doubles as a
+// consistency check.
+
+// HBEdgeKind distinguishes the two happens-before edge families.
+type HBEdgeKind uint8
+
+const (
+	// ProgramEdge orders consecutive events of one track.
+	ProgramEdge HBEdgeKind = iota
+	// MessageEdge orders a batch send before a recv of the same stamp.
+	MessageEdge
+)
+
+// HBNode is one retained event in the graph. Track is its ring's
+// index (workers first, control last); Index its position within that
+// ring's retained window.
+type HBNode struct {
+	Track int
+	Index int
+	Event obs.CausalEvent
+}
+
+// HBEdge is a happens-before edge between node ids.
+type HBEdge struct {
+	From, To int
+	Kind     HBEdgeKind
+}
+
+// HBGraph is the stitched causal DAG of one dump.
+type HBGraph struct {
+	Nodes []HBNode
+	Edges []HBEdge
+	// Dangling counts recv events whose send stamp fell off the
+	// sender's bounded ring (no message edge could be drawn); nonzero
+	// values mean the window was too small for full stitching, not an
+	// error.
+	Dangling int
+
+	adj [][]int // out-neighbours, built with the edges
+}
+
+// BuildHB stitches the dump's rings into a happens-before graph.
+func BuildHB(d *obs.FlightDump) *HBGraph {
+	g := &HBGraph{}
+	// Nodes, in track order then ring order.
+	for ti, t := range d.Tracks {
+		for i, ev := range t.Events {
+			g.Nodes = append(g.Nodes, HBNode{Track: ti, Index: i, Event: ev})
+		}
+	}
+	g.adj = make([][]int, len(g.Nodes))
+	addEdge := func(from, to int, kind HBEdgeKind) {
+		g.Edges = append(g.Edges, HBEdge{From: from, To: to, Kind: kind})
+		g.adj[from] = append(g.adj[from], to)
+	}
+
+	// Program order: consecutive retained events of one track.
+	base := 0
+	sends := map[int32]int{} // batch stamp -> sender node id
+	for _, t := range d.Tracks {
+		for i := range t.Events {
+			if i > 0 {
+				addEdge(base+i-1, base+i, ProgramEdge)
+			}
+			if ev := t.Events[i]; ev.Kind == obs.EvSend && ev.Batch != 0 {
+				sends[ev.Batch] = base + i
+			}
+		}
+		base += len(t.Events)
+	}
+
+	// Message order: send -> recv per stamp (a broadcast send fans out
+	// to one recv per worker).
+	for id, n := range g.Nodes {
+		if n.Event.Kind != obs.EvRecv || n.Event.Batch == 0 {
+			continue
+		}
+		if from, ok := sends[n.Event.Batch]; ok {
+			addEdge(from, id, MessageEdge)
+		} else {
+			g.Dangling++
+		}
+	}
+	return g
+}
+
+// TopoOrder returns a topological order of the node ids, or an error
+// if the stitched graph has a cycle — which would indicate recorder or
+// runtime corruption, since happens-before is acyclic by construction.
+func (g *HBGraph) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, len(g.Nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(g.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, to := range g.adj[id] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("analysis: happens-before graph has a cycle (%d of %d nodes ordered)", len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// LongestChain returns the maximum number of nodes on any path through
+// the graph — the causal depth of the retained window, mixing handles
+// with the message hops between them.
+func (g *HBGraph) LongestChain() (int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	depth := make([]int, len(g.Nodes))
+	best := 0
+	for _, id := range order {
+		if depth[id] == 0 {
+			depth[id] = 1
+		}
+		if depth[id] > best {
+			best = depth[id]
+		}
+		for _, to := range g.adj[id] {
+			if depth[id]+1 > depth[to] {
+				depth[to] = depth[id] + 1
+			}
+		}
+	}
+	return best, nil
+}
+
+// QueueWait is the mailbox residence of one stitched batch: the
+// interval between its send and the drain that received it.
+type QueueWait struct {
+	Batch    int32
+	From, To int // track ids
+	Count    int32
+	WaitNS   int64
+}
+
+// CyclePathDepth is one cycle's measured critical path, in dependent
+// activation steps — directly comparable to CriticalPath on the
+// sequential trace of the same run, which is its lower bound (and,
+// because both sides walk the same activation forest with the same
+// counting rule, its expected exact value).
+type CyclePathDepth struct {
+	Cycle int32
+	Depth int32
+}
+
+// CausalSeries are the per-run series the ROADMAP's adaptive
+// repartitioning and multi-node transport work consume, extracted from
+// one dump.
+type CausalSeries struct {
+	// MeasuredCritPaths holds one entry per retained cycle (exact:
+	// aggregates survive ring eviction).
+	MeasuredCritPaths []CyclePathDepth
+	// WorkerHandles is per-track activation counts over the retained
+	// cycles (control last, always zero handles).
+	WorkerHandles []int64
+	// BucketLoads is the cumulative per-bucket activation load merged
+	// across workers, ascending by bucket (whole run, not just the
+	// retained window).
+	BucketLoads []obs.BucketLoad
+	// QueueWaits holds one entry per stitched (send, recv) pair in the
+	// retained windows, in recv order.
+	QueueWaits []QueueWait
+	// Fanouts is the distribution of handle fan-outs in the retained
+	// windows: Fanouts[k] = number of handles generating k successors
+	// (the paper's multiple-successor bottleneck shows up as mass far
+	// to the right).
+	Fanouts []int64
+}
+
+// CausalSeriesFrom extracts the series from a dump.
+func CausalSeriesFrom(d *obs.FlightDump) *CausalSeries {
+	s := &CausalSeries{WorkerHandles: make([]int64, len(d.Tracks))}
+
+	for _, c := range d.Cycles {
+		agg := c.Total()
+		s.MeasuredCritPaths = append(s.MeasuredCritPaths, CyclePathDepth{Cycle: c.Cycle, Depth: agg.MaxDepth})
+		for ti, a := range c.PerTrack {
+			s.WorkerHandles[ti] += a.Handles
+		}
+	}
+
+	// Merge cumulative bucket loads across tracks.
+	merged := map[int]int64{}
+	for _, t := range d.Tracks {
+		for _, bl := range t.BucketLoads {
+			merged[bl.Bucket] += bl.Count
+		}
+	}
+	for b, n := range merged {
+		s.BucketLoads = append(s.BucketLoads, obs.BucketLoad{Bucket: b, Count: n})
+	}
+	sort.Slice(s.BucketLoads, func(i, j int) bool { return s.BucketLoads[i].Bucket < s.BucketLoads[j].Bucket })
+
+	// Queue waits and fan-outs from the retained windows.
+	type sendInfo struct {
+		ts    int64
+		track int
+	}
+	sends := map[int32]sendInfo{}
+	for ti, t := range d.Tracks {
+		for _, ev := range t.Events {
+			if ev.Kind == obs.EvSend && ev.Batch != 0 {
+				sends[ev.Batch] = sendInfo{ts: ev.TS, track: ti}
+			}
+		}
+	}
+	for ti, t := range d.Tracks {
+		for _, ev := range t.Events {
+			switch ev.Kind {
+			case obs.EvRecv:
+				if si, ok := sends[ev.Batch]; ok {
+					s.QueueWaits = append(s.QueueWaits, QueueWait{
+						Batch: ev.Batch, From: si.track, To: ti,
+						Count: ev.Count, WaitNS: ev.TS - si.ts,
+					})
+				}
+			case obs.EvHandle:
+				for int(ev.Count) >= len(s.Fanouts) {
+					s.Fanouts = append(s.Fanouts, 0)
+				}
+				s.Fanouts[ev.Count]++
+			}
+		}
+	}
+	return s
+}
+
+// HotBuckets returns the n heaviest buckets by cumulative activation
+// load, descending (ties broken by bucket id).
+func (s *CausalSeries) HotBuckets(n int) []obs.BucketLoad {
+	out := append([]obs.BucketLoad(nil), s.BucketLoads...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Bucket < out[j].Bucket
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"testing"
+
+	"mpcrete/internal/obs"
+)
+
+// syntheticDump builds a two-worker dump with a broadcast and a
+// cross-worker activation chain:
+//
+//	control: send(b1, broadcast) ................. cycle markers
+//	worker0: recv(b1) handle(d1,fan1) send(b2->w1) flush
+//	worker1: recv(b1) recv(b2) handle(d2,fan0)
+func syntheticDump() *obs.FlightDump {
+	c := obs.NewCausalRecorder(3, 64, 8, 16)
+	c.SetTrackName(0, "worker 0")
+	c.SetTrackName(1, "worker 1")
+	c.SetTrackName(2, "control")
+	c.BeginCycle(1, 0)
+	b1 := c.NextBatch()
+	c.Track(2).Send(10, 1, b1, obs.BroadcastDst, 2)
+	c.Track(0).Recv(20, 1, b1, 2, 1)
+	c.Track(1).Recv(22, 1, b1, 2, 1)
+	c.Track(0).Handle(25, 1, 3, 1, 1)
+	b2 := c.NextBatch()
+	c.Track(0).Send(30, 1, b2, 1, 1)
+	c.Track(0).Flush(31, 1, 1)
+	c.Track(1).Recv(40, 1, b2, 0, 1)
+	c.Track(1).Handle(45, 1, 7, 2, 0)
+	c.EndCycle(1, 50)
+	return c.Dump()
+}
+
+func TestBuildHBGraph(t *testing.T) {
+	g := BuildHB(syntheticDump())
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+	if g.Dangling != 0 {
+		t.Fatalf("dangling recvs = %d, want 0", g.Dangling)
+	}
+	var msgEdges, progEdges int
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case MessageEdge:
+			msgEdges++
+			from, to := g.Nodes[e.From], g.Nodes[e.To]
+			if from.Event.Kind != obs.EvSend || to.Event.Kind != obs.EvRecv {
+				t.Fatalf("message edge %v -> %v not send->recv", from.Event.Kind, to.Event.Kind)
+			}
+			if from.Event.Batch != to.Event.Batch {
+				t.Fatalf("message edge stamps differ: %d vs %d", from.Event.Batch, to.Event.Batch)
+			}
+		case ProgramEdge:
+			progEdges++
+			if g.Nodes[e.From].Track != g.Nodes[e.To].Track {
+				t.Fatal("program edge crosses tracks")
+			}
+		}
+	}
+	// b1 broadcast -> two recvs, b2 -> one recv.
+	if msgEdges != 3 {
+		t.Fatalf("message edges = %d, want 3", msgEdges)
+	}
+	if progEdges == 0 {
+		t.Fatal("no program-order edges")
+	}
+
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("happens-before graph not acyclic: %v", err)
+	}
+	chain, err := g.LongestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// send(b1) -> recv(b1)@w0 -> handle -> send(b2) -> flush is 5 on
+	// program order alone; via message edge to w1: recv(b2) -> handle
+	// adds 2 more.
+	if chain < 6 {
+		t.Fatalf("LongestChain = %d, want >= 6", chain)
+	}
+}
+
+func TestHBGraphDanglingRecv(t *testing.T) {
+	c := obs.NewCausalRecorder(2, 64, 8, 0)
+	// A recv whose send stamp was never recorded (evicted or foreign).
+	c.Track(0).Recv(5, 1, 999, 1, 1)
+	g := BuildHB(c.Dump())
+	if g.Dangling != 1 {
+		t.Fatalf("Dangling = %d, want 1", g.Dangling)
+	}
+}
+
+func TestCausalSeries(t *testing.T) {
+	s := CausalSeriesFrom(syntheticDump())
+
+	if len(s.MeasuredCritPaths) != 1 {
+		t.Fatalf("MeasuredCritPaths = %+v", s.MeasuredCritPaths)
+	}
+	if got := s.MeasuredCritPaths[0]; got.Cycle != 1 || got.Depth != 2 {
+		t.Fatalf("cycle path = %+v, want {1 2}", got)
+	}
+
+	if s.WorkerHandles[0] != 1 || s.WorkerHandles[1] != 1 || s.WorkerHandles[2] != 0 {
+		t.Fatalf("WorkerHandles = %v", s.WorkerHandles)
+	}
+
+	wantLoads := []obs.BucketLoad{{Bucket: 3, Count: 1}, {Bucket: 7, Count: 1}}
+	if len(s.BucketLoads) != 2 || s.BucketLoads[0] != wantLoads[0] || s.BucketLoads[1] != wantLoads[1] {
+		t.Fatalf("BucketLoads = %+v, want %+v", s.BucketLoads, wantLoads)
+	}
+
+	// Three stitched recvs: b1@w0 (wait 10), b1@w1 (wait 12), b2@w1
+	// (wait 10).
+	if len(s.QueueWaits) != 3 {
+		t.Fatalf("QueueWaits = %+v", s.QueueWaits)
+	}
+	waits := map[int64]int{}
+	for _, q := range s.QueueWaits {
+		if q.WaitNS < 0 {
+			t.Fatalf("negative queue wait: %+v", q)
+		}
+		waits[q.WaitNS]++
+	}
+	if waits[10] != 2 || waits[12] != 1 {
+		t.Fatalf("waits = %v", waits)
+	}
+
+	// Fan-outs: one handle with fanout 1, one with fanout 0.
+	if len(s.Fanouts) != 2 || s.Fanouts[0] != 1 || s.Fanouts[1] != 1 {
+		t.Fatalf("Fanouts = %v", s.Fanouts)
+	}
+
+	hot := s.HotBuckets(1)
+	if len(hot) != 1 || hot[0].Bucket != 3 {
+		t.Fatalf("HotBuckets = %+v", hot)
+	}
+}

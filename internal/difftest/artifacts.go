@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SaveArtifacts persists a divergence's post-mortem bundle into dir:
+// the case as <name>.ops5 (corpus format), and — when a causal dump is
+// available — <name>.flight.json (raw rings) plus <name>.trace.json
+// (Chrome trace-event format). If the mismatch carries no dump, the
+// case is re-checked once with an instrumented matrix (FlightCycles
+// 64) to capture one; divergence is deterministic per configuration,
+// so the re-run reproduces it. Returns the paths written.
+//
+// CI sets DIFFTEST_ARTIFACTS and the fuzz targets call this on
+// failure, so a red fuzz job uploads the causal trace of the
+// diverging run alongside the repro.
+func SaveArtifacts(dir string, mis *Mismatch, opts CheckOptions) ([]string, error) {
+	if mis.Dump == nil {
+		opts.FlightCycles = 64
+		if m2 := Check(mis.Case, opts); m2 != nil && m2.Dump != nil {
+			mis = m2
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	name := mis.Case.Name
+	if name == "" {
+		name = "divergence"
+	}
+	paths := []string{filepath.Join(dir, name+".ops5")}
+	if err := os.WriteFile(paths[0], mis.Case.Encode(), 0o644); err != nil {
+		return nil, err
+	}
+	if mis.Dump != nil {
+		for _, exp := range []struct {
+			suffix string
+			render func(io.Writer) error
+		}{
+			{".flight.json", mis.Dump.WriteJSON},
+			{".trace.json", mis.Dump.WriteChromeTrace},
+		} {
+			p := filepath.Join(dir, name+exp.suffix)
+			f, err := os.Create(p)
+			if err != nil {
+				return paths, err
+			}
+			if err := exp.render(f); err != nil {
+				f.Close()
+				return paths, err
+			}
+			if err := f.Close(); err != nil {
+				return paths, err
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+// saveFuzzArtifacts is the fuzz-target hook: a no-op unless the
+// DIFFTEST_ARTIFACTS environment variable names a directory.
+func saveFuzzArtifacts(mis *Mismatch, opts CheckOptions) []string {
+	dir := os.Getenv("DIFFTEST_ARTIFACTS")
+	if dir == "" {
+		return nil
+	}
+	paths, err := SaveArtifacts(dir, mis, opts)
+	if err != nil {
+		return nil // best-effort: the t.Fatal repro dump still has the case
+	}
+	return paths
+}

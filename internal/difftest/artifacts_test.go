@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaveArtifactsRecapturesDump forces a divergence WITHOUT flight
+// recording enabled, so the mismatch carries no dump, and checks that
+// SaveArtifacts re-runs the case instrumented and still writes the
+// flight and trace exports alongside the repro.
+func TestSaveArtifactsRecapturesDump(t *testing.T) {
+	opts := CheckOptions{
+		MaxCycles:       20,
+		Workers:         []int{2},
+		ForceDivergence: "par-w2-bcast",
+	}
+	c := Gen(3, ConfigFromBytes(nil))
+	mis := Check(c, opts)
+	if mis == nil {
+		t.Fatal("forced divergence did not produce a mismatch")
+	}
+	if mis.Dump != nil {
+		t.Fatal("expected no dump when FlightCycles is off")
+	}
+	dir := t.TempDir()
+	paths, err := SaveArtifacts(dir, mis, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("expected repro + flight + trace, got %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+		if filepath.Ext(p) == ".json" && !json.Valid(data) {
+			t.Fatalf("%s is not valid JSON", p)
+		}
+	}
+	if _, err := Decode("roundtrip", mustRead(t, paths[0])); err != nil {
+		t.Fatalf("saved repro does not decode: %v", err)
+	}
+}
+
+// TestSaveFuzzArtifactsEnvGate pins that the fuzz hook is inert
+// without DIFFTEST_ARTIFACTS and active with it.
+func TestSaveFuzzArtifactsEnvGate(t *testing.T) {
+	opts := CheckOptions{
+		MaxCycles:       20,
+		Workers:         []int{2},
+		FlightCycles:    8,
+		ForceDivergence: "par-w2-bcast",
+	}
+	mis := Check(Gen(3, ConfigFromBytes(nil)), opts)
+	if mis == nil || mis.Dump == nil {
+		t.Fatal("forced divergence with FlightCycles should carry a dump")
+	}
+	t.Setenv("DIFFTEST_ARTIFACTS", "")
+	if paths := saveFuzzArtifacts(mis, opts); paths != nil {
+		t.Fatalf("hook wrote %v without env set", paths)
+	}
+	dir := t.TempDir()
+	t.Setenv("DIFFTEST_ARTIFACTS", dir)
+	paths := saveFuzzArtifacts(mis, opts)
+	if len(paths) != 3 {
+		t.Fatalf("expected 3 artifacts under %s, got %v", dir, paths)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

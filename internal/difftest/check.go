@@ -38,6 +38,16 @@ type CheckOptions struct {
 	// Metrics, when non-nil, is handed to every parallel runtime (soak
 	// runs aggregate parallel.dropped_post_close across the whole run).
 	Metrics *obs.Registry
+	// FlightCycles, when > 0, attaches a flight recorder retaining that
+	// many cycles of causal trace to every parallel configuration; a
+	// divergence then carries the diverging run's dump (Mismatch.Dump)
+	// for post-mortem analysis next to the shrunk repro.
+	FlightCycles int
+	// ForceDivergence, when non-empty, artificially perturbs the
+	// outcome of every configuration whose name contains the substring.
+	// It exists to drill the divergence-reporting path end to end
+	// (shrink, repro file, flight dump) without needing a real bug.
+	ForceDivergence string
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -73,6 +83,10 @@ type Outcome struct {
 	Err string
 	// Truncated is set when the Budget cut the run short.
 	Truncated bool
+	// Dump is the run's causal flight dump (parallel configurations
+	// with CheckOptions.FlightCycles set; nil otherwise). It is
+	// post-mortem context, not compared state.
+	Dump *obs.FlightDump
 }
 
 // diff returns a description of the first difference from o to other,
@@ -115,18 +129,32 @@ type Mismatch struct {
 	Case   Case
 	Config string
 	Detail string
+	// Dump is the diverging run's flight-recorder dump when the
+	// configuration was instrumented (CheckOptions.FlightCycles > 0 and
+	// a parallel configuration diverged); nil otherwise.
+	Dump *obs.FlightDump
 }
 
 func (m *Mismatch) Error() string {
 	return fmt.Sprintf("difftest: case %s: %s diverges from sequential reference: %s", m.Case.Name, m.Config, m.Detail)
 }
 
-// matcherFor builds the match implementation for one configuration
-// over a freshly compiled network. close is non-nil for parallel
-// configurations.
+// built is one configuration's instantiated match machinery. close is
+// non-nil for parallel configurations; dump is non-nil when a flight
+// recorder is attached and snapshots it (legal once the run is
+// quiescent).
+type built struct {
+	net     *rete.Network
+	matcher engine.MatchApplier
+	close   func()
+	dump    func() *obs.FlightDump
+}
+
+// config builds the match implementation for one configuration over a
+// freshly compiled network.
 type config struct {
 	name  string
-	build func(prods []*ops5.Production, opts CheckOptions) (*rete.Network, engine.MatchApplier, func(), error)
+	build func(prods []*ops5.Production, opts CheckOptions) (built, error)
 }
 
 // compileVariant compiles prods with the named network variant:
@@ -178,12 +206,12 @@ func seqConfig(variant string) config {
 	if variant != "shared" {
 		name = "seq-" + variant
 	}
-	return config{name: name, build: func(prods []*ops5.Production, _ CheckOptions) (*rete.Network, engine.MatchApplier, func(), error) {
+	return config{name: name, build: func(prods []*ops5.Production, _ CheckOptions) (built, error) {
 		net, err := compileVariant(prods, variant)
 		if err != nil {
-			return nil, nil, nil, err
+			return built{}, err
 		}
-		return net, rete.NewMatcher(net, rete.MatcherOptions{NBuckets: checkNBuckets}), nil, nil
+		return built{net: net, matcher: rete.NewMatcher(net, rete.MatcherOptions{NBuckets: checkNBuckets})}, nil
 	}}
 }
 
@@ -198,22 +226,33 @@ func parConfig(workers int, routed bool, variant string) config {
 	if variant != "shared" {
 		name += "-" + variant
 	}
-	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (*rete.Network, engine.MatchApplier, func(), error) {
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
 		net, err := compileVariant(prods, variant)
 		if err != nil {
-			return nil, nil, nil, err
+			return built{}, err
 		}
-		rt, err := parallel.New(net, parallel.Options{
+		popts := parallel.Options{
 			Workers:    workers,
 			NBuckets:   checkNBuckets,
 			RouteRoots: routed,
 			ChaosSeed:  opts.ChaosSeed,
 			Metrics:    opts.Metrics,
-		})
-		if err != nil {
-			return nil, nil, nil, err
 		}
-		return net, rt, rt.Close, nil
+		if opts.FlightCycles > 0 {
+			// A small ring suffices: generated cases are tiny and the
+			// recorder exists to explain the last few cycles before a
+			// divergence.
+			popts.Causal = parallel.NewFlightRecorder(workers, 2048, opts.FlightCycles, checkNBuckets)
+		}
+		rt, err := parallel.New(net, popts)
+		if err != nil {
+			return built{}, err
+		}
+		b := built{net: net, matcher: rt, close: rt.Close}
+		if opts.FlightCycles > 0 {
+			b.dump = rt.FlightDump
+		}
+		return b, nil
 	}}
 }
 
@@ -252,12 +291,15 @@ func Check(c Case, opts CheckOptions) *Mismatch {
 	var ref *Outcome
 	for _, cfg := range configs {
 		out := runConfig(c, cfg, opts)
+		if opts.ForceDivergence != "" && strings.Contains(cfg.name, opts.ForceDivergence) {
+			out.Cycles = append(out.Cycles, "forced divergence ("+cfg.name+")")
+		}
 		if ref == nil {
 			ref = out
 			continue
 		}
 		if d := ref.diff(out); d != "" {
-			return &Mismatch{Case: c, Config: cfg.name, Detail: d}
+			return &Mismatch{Case: c, Config: cfg.name, Detail: d, Dump: out.Dump}
 		}
 	}
 	return nil
@@ -271,17 +313,26 @@ func runConfig(c Case, cfg config, opts CheckOptions) *Outcome {
 	if err != nil {
 		return &Outcome{Err: "parse: " + err.Error()}
 	}
-	net, matcher, closer, err := cfg.build(prog.Productions, opts)
+	b, err := cfg.build(prog.Productions, opts)
 	if err != nil {
 		return &Outcome{Err: "build: " + err.Error()}
 	}
-	if closer != nil {
-		defer closer()
+	if b.close != nil {
+		defer b.close()
 	}
+	var out *Outcome
 	if c.IsScript() {
-		return runScript(c, matcher, opts)
+		out = runScript(c, b.matcher, opts)
+	} else {
+		out = runEngine(c, prog, b.net, b.matcher, opts)
 	}
-	return runEngine(c, prog, net, matcher, opts)
+	if b.dump != nil {
+		// The run is quiescent here (between Apply calls), so the
+		// snapshot is race-free; taken before the deferred close so a
+		// closed runtime never surprises the recorder.
+		out.Dump = b.dump()
+	}
+	return out
 }
 
 // runEngine drives the full match-resolve-act loop, fingerprinting

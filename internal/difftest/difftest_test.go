@@ -180,13 +180,13 @@ func (f filterMatcher) Apply(changes []rete.Change) []rete.InstChange {
 func brokenDiverges(c Case, drop string, opts CheckOptions) bool {
 	opts = opts.withDefaults()
 	ref := runConfig(c, seqConfig("shared"), opts)
-	broken := config{name: "broken", build: func(prods []*ops5.Production, _ CheckOptions) (*rete.Network, engine.MatchApplier, func(), error) {
+	broken := config{name: "broken", build: func(prods []*ops5.Production, _ CheckOptions) (built, error) {
 		net, err := rete.Compile(prods)
 		if err != nil {
-			return nil, nil, nil, err
+			return built{}, err
 		}
 		m := rete.NewMatcher(net, rete.MatcherOptions{NBuckets: checkNBuckets})
-		return net, filterMatcher{inner: m, drop: drop}, nil, nil
+		return built{net: net, matcher: filterMatcher{inner: m, drop: drop}}, nil
 	}}
 	got := runConfig(c, broken, opts)
 	return ref.diff(got) != ""

@@ -1,0 +1,90 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestForcedDivergenceCarriesFlightDump drills the divergence-reporting
+// path end to end: a forced mismatch on an instrumented parallel
+// configuration must surface that run's causal flight dump, and the
+// dump must render to readable JSON and Chrome-trace output.
+func TestForcedDivergenceCarriesFlightDump(t *testing.T) {
+	c := Gen(3, GenConfig{})
+	opts := CheckOptions{
+		MaxCycles:       10,
+		Workers:         []int{2},
+		FlightCycles:    8,
+		ForceDivergence: "par-w2-bcast",
+	}
+	mis := Check(c, opts)
+	if mis == nil {
+		t.Fatal("forced divergence not reported")
+	}
+	if !strings.Contains(mis.Config, "par-w2-bcast") {
+		t.Fatalf("divergence attributed to %q, want par-w2-bcast", mis.Config)
+	}
+	if mis.Detail == "" {
+		t.Fatal("divergence carries no detail")
+	}
+	if mis.Dump == nil {
+		t.Fatal("instrumented divergence carries no flight dump")
+	}
+	if len(mis.Dump.Tracks) != 3 {
+		t.Fatalf("dump has %d tracks, want 3 (2 workers + control)", len(mis.Dump.Tracks))
+	}
+
+	var js bytes.Buffer
+	if err := mis.Dump.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tracks"`, `"cycles"`, `"control"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("flight JSON missing %s", want)
+		}
+	}
+	var ct bytes.Buffer
+	if err := mis.Dump.WriteChromeTrace(&ct); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ct.String(), `"traceEvents"`) {
+		t.Error("Chrome trace missing traceEvents envelope")
+	}
+}
+
+// TestForcedDivergenceOnSequentialHasNoDump pins the nil case: a
+// divergence attributed to an uninstrumented configuration carries no
+// dump, and nothing downstream should assume one.
+func TestForcedDivergenceOnSequentialHasNoDump(t *testing.T) {
+	c := Gen(3, GenConfig{})
+	mis := Check(c, CheckOptions{
+		MaxCycles:       10,
+		Workers:         []int{1},
+		FlightCycles:    8,
+		ForceDivergence: "seq-unshared",
+	})
+	if mis == nil {
+		t.Fatal("forced divergence not reported")
+	}
+	if mis.Dump != nil {
+		t.Fatalf("sequential divergence carries a dump from %q", mis.Config)
+	}
+}
+
+// TestFlightCyclesOffByDefault pins that uninstrumented checks stay
+// uninstrumented: no FlightCycles, no dump anywhere.
+func TestFlightCyclesOffByDefault(t *testing.T) {
+	c := Gen(5, GenConfig{})
+	mis := Check(c, CheckOptions{
+		MaxCycles:       10,
+		Workers:         []int{2},
+		ForceDivergence: "par-w2-routed",
+	})
+	if mis == nil {
+		t.Fatal("forced divergence not reported")
+	}
+	if mis.Dump != nil {
+		t.Fatal("dump attached without FlightCycles")
+	}
+}

@@ -12,6 +12,17 @@ import (
 // reduced worker sweep.
 var fuzzOpts = CheckOptions{MaxCycles: 20, Workers: []int{1, 2, 4}, Budget: 10000}
 
+// fatalDivergence reports a mismatch with its encoded repro and, when
+// DIFFTEST_ARTIFACTS is set (as in CI), saves the repro plus the
+// causal flight dump of the diverging run for artifact upload.
+func fatalDivergence(t *testing.T, mis *Mismatch, opts CheckOptions) {
+	t.Helper()
+	if paths := saveFuzzArtifacts(mis, opts); len(paths) > 0 {
+		t.Logf("divergence artifacts: %s", strings.Join(paths, ", "))
+	}
+	t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+}
+
 // FuzzDifferential is the generative fuzz target: the fuzzer mutates a
 // seed and the generator knob bytes; every input maps to a valid
 // program, so all fuzzing effort lands on the differential oracle
@@ -24,7 +35,7 @@ func FuzzDifferential(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, knobs []byte) {
 		c := Gen(seed, ConfigFromBytes(knobs))
 		if mis := Check(c, fuzzOpts); mis != nil {
-			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+			fatalDivergence(t, mis, fuzzOpts)
 		}
 	})
 }
@@ -42,7 +53,7 @@ func FuzzMatcherDifferential(f *testing.F) {
 		opts.ChaosSeed = chaosSeed
 		c := GenScript(seed, ConfigFromBytes(nil))
 		if mis := Check(c, opts); mis != nil {
-			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+			fatalDivergence(t, mis, opts)
 		}
 	})
 }
@@ -75,7 +86,7 @@ func FuzzCase(f *testing.F) {
 			t.Skip() // malformed input rejected cleanly
 		}
 		if mis := Check(c, fuzzOpts); mis != nil {
-			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, mis.Case.Encode())
+			fatalDivergence(t, mis, fuzzOpts)
 		}
 	})
 }

@@ -1,0 +1,537 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Causal observability: per-worker lock-free bounded event rings, the
+// substrate for reconstructing per-message causality from a real
+// parallel run. Where the Recorder above captures a wall-clock
+// *timeline* (spans on tracks), the CausalRecorder captures the
+// *dependency structure*: sequence-stamped send/recv/handle/flush
+// events carrying bucket, cycle, and batch ids, from which
+// internal/analysis stitches a happens-before DAG and extracts the
+// measured critical path — the measured counterpart of the simulated
+// cost model in internal/simnet.
+//
+// Design constraints, in order:
+//
+//   - The disabled path (nil *CausalRecorder / nil *TrackRecorder) is
+//     zero allocations and a single pointer comparison per event —
+//     pinned by a testing.AllocsPerRun regression test.
+//   - The enabled path is allocation-free too: each track's ring is a
+//     pre-allocated power-of-two buffer of fixed-size value events;
+//     recording is one index mask, one struct store, one increment.
+//   - Rings are single-producer: each runtime goroutine writes only
+//     its own track, so no atomics or locks appear on the hot path.
+//     Snapshot/Dump are only legal at quiescence (between match
+//     phases, or after Close) — exactly when post-mortem dumps and
+//     model-vs-measured reports run.
+//   - Retention is bounded (flight-recorder semantics): rings keep the
+//     last ringCap events per track and the recorder keeps the last
+//     retainCycles per-cycle aggregate records; a dump after a failure
+//     contains the recent past, not the whole run.
+
+// EventKind enumerates causal event kinds.
+type EventKind uint8
+
+const (
+	// EvSend marks a coalesced message batch leaving a track. Dst is
+	// the destination track (BroadcastDst for a cycle broadcast),
+	// Batch the stamp the receiver's EvRecv will carry, Count the
+	// number of messages in the batch.
+	EvSend EventKind = iota
+	// EvRecv marks a drained batch contribution: one event per
+	// contributing send stamp, carrying the sender's Batch id — the
+	// cross-track happens-before edge.
+	EvRecv
+	// EvHandle marks one node activation performed on the track.
+	// Bucket is its hash bucket, Depth its position in the cycle's
+	// dependency chain (roots are 1), Count the number of successor
+	// activations it generated (its fan-out).
+	EvHandle
+	// EvFlush marks an end-of-handling coalesced flush; Count is the
+	// number of messages shipped across all destinations.
+	EvFlush
+	// EvCycleBegin / EvCycleEnd bracket one match phase on the control
+	// track.
+	EvCycleBegin
+	EvCycleEnd
+)
+
+var eventKindNames = [...]string{"send", "recv", "handle", "flush", "cycle-begin", "cycle-end"}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// BroadcastDst is the EvSend Dst value of a cycle broadcast (one send
+// stamped into every worker's mailbox).
+const BroadcastDst int32 = -1
+
+// NoValue marks an unused int32 event field (Src, Dst, Bucket).
+const NoValue int32 = -3
+
+// CausalEvent is one fixed-size, pointer-free ring entry.
+type CausalEvent struct {
+	// Seq is the per-track sequence number (0-based, monotonically
+	// increasing over the track's whole history, including events the
+	// bounded ring has since evicted).
+	Seq uint64
+	// TS is nanoseconds since the owning runtime's epoch. Handle
+	// events reuse their turn's drain timestamp (per-activation clock
+	// reads would dominate the cost of small activations).
+	TS int64
+	// Cycle is the 1-based match-phase number.
+	Cycle int32
+	// Batch is the send/recv stamp joining the two ends of a message
+	// batch (0 = unstamped).
+	Batch int32
+	// Src / Dst are track ids (NoValue when not applicable;
+	// BroadcastDst for broadcast sends).
+	Src, Dst int32
+	// Bucket is the activation's hash bucket (EvHandle; NoValue
+	// otherwise).
+	Bucket int32
+	// Depth is the activation's dependency depth within its cycle
+	// (EvHandle; roots are 1).
+	Depth int32
+	// Count is the batch size (send/recv/flush) or fan-out (handle).
+	Count int32
+	Kind  EventKind
+}
+
+// CycleAgg aggregates one track's activity during one cycle. Unlike
+// ring events, aggregates are complete: they survive ring eviction, so
+// per-cycle totals stay exact on cross-product cycles that overflow
+// the bounded rings.
+type CycleAgg struct {
+	// Handles counts node activations performed.
+	Handles int64 `json:"handles"`
+	// Sends / Recvs count messages (not batches) sent and received.
+	Sends int64 `json:"sends"`
+	Recvs int64 `json:"recvs"`
+	// Flushes counts coalesced flushes that shipped at least one
+	// message.
+	Flushes int64 `json:"flushes"`
+	// MaxDepth is the deepest dependency chain observed: the track's
+	// contribution to the cycle's measured critical path.
+	MaxDepth int32 `json:"max_depth"`
+}
+
+// add folds o into a.
+func (a *CycleAgg) add(o CycleAgg) {
+	a.Handles += o.Handles
+	a.Sends += o.Sends
+	a.Recvs += o.Recvs
+	a.Flushes += o.Flushes
+	if o.MaxDepth > a.MaxDepth {
+		a.MaxDepth = o.MaxDepth
+	}
+}
+
+// CycleRecord is the committed aggregate of one cycle across tracks.
+type CycleRecord struct {
+	// Cycle is the 1-based match-phase number.
+	Cycle int32 `json:"cycle"`
+	// WallNS is the cycle's wall-clock duration on the control track.
+	WallNS int64 `json:"wall_ns"`
+	// PerTrack holds one aggregate per track (workers first, control
+	// last).
+	PerTrack []CycleAgg `json:"per_track"`
+}
+
+// Total folds the per-track aggregates.
+func (c *CycleRecord) Total() CycleAgg {
+	var t CycleAgg
+	for _, a := range c.PerTrack {
+		t.add(a)
+	}
+	return t
+}
+
+// TrackRecorder is one track's event ring plus its current-cycle
+// aggregate and cumulative per-bucket activation counters. Exactly one
+// goroutine may record into a TrackRecorder; all methods are safe on a
+// nil receiver (the zero-overhead disabled path).
+type TrackRecorder struct {
+	buf  []CausalEvent // power-of-two ring
+	mask uint64
+	seq  uint64 // events ever recorded; next event's Seq
+
+	agg     CycleAgg
+	buckets []int64 // cumulative handles per bucket
+
+	name string
+}
+
+// record appends one event, evicting the oldest when full.
+func (t *TrackRecorder) record(ev CausalEvent) {
+	ev.Seq = t.seq
+	t.buf[t.seq&t.mask] = ev
+	t.seq++
+}
+
+// Send records a coalesced batch departure.
+func (t *TrackRecorder) Send(ts int64, cycle, batch, dst, count int32) {
+	if t == nil {
+		return
+	}
+	t.agg.Sends += int64(count)
+	t.record(CausalEvent{Kind: EvSend, TS: ts, Cycle: cycle, Batch: batch, Src: NoValue, Dst: dst, Bucket: NoValue, Count: count})
+}
+
+// Recv records one contributing send stamp of a drained batch.
+func (t *TrackRecorder) Recv(ts int64, cycle, batch, src, count int32) {
+	if t == nil {
+		return
+	}
+	t.agg.Recvs += int64(count)
+	t.record(CausalEvent{Kind: EvRecv, TS: ts, Cycle: cycle, Batch: batch, Src: src, Dst: NoValue, Bucket: NoValue, Count: count})
+}
+
+// Handle records one node activation with its bucket, dependency
+// depth, and fan-out.
+func (t *TrackRecorder) Handle(ts int64, cycle, bucket, depth, fanout int32) {
+	if t == nil {
+		return
+	}
+	t.agg.Handles++
+	if depth > t.agg.MaxDepth {
+		t.agg.MaxDepth = depth
+	}
+	if int(bucket) < len(t.buckets) && bucket >= 0 {
+		t.buckets[bucket]++
+	}
+	t.record(CausalEvent{Kind: EvHandle, TS: ts, Cycle: cycle, Batch: 0, Src: NoValue, Dst: NoValue, Bucket: bucket, Depth: depth, Count: fanout})
+}
+
+// Flush records a non-empty coalesced flush of count messages.
+func (t *TrackRecorder) Flush(ts int64, cycle, count int32) {
+	if t == nil {
+		return
+	}
+	t.agg.Flushes++
+	t.record(CausalEvent{Kind: EvFlush, TS: ts, Cycle: cycle, Src: NoValue, Dst: NoValue, Bucket: NoValue, Count: count})
+}
+
+// events returns the retained events, oldest first. Caller must hold
+// quiescence.
+func (t *TrackRecorder) events() []CausalEvent {
+	n := t.seq
+	if n > uint64(len(t.buf)) {
+		n = uint64(len(t.buf))
+	}
+	out := make([]CausalEvent, 0, n)
+	for s := t.seq - n; s < t.seq; s++ {
+		out = append(out, t.buf[s&t.mask])
+	}
+	return out
+}
+
+// CausalRecorder owns one TrackRecorder per runtime goroutine (workers
+// first, control last) plus the bounded per-cycle aggregate history.
+// Nil-receiver methods no-op, so an un-observed runtime pays only nil
+// checks.
+type CausalRecorder struct {
+	tracks   []TrackRecorder
+	nbuckets int
+
+	// cycles is a bounded ring of committed CycleRecords (the last
+	// retainCycles cycles).
+	cycles    []CycleRecord
+	cycleSeq  int // records ever committed
+	openCycle int32
+	openTS    int64
+
+	batchSeq atomic.Int32
+}
+
+// Default sizing: rings hold the last 8Ki events per track (~400 KiB),
+// aggregates the last 1024 cycles.
+const (
+	DefaultRingCap      = 8192
+	DefaultRetainCycles = 1024
+)
+
+// NewCausalRecorder creates a recorder with `tracks` event rings of
+// ringCap entries each (rounded up to a power of two; 0 means
+// DefaultRingCap), retaining aggregates for the last retainCycles
+// cycles (0 means DefaultRetainCycles). nbuckets sizes the cumulative
+// per-bucket activation counters (0 disables them).
+func NewCausalRecorder(tracks, ringCap, retainCycles, nbuckets int) *CausalRecorder {
+	if tracks <= 0 {
+		panic(fmt.Sprintf("obs: NewCausalRecorder tracks = %d", tracks))
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	size := 1
+	for size < ringCap {
+		size *= 2
+	}
+	if retainCycles <= 0 {
+		retainCycles = DefaultRetainCycles
+	}
+	c := &CausalRecorder{
+		tracks:   make([]TrackRecorder, tracks),
+		nbuckets: nbuckets,
+		cycles:   make([]CycleRecord, 0, retainCycles),
+	}
+	for i := range c.tracks {
+		t := &c.tracks[i]
+		t.buf = make([]CausalEvent, size)
+		t.mask = uint64(size - 1)
+		t.name = fmt.Sprintf("track %d", i)
+		if nbuckets > 0 {
+			t.buckets = make([]int64, nbuckets)
+		}
+	}
+	return c
+}
+
+// Tracks returns the number of tracks (0 on nil).
+func (c *CausalRecorder) Tracks() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.tracks)
+}
+
+// SetTrackName names a track for dumps.
+func (c *CausalRecorder) SetTrackName(i int, name string) {
+	if c == nil {
+		return
+	}
+	c.tracks[i].name = name
+}
+
+// Track returns track i's recorder, or nil on a nil receiver — so a
+// worker caches the result once and every event costs one nil check.
+func (c *CausalRecorder) Track(i int) *TrackRecorder {
+	if c == nil {
+		return nil
+	}
+	return &c.tracks[i]
+}
+
+// NextBatch allocates a fresh batch stamp (stamps start at 1; 0 means
+// unstamped). Safe for concurrent use — senders on different tracks
+// allocate stamps independently.
+func (c *CausalRecorder) NextBatch() int32 {
+	if c == nil {
+		return 0
+	}
+	return c.batchSeq.Add(1)
+}
+
+// BeginCycle opens a cycle on the control (last) track. Only legal at
+// quiescence.
+func (c *CausalRecorder) BeginCycle(cycle int32, ts int64) {
+	if c == nil {
+		return
+	}
+	c.openCycle, c.openTS = cycle, ts
+	ctl := &c.tracks[len(c.tracks)-1]
+	ctl.record(CausalEvent{Kind: EvCycleBegin, TS: ts, Cycle: cycle, Src: NoValue, Dst: NoValue, Bucket: NoValue})
+}
+
+// EndCycle closes the open cycle: it records EvCycleEnd, collects every
+// track's current-cycle aggregate into a committed CycleRecord, and
+// resets the aggregates for the next cycle. Only legal at quiescence
+// (all tracks' writers parked), which the runtime guarantees by calling
+// it after termination detection.
+func (c *CausalRecorder) EndCycle(cycle int32, ts int64) {
+	if c == nil {
+		return
+	}
+	ctl := &c.tracks[len(c.tracks)-1]
+	ctl.record(CausalEvent{Kind: EvCycleEnd, TS: ts, Cycle: cycle, Src: NoValue, Dst: NoValue, Bucket: NoValue})
+	rec := CycleRecord{Cycle: cycle, WallNS: ts - c.openTS, PerTrack: make([]CycleAgg, len(c.tracks))}
+	for i := range c.tracks {
+		rec.PerTrack[i] = c.tracks[i].agg
+		c.tracks[i].agg = CycleAgg{}
+	}
+	if len(c.cycles) < cap(c.cycles) {
+		c.cycles = append(c.cycles, rec)
+	} else {
+		c.cycles[c.cycleSeq%cap(c.cycles)] = rec
+	}
+	c.cycleSeq++
+}
+
+// CycleRecords returns the retained per-cycle aggregates, oldest
+// first. Only legal at quiescence.
+func (c *CausalRecorder) CycleRecords() []CycleRecord {
+	if c == nil {
+		return nil
+	}
+	n := len(c.cycles)
+	out := make([]CycleRecord, 0, n)
+	if c.cycleSeq <= cap(c.cycles) {
+		return append(out, c.cycles...)
+	}
+	head := c.cycleSeq % cap(c.cycles)
+	out = append(out, c.cycles[head:]...)
+	out = append(out, c.cycles[:head]...)
+	return out
+}
+
+// BucketLoad is one cumulative per-bucket activation count.
+type BucketLoad struct {
+	Bucket int   `json:"bucket"`
+	Count  int64 `json:"count"`
+}
+
+// TrackDump is one track's retained state.
+type TrackDump struct {
+	Name string `json:"name"`
+	// Total counts events ever recorded; Dropped is how many the
+	// bounded ring has evicted (Total - len(Events)).
+	Total   uint64        `json:"total"`
+	Dropped uint64        `json:"dropped"`
+	Events  []CausalEvent `json:"events"`
+	// BucketLoads are the cumulative non-zero per-bucket activation
+	// counts, ascending by bucket — the hot-bucket series the adaptive
+	// repartitioner consumes.
+	BucketLoads []BucketLoad `json:"bucket_loads,omitempty"`
+}
+
+// FlightDump is a post-mortem snapshot of the recorder: the last-N
+// events per track plus the retained per-cycle aggregates.
+type FlightDump struct {
+	NBuckets int           `json:"nbuckets"`
+	Tracks   []TrackDump   `json:"tracks"`
+	Cycles   []CycleRecord `json:"cycles"`
+}
+
+// Dump snapshots the recorder. Only legal at quiescence: between match
+// phases, or after the owning runtime closed — which is exactly when
+// post-mortem analysis runs. Nil receivers return nil.
+func (c *CausalRecorder) Dump() *FlightDump {
+	if c == nil {
+		return nil
+	}
+	d := &FlightDump{NBuckets: c.nbuckets, Cycles: c.CycleRecords()}
+	for i := range c.tracks {
+		t := &c.tracks[i]
+		events := t.events()
+		td := TrackDump{
+			Name:    t.name,
+			Total:   t.seq,
+			Dropped: t.seq - uint64(len(events)),
+			Events:  events,
+		}
+		for b, n := range t.buckets {
+			if n > 0 {
+				td.BucketLoads = append(td.BucketLoads, BucketLoad{Bucket: b, Count: n})
+			}
+		}
+		d.Tracks = append(d.Tracks, td)
+	}
+	return d
+}
+
+// WriteJSON exports the dump (deterministic field order; events are in
+// ring order, tracks in track order).
+func (d *FlightDump) WriteJSON(w io.Writer) error {
+	return writeJSON(w, d)
+}
+
+// WriteChromeTrace exports the dump as Chrome trace-event JSON with
+// flow arrows: every retained event becomes a slice on its track, and
+// each send/recv pair sharing a batch stamp is connected by a flow
+// ("s"/"f" events keyed by the stamp), so Perfetto renders the causal
+// DAG's cross-worker edges as arrows. Deterministic for a given dump.
+func (d *FlightDump) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	var lines []string
+	lines = append(lines, `{"name":"process_name","ph":"M","pid":0,"args":{"name":"mpcrete-causal"}}`)
+	for tid, t := range d.Tracks {
+		lines = append(lines, fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			tid, strconv.Quote(t.Name)))
+	}
+
+	type ev struct {
+		ts   int64
+		tid  int
+		seq  uint64
+		line string
+	}
+	var evs []ev
+	// Only draw a flow when both ends of the stamp survive in the
+	// retained windows; a dangling arrow renders as clutter.
+	sendRetained := map[int32]bool{}
+	recvRetained := map[int32]bool{}
+	for _, t := range d.Tracks {
+		for _, e := range t.Events {
+			switch e.Kind {
+			case EvSend:
+				if e.Batch != 0 {
+					sendRetained[e.Batch] = true
+				}
+			case EvRecv:
+				if e.Batch != 0 {
+					recvRetained[e.Batch] = true
+				}
+			}
+		}
+	}
+	for tid, t := range d.Tracks {
+		for _, e := range t.Events {
+			args := fmt.Sprintf(`,"args":{"seq":%d,"cycle":%d,"batch":%d,"bucket":%d,"depth":%d,"count":%d}`,
+				e.Seq, e.Cycle, e.Batch, e.Bucket, e.Depth, e.Count)
+			line := fmt.Sprintf(`{"name":%s,"cat":"causal","ph":"X","ts":%s,"dur":0,"pid":0,"tid":%d%s}`,
+				strconv.Quote(e.Kind.String()), usec(e.TS), tid, args)
+			evs = append(evs, ev{ts: e.TS, tid: tid, seq: e.Seq, line: line})
+			if e.Batch != 0 && sendRetained[e.Batch] && recvRetained[e.Batch] {
+				switch e.Kind {
+				case EvSend:
+					evs = append(evs, ev{ts: e.TS, tid: tid, seq: e.Seq, line: fmt.Sprintf(
+						`{"name":"batch","cat":"flow","ph":"s","id":%d,"ts":%s,"pid":0,"tid":%d}`, e.Batch, usec(e.TS), tid)})
+				case EvRecv:
+					evs = append(evs, ev{ts: e.TS, tid: tid, seq: e.Seq, line: fmt.Sprintf(
+						`{"name":"batch","cat":"flow","ph":"f","bp":"e","id":%d,"ts":%s,"pid":0,"tid":%d}`, e.Batch, usec(e.TS), tid)})
+				}
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		return a.seq < b.seq
+	})
+	for _, e := range evs {
+		lines = append(lines, e.line)
+	}
+	for i, l := range lines {
+		sep := ","
+		if i == len(lines)-1 {
+			sep = ""
+		}
+		if _, err := bw.WriteString(l + sep + "\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(`],"displayTimeUnit":"ms"}` + "\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCausalRecorderNilSafe(t *testing.T) {
+	var c *CausalRecorder
+	if c.Tracks() != 0 {
+		t.Fatalf("nil Tracks = %d", c.Tracks())
+	}
+	if tr := c.Track(3); tr != nil {
+		t.Fatalf("nil Track = %v", tr)
+	}
+	if b := c.NextBatch(); b != 0 {
+		t.Fatalf("nil NextBatch = %d", b)
+	}
+	c.BeginCycle(1, 0)
+	c.EndCycle(1, 10)
+	c.SetTrackName(0, "x")
+	if d := c.Dump(); d != nil {
+		t.Fatalf("nil Dump = %v", d)
+	}
+	if recs := c.CycleRecords(); recs != nil {
+		t.Fatalf("nil CycleRecords = %v", recs)
+	}
+	var tr *TrackRecorder
+	tr.Send(0, 1, 1, 0, 5)
+	tr.Recv(0, 1, 1, 0, 5)
+	tr.Handle(0, 1, 7, 2, 3)
+	tr.Flush(0, 1, 4)
+}
+
+// TestDisabledPathZeroAlloc pins the acceptance criterion: the
+// disabled (nil-recorder) hot path is 0 allocs/event.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var c *CausalRecorder
+	tr := c.Track(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Send(1, 1, 1, 2, 3)
+		tr.Recv(2, 1, 1, 0, 3)
+		tr.Handle(3, 1, 17, 2, 1)
+		tr.Flush(4, 1, 2)
+		_ = c.NextBatch()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/run", allocs)
+	}
+}
+
+// TestEnabledPathZeroAlloc proves the enabled steady state is also
+// allocation-free: rings are pre-allocated and events are value
+// stores.
+func TestEnabledPathZeroAlloc(t *testing.T) {
+	c := NewCausalRecorder(2, 64, 8, 32)
+	tr := c.Track(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := c.NextBatch()
+		tr.Send(1, 1, b, 1, 3)
+		tr.Recv(2, 1, b, 1, 3)
+		tr.Handle(3, 1, 17, 2, 1)
+		tr.Flush(4, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled path allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestRingWrapAndDroppedAccounting(t *testing.T) {
+	c := NewCausalRecorder(1, 8, 4, 0)
+	tr := c.Track(0)
+	for i := 0; i < 20; i++ {
+		tr.Handle(int64(i), 1, int32(i), 1, 0)
+	}
+	d := c.Dump()
+	td := d.Tracks[0]
+	if td.Total != 20 {
+		t.Fatalf("Total = %d, want 20", td.Total)
+	}
+	if len(td.Events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(td.Events))
+	}
+	if td.Dropped != 12 {
+		t.Fatalf("Dropped = %d, want 12", td.Dropped)
+	}
+	// Oldest-first, sequence-contiguous, and the retained window is
+	// the most recent events.
+	for i, ev := range td.Events {
+		wantSeq := uint64(12 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Bucket != int32(wantSeq) {
+			t.Fatalf("event %d Bucket = %d, want %d", i, ev.Bucket, wantSeq)
+		}
+	}
+}
+
+func TestRingCapRoundsToPowerOfTwo(t *testing.T) {
+	c := NewCausalRecorder(1, 100, 4, 0)
+	tr := c.Track(0)
+	for i := 0; i < 200; i++ {
+		tr.Flush(int64(i), 1, 1)
+	}
+	if got := len(c.Dump().Tracks[0].Events); got != 128 {
+		t.Fatalf("retained %d events, want 128 (rounded-up cap)", got)
+	}
+}
+
+func TestCycleAggregatesAndRetention(t *testing.T) {
+	c := NewCausalRecorder(2, 16, 3, 0)
+	w, ctl := c.Track(0), c.Track(1)
+	_ = ctl
+	for cyc := int32(1); cyc <= 5; cyc++ {
+		c.BeginCycle(cyc, int64(cyc)*100)
+		b := c.NextBatch()
+		w.Recv(int64(cyc)*100+1, cyc, b, 1, 2)
+		w.Handle(int64(cyc)*100+2, cyc, 5, 1, 1)
+		w.Handle(int64(cyc)*100+3, cyc, 6, 2, 0)
+		w.Send(int64(cyc)*100+4, cyc, c.NextBatch(), 1, 3)
+		w.Flush(int64(cyc)*100+5, cyc, 3)
+		c.EndCycle(cyc, int64(cyc)*100+50)
+	}
+	recs := c.CycleRecords()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d cycle records, want 3", len(recs))
+	}
+	// Oldest-first: cycles 3, 4, 5 survive.
+	for i, r := range recs {
+		if want := int32(3 + i); r.Cycle != want {
+			t.Fatalf("record %d cycle = %d, want %d", i, r.Cycle, want)
+		}
+		if r.WallNS != 50 {
+			t.Fatalf("record %d WallNS = %d, want 50", i, r.WallNS)
+		}
+		agg := r.Total()
+		if agg.Handles != 2 || agg.Recvs != 2 || agg.Sends != 3 || agg.Flushes != 1 {
+			t.Fatalf("record %d agg = %+v", i, agg)
+		}
+		if agg.MaxDepth != 2 {
+			t.Fatalf("record %d MaxDepth = %d, want 2", i, agg.MaxDepth)
+		}
+	}
+}
+
+func TestBucketLoads(t *testing.T) {
+	c := NewCausalRecorder(1, 16, 4, 8)
+	tr := c.Track(0)
+	tr.Handle(1, 1, 3, 1, 0)
+	tr.Handle(2, 1, 3, 1, 0)
+	tr.Handle(3, 1, 5, 1, 0)
+	tr.Handle(4, 1, 99, 1, 0) // out of range: counted as event, not load
+	d := c.Dump()
+	want := []BucketLoad{{Bucket: 3, Count: 2}, {Bucket: 5, Count: 1}}
+	got := d.Tracks[0].BucketLoads
+	if len(got) != len(want) {
+		t.Fatalf("BucketLoads = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BucketLoads[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextBatchMonotonic(t *testing.T) {
+	c := NewCausalRecorder(1, 16, 4, 0)
+	prev := int32(0)
+	for i := 0; i < 10; i++ {
+		b := c.NextBatch()
+		if b <= prev {
+			t.Fatalf("NextBatch not increasing: %d after %d", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestFlightDumpJSONDeterministic(t *testing.T) {
+	build := func() *FlightDump {
+		c := NewCausalRecorder(2, 16, 4, 16)
+		c.SetTrackName(0, "worker 0")
+		c.SetTrackName(1, "control")
+		c.BeginCycle(1, 0)
+		b := c.NextBatch()
+		c.Track(1).Send(1, 1, b, BroadcastDst, 4)
+		c.Track(0).Recv(2, 1, b, 1, 4)
+		c.Track(0).Handle(3, 1, 7, 1, 0)
+		c.EndCycle(1, 10)
+		return c.Dump()
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := build().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("dump JSON not deterministic")
+	}
+	var parsed FlightDump
+	if err := json.Unmarshal(buf1.Bytes(), &parsed); err != nil {
+		t.Fatalf("dump JSON not parseable: %v", err)
+	}
+	if parsed.NBuckets != 16 || len(parsed.Tracks) != 2 || len(parsed.Cycles) != 1 {
+		t.Fatalf("round-tripped dump = %+v", parsed)
+	}
+	if parsed.Tracks[1].Name != "control" {
+		t.Fatalf("track name = %q", parsed.Tracks[1].Name)
+	}
+}
+
+func TestChromeTraceFlowArrows(t *testing.T) {
+	c := NewCausalRecorder(2, 16, 4, 0)
+	c.SetTrackName(0, "worker 0")
+	c.SetTrackName(1, "control")
+	c.BeginCycle(1, 0)
+	b := c.NextBatch()
+	c.Track(1).Send(1000, 1, b, 0, 2)
+	c.Track(0).Recv(2000, 1, b, 1, 2)
+	c.Track(0).Handle(3000, 1, 9, 1, 1)
+	// A send whose recv fell off the ring must NOT draw an arrow.
+	c.Track(1).Send(4000, 1, c.NextBatch(), 0, 1)
+	c.EndCycle(1, 5000)
+
+	var buf bytes.Buffer
+	if err := c.Dump().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"ph":"s"`) || !strings.Contains(out, `"ph":"f"`) {
+		t.Fatalf("no flow arrow events in trace:\n%s", out)
+	}
+	if got := strings.Count(out, `"cat":"flow"`); got != 2 {
+		t.Fatalf("flow event count = %d, want 2 (dangling batch must not draw)", got)
+	}
+	if !strings.Contains(out, `"name":"worker 0"`) || !strings.Contains(out, `"name":"control"`) {
+		t.Fatalf("missing thread names:\n%s", out)
+	}
+	for _, kind := range []string{"send", "recv", "handle", "cycle-begin", "cycle-end"} {
+		if !strings.Contains(out, `"name":"`+kind+`"`) {
+			t.Fatalf("missing %s event:\n%s", kind, out)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EvSend, EvRecv, EvHandle, EvFlush, EvCycleBegin, EvCycleEnd}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := EventKind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_messages").Add(7)
+	addr, stop, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"mpcrete_debug_test": reg.SnapshotVar(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	code, ctype, body := get(t, "http://"+addr+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars content type = %q", ctype)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	raw, ok := vars["mpcrete_debug_test"]
+	if !ok {
+		t.Fatalf("published var missing from /debug/vars: %s", body)
+	}
+	if !strings.Contains(string(raw), "test_messages") {
+		t.Fatalf("registry snapshot missing counter: %s", raw)
+	}
+
+	code, ctype, _ = get(t, "http://"+addr+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(ctype, "text/html") {
+		t.Fatalf("/debug/pprof/ content type = %q", ctype)
+	}
+
+	code, _, _ = get(t, "http://"+addr+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine status = %d", code)
+	}
+}
+
+// TestServeDebugRepublish verifies that publishing the same name twice
+// replaces the snapshot instead of panicking (expvar.Publish panics on
+// duplicates).
+func TestServeDebugRepublish(t *testing.T) {
+	addr1, stop1, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"mpcrete_republish": func() any { return map[string]int{"gen": 1} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1()
+	_ = addr1
+
+	addr2, stop2, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"mpcrete_republish": func() any { return map[string]int{"gen": 2} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+
+	_, _, body := get(t, "http://"+addr2+"/debug/vars")
+	if !strings.Contains(body, `"gen":2`) && !strings.Contains(body, `"gen": 2`) {
+		t.Fatalf("republished var not replaced: %s", body)
+	}
+}
+
+// TestServeDebugConcurrentScrape hammers /debug/vars from several
+// goroutines while counters mutate, exercising snapshot locking under
+// the race detector.
+func TestServeDebugConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	addr, stop, err := ServeDebug("127.0.0.1:0", map[string]func() any{
+		"mpcrete_scrape_test": reg.SnapshotVar(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				reg.Counter("scrape_hits_" + fmt.Sprint(g)).Add(1)
+				reg.Gauge("scrape_depth").Set(float64(i))
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				code, _, _ := get(t, "http://"+addr+"/debug/vars")
+				if code != http.StatusOK {
+					t.Errorf("scrape status = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -62,24 +62,30 @@ func newChaos(seed int64, id int) *chaos {
 // the carry has drained too. Progress is guaranteed: every returned
 // batch is non-empty, and a split leaves strictly fewer messages in
 // the carry than it took in.
-func (c *chaos) nextBatch(w *worker) ([]message, bool) {
+//
+// Recv stamps are passed through from the drain that produced them:
+// the flight recorder marks arrival (drain time), so a carried message
+// is recv'd on its drain turn even if handled on a later one — the
+// only causal imprecision the chaos layer introduces.
+func (c *chaos) nextBatch(w *worker) ([]message, []recvStamp, bool) {
 	var batch []message
+	var stamps []recvStamp
 	if len(c.carry) == 0 {
-		b, ok := w.inbox.drain(w.batch)
+		b, s, ok := w.inbox.drain(w.batch, w.stampBuf)
 		if !ok {
-			return b, false
+			return b, s, false
 		}
-		batch = b
+		batch, stamps = b, s
 	} else {
 		// Deferred messages pending: don't block on the mailbox (no one
 		// may ever send again), just take whatever else arrived and
 		// process the carry first to preserve arrival order.
-		drained, _ := w.inbox.tryDrain(w.batch)
+		drained, s, _ := w.inbox.tryDrain(w.batch, w.stampBuf)
 		combined := make([]message, 0, len(c.carry)+len(drained))
 		combined = append(combined, c.carry...)
 		combined = append(combined, drained...)
 		c.carry = c.carry[:0]
-		batch = combined
+		batch, stamps = combined, s
 	}
 
 	c.perturb(batch)
@@ -94,7 +100,7 @@ func (c *chaos) nextBatch(w *worker) ([]message, bool) {
 	}
 
 	c.jitter()
-	return batch, true
+	return batch, stamps, true
 }
 
 // perturb re-interleaves each maximal run of msgAct messages in place.

@@ -6,6 +6,17 @@ import (
 	"mpcrete/internal/obs"
 )
 
+// recvStamp records the provenance of a contiguous run of enqueued
+// messages: the sender's causal batch id, the sending track, and how
+// many messages the run contained. Stamps exist only when the mailbox
+// was created stamped (a causal recorder is attached); they are the
+// receive half of the send->recv happens-before edge.
+type recvStamp struct {
+	batch int32
+	src   int32
+	count int32
+}
+
 // mailbox is an unbounded FIFO message queue consumed in batches.
 // Unbounded matters: with bounded channels, two workers exchanging
 // cross-product bursts can fill each other's inboxes and deadlock; the
@@ -19,12 +30,17 @@ import (
 // for an empty buffer donated by the caller, so the owning worker
 // takes the lock once per turn no matter how many messages arrived,
 // and the two buffers ping-pong between worker and mailbox with no
-// per-message allocation in steady state.
+// per-message allocation in steady state. Stamp buffers ping-pong the
+// same way, so causal recording stays allocation-free too.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []message
+	stamps []recvStamp
 	closed bool
+	// stamped enables recvStamp recording (set when the runtime has a
+	// causal recorder attached).
+	stamped bool
 	// dropped counts post-close sends (the parallel.dropped_post_close
 	// obs counter; nil is a no-op). Close is only legal on a quiescent
 	// runtime, so during normal operation the count stays zero — soak
@@ -32,18 +48,19 @@ type mailbox struct {
 	dropped *obs.Counter
 }
 
-func newMailbox(dropped *obs.Counter) *mailbox {
-	m := &mailbox{dropped: dropped}
+func newMailbox(dropped *obs.Counter, stamped bool) *mailbox {
+	m := &mailbox{dropped: dropped, stamped: stamped}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-// push enqueues one message; it never blocks. Sends on a closed
-// mailbox are dropped (and counted): during shutdown a straggler
-// worker flushing its coalescing buffer can race close, and by the
-// time Close is legal (the runtime is quiescent) no droppable message
-// can carry live work.
-func (m *mailbox) push(msg message) {
+// push enqueues one message; it never blocks. batch and src stamp the
+// message's causal provenance (ignored on unstamped mailboxes). Sends
+// on a closed mailbox are dropped (and counted): during shutdown a
+// straggler worker flushing its coalescing buffer can race close, and
+// by the time Close is legal (the runtime is quiescent) no droppable
+// message can carry live work.
+func (m *mailbox) push(msg message, batch, src int32) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -51,14 +68,18 @@ func (m *mailbox) push(msg message) {
 		return
 	}
 	m.queue = append(m.queue, msg)
+	if m.stamped {
+		m.stamps = append(m.stamps, recvStamp{batch: batch, src: src, count: 1})
+	}
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
 // pushBatch enqueues a sender's coalesced messages in order under one
-// lock acquisition. The batch is copied, so the caller may reuse its
+// lock acquisition, recording a single stamp for the whole run on
+// stamped mailboxes. The batch is copied, so the caller may reuse its
 // buffer immediately. Like push, it drops (and counts) after close.
-func (m *mailbox) pushBatch(msgs []message) {
+func (m *mailbox) pushBatch(msgs []message, batch, src int32) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -69,48 +90,62 @@ func (m *mailbox) pushBatch(msgs []message) {
 		return
 	}
 	m.queue = append(m.queue, msgs...)
+	if m.stamped {
+		m.stamps = append(m.stamps, recvStamp{batch: batch, src: src, count: int32(len(msgs))})
+	}
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
 // drain blocks until at least one message is pending (or the mailbox
 // closes, reported as ok == false), then takes the entire pending
-// queue in one swap: the caller receives every queued message and
-// donates buf (truncated, capacity kept) as the mailbox's next backing
-// array. Pending messages are still delivered after close; ok == false
-// means closed *and* empty.
-func (m *mailbox) drain(buf []message) (batch []message, ok bool) {
+// queue in one swap: the caller receives every queued message (and, on
+// stamped mailboxes, the matching stamps) and donates buf/sbuf
+// (truncated, capacity kept) as the mailbox's next backing arrays.
+// Pending messages are still delivered after close; ok == false means
+// closed *and* empty.
+func (m *mailbox) drain(buf []message, sbuf []recvStamp) (batch []message, stamps []recvStamp, ok bool) {
 	buf = buf[:0]
+	if sbuf != nil {
+		sbuf = sbuf[:0]
+	}
 	m.mu.Lock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
 		m.mu.Unlock()
-		return buf, false
+		return buf, sbuf, false
 	}
 	batch = m.queue
 	m.queue = buf
+	stamps = m.stamps
+	m.stamps = sbuf
 	m.mu.Unlock()
-	return batch, true
+	return batch, stamps, true
 }
 
 // tryDrain is the non-blocking drain the chaos layer uses while it
 // holds deferred messages: it takes whatever is pending (possibly
 // nothing) without waiting. ok == false means closed and empty, as for
 // drain.
-func (m *mailbox) tryDrain(buf []message) (batch []message, ok bool) {
+func (m *mailbox) tryDrain(buf []message, sbuf []recvStamp) (batch []message, stamps []recvStamp, ok bool) {
 	buf = buf[:0]
+	if sbuf != nil {
+		sbuf = sbuf[:0]
+	}
 	m.mu.Lock()
 	if len(m.queue) == 0 {
 		closed := m.closed
 		m.mu.Unlock()
-		return buf, !closed
+		return buf, sbuf, !closed
 	}
 	batch = m.queue
 	m.queue = buf
+	stamps = m.stamps
+	m.stamps = sbuf
 	m.mu.Unlock()
-	return batch, true
+	return batch, stamps, true
 }
 
 // close wakes all blocked readers; pending messages are still

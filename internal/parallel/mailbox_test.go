@@ -16,7 +16,7 @@ func seqMsg(seqs map[*migrateIn]int, seq int) message {
 }
 
 func TestMailboxDrainFIFO(t *testing.T) {
-	m := newMailbox(nil)
+	m := newMailbox(nil, false)
 	seqs := map[*migrateIn]int{}
 	sent, next := 0, 0
 	var batch []message
@@ -24,7 +24,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 	// swap path and buffer reuse are exercised with messages pending.
 	for round := 0; round < 50; round++ {
 		for i := 0; i < 3; i++ {
-			m.push(seqMsg(seqs, sent))
+			m.push(seqMsg(seqs, sent), 0, 0)
 			sent++
 		}
 		var b []message
@@ -32,12 +32,12 @@ func TestMailboxDrainFIFO(t *testing.T) {
 			b = append(b, seqMsg(seqs, sent))
 			sent++
 		}
-		m.pushBatch(b)
+		m.pushBatch(b, 0, 0)
 		if round%3 != 0 {
 			continue // let the queue accumulate across rounds
 		}
 		var ok bool
-		batch, ok = m.drain(batch)
+		batch, _, ok = m.drain(batch, nil)
 		if !ok {
 			t.Fatal("unexpected close")
 		}
@@ -52,7 +52,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 	m.close()
 	for next < sent {
 		var ok bool
-		batch, ok = m.drain(batch)
+		batch, _, ok = m.drain(batch, nil)
 		if !ok {
 			t.Fatalf("closed with %d of %d undelivered", sent-next, sent)
 		}
@@ -63,20 +63,20 @@ func TestMailboxDrainFIFO(t *testing.T) {
 			next++
 		}
 	}
-	if _, ok := m.drain(batch); ok {
+	if _, _, ok := m.drain(batch, nil); ok {
 		t.Fatal("drain after close and empty should report closed")
 	}
 }
 
 func TestMailboxPushBatchCopies(t *testing.T) {
-	m := newMailbox(nil)
+	m := newMailbox(nil, false)
 	seqs := map[*migrateIn]int{}
 	buf := []message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
-	m.pushBatch(buf)
+	m.pushBatch(buf, 0, 0)
 	// The sender reuses its buffer immediately, as workers do.
 	buf[0] = seqMsg(seqs, 99)
 	buf[1] = seqMsg(seqs, 99)
-	batch, ok := m.drain(nil)
+	batch, _, ok := m.drain(nil, nil)
 	if !ok || len(batch) != 2 {
 		t.Fatalf("drain = %d messages, ok=%v; want 2", len(batch), ok)
 	}
@@ -95,16 +95,16 @@ func TestMailboxPushBatchCopies(t *testing.T) {
 func TestMailboxSendAfterCloseDropped(t *testing.T) {
 	reg := obs.NewRegistry()
 	dropped := reg.Counter("parallel.dropped_post_close")
-	m := newMailbox(dropped)
-	m.push(message{kind: msgAct})
+	m := newMailbox(dropped, false)
+	m.push(message{kind: msgAct}, 0, 0)
 	m.close()
-	m.push(message{kind: msgAct})  // dropped, no panic
-	m.pushBatch([]message{{}, {}}) // dropped, no panic
-	m.pushBatch(nil)               // no-op
-	if batch, ok := m.drain(nil); !ok || len(batch) != 1 {
+	m.push(message{kind: msgAct}, 0, 0)  // dropped, no panic
+	m.pushBatch([]message{{}, {}}, 0, 0) // dropped, no panic
+	m.pushBatch(nil, 0, 0)               // no-op
+	if batch, _, ok := m.drain(nil, nil); !ok || len(batch) != 1 {
 		t.Fatalf("drain = %d messages, ok=%v; want the 1 pre-close message", len(batch), ok)
 	}
-	if _, ok := m.drain(nil); ok {
+	if _, _, ok := m.drain(nil, nil); ok {
 		t.Fatal("post-close pushes must not be delivered")
 	}
 	if got := dropped.Value(); got != 3 {
@@ -113,23 +113,23 @@ func TestMailboxSendAfterCloseDropped(t *testing.T) {
 }
 
 func TestMailboxTryDrain(t *testing.T) {
-	m := newMailbox(nil)
-	if batch, ok := m.tryDrain(nil); !ok || len(batch) != 0 {
+	m := newMailbox(nil, false)
+	if batch, _, ok := m.tryDrain(nil, nil); !ok || len(batch) != 0 {
 		t.Fatalf("tryDrain on empty open mailbox = (%d, %v), want (0, true)", len(batch), ok)
 	}
-	m.push(message{kind: msgAct})
-	batch, ok := m.tryDrain(nil)
+	m.push(message{kind: msgAct}, 0, 0)
+	batch, _, ok := m.tryDrain(nil, nil)
 	if !ok || len(batch) != 1 {
 		t.Fatalf("tryDrain = (%d, %v), want (1, true)", len(batch), ok)
 	}
 	m.close()
-	if _, ok := m.tryDrain(batch); ok {
+	if _, _, ok := m.tryDrain(batch, nil); ok {
 		t.Fatal("tryDrain on closed empty mailbox must report closure")
 	}
 }
 
 func TestMailboxConcurrentProducers(t *testing.T) {
-	m := newMailbox(nil)
+	m := newMailbox(nil, false)
 	const producers, per, batchLen = 8, 200, 5
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -140,11 +140,11 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 			for i := 0; i < per; i++ {
 				buf = append(buf, message{kind: msgAct})
 				if len(buf) == batchLen {
-					m.pushBatch(buf)
+					m.pushBatch(buf, 0, 0)
 					buf = buf[:0]
 				}
 			}
-			m.pushBatch(buf)
+			m.pushBatch(buf, 0, 0)
 		}()
 	}
 	received := 0
@@ -154,7 +154,7 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 		var batch []message
 		var ok bool
 		for received < producers*per {
-			if batch, ok = m.drain(batch); !ok {
+			if batch, _, ok = m.drain(batch, nil); !ok {
 				return
 			}
 			received += len(batch)

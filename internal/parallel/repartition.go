@@ -69,7 +69,7 @@ func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) 
 		}
 		rt.counter.Add(1)
 		rt.controlCounts().IncSent()
-		rt.workers[w].inbox.push(message{kind: msgMigrateOut, migrate: &migrateOut{moves: moves}})
+		rt.workers[w].inbox.push(message{kind: msgMigrateOut, migrate: &migrateOut{moves: moves}}, rt.causal.NextBatch(), int32(rt.opts.Workers))
 	}
 	rt.counter.Wait()
 
@@ -106,6 +106,6 @@ func (w *worker) handleMigrateOut(m *migrateOut) {
 		w.migrationMsgs++
 		rt.counter.Add(1)
 		rt.counts[w.id].IncSent()
-		rt.workers[m.moves[b]].inbox.push(message{kind: msgMigrateIn, inject: &migrateIn{contents: bc}})
+		rt.workers[m.moves[b]].inbox.push(message{kind: msgMigrateIn, inject: &migrateIn{contents: bc}}, rt.causal.NextBatch(), int32(w.id))
 	}
 }

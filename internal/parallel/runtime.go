@@ -94,6 +94,27 @@ type Options struct {
 	// post-close mailbox sends (normal operation keeps it zero; soak
 	// runs assert that).
 	Metrics *obs.Registry
+	// Causal, when non-nil, attaches the flight recorder: every worker
+	// records sequence-stamped send/recv/handle/flush events (with
+	// bucket, cycle, batch id, and dependency depth) into its own
+	// lock-free bounded ring, and the control track brackets cycles and
+	// commits per-cycle aggregates. The recorder must have exactly
+	// Workers+1 tracks (workers first, control last) — build it with
+	// NewFlightRecorder. Nil (the default) keeps the hot path at one
+	// nil check per event and zero allocations.
+	Causal *obs.CausalRecorder
+}
+
+// NewFlightRecorder builds a causal recorder sized for a runtime with
+// the given worker count: Workers+1 tracks (control last). ringCap,
+// retainCycles, and nbuckets follow obs.NewCausalRecorder (0 means the
+// obs defaults; nbuckets should match Options.NBuckets to enable the
+// per-bucket activation-load series).
+func NewFlightRecorder(workers, ringCap, retainCycles, nbuckets int) *obs.CausalRecorder {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return obs.NewCausalRecorder(workers+1, ringCap, retainCycles, nbuckets)
 }
 
 // cyclePacket is the broadcast payload of one match phase. A single
@@ -108,6 +129,7 @@ type cyclePacket struct {
 type message struct {
 	kind    msgKind
 	bucket  int32           // msgAct: the activation's hash bucket, computed by the sender for routing
+	depth   int32           // msgAct: dependency depth within the cycle (roots are 1)
 	cycle   *cyclePacket    // msgCycle: shared, read-only
 	act     rete.Activation // msgAct
 	migrate *migrateOut     // msgMigrateOut
@@ -170,6 +192,14 @@ type Runtime struct {
 	rec   *obs.Recorder
 	epoch time.Time
 
+	// causal is the flight recorder (nil unless Options.Causal);
+	// ctlTrack caches its control track, and curCycle publishes the
+	// 1-based cycle number workers stamp on their events (workers are
+	// quiescent between Applies, so a relaxed load per turn suffices).
+	causal   *obs.CausalRecorder
+	ctlTrack *obs.TrackRecorder
+	curCycle atomic.Int32
+
 	// ctlChaos perturbs the control goroutine's quiescence wait when
 	// chaos is enabled (nil otherwise).
 	ctlChaos *chaos
@@ -184,6 +214,15 @@ func (rt *Runtime) nowNS() int64 { return time.Since(rt.epoch).Nanoseconds() }
 // workers occupy tracks 0..Workers-1).
 func (rt *Runtime) controlTrack() int { return rt.opts.Workers }
 
+// localAct is one queued unit of locally-owned match work: an
+// activation, its hash bucket, and its dependency depth within the
+// current cycle.
+type localAct struct {
+	act    rete.Activation
+	bucket int32
+	depth  int32
+}
+
 type worker struct {
 	id    int
 	rt    *Runtime
@@ -191,18 +230,32 @@ type worker struct {
 	inbox *mailbox
 	done  sync.WaitGroup
 
+	// localQ is the worker's FIFO of locally-owned activations,
+	// drained breadth-first (see drainLocal).
+	localQ []localAct
+
 	// turn-local state, reused across turns: the drained batch, the
 	// constant-test scratch, the per-destination coalescing buffers,
 	// and the conflict-set delta buffer. pendingSends counts messages
 	// buffered in outBufs since the last flush; turnProcessed/turnSent
 	// accumulate the per-activation counters published once per turn.
 	batch         []message
+	stampBuf      []recvStamp
 	rootScratch   []rete.Activation
 	outBufs       [][]message
 	instBuf       []rete.InstChange
 	pendingSends  int
 	turnProcessed int64
 	turnSent      int64
+
+	// ctrack is the worker's causal event ring (nil when the flight
+	// recorder is off — every recording call is then one nil check).
+	// turnTS and turnCycle are the timestamp and cycle number stamped
+	// on the turn's handle events, cached at drain time so the hot loop
+	// never reads the clock per activation.
+	ctrack    *obs.TrackRecorder
+	turnTS    int64
+	turnCycle int32
 
 	// migration accounting, read by Repartition after its barrier.
 	migratedEntries int
@@ -245,6 +298,17 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 		rec:       opts.Recorder,
 		epoch:     time.Now(),
 	}
+	if opts.Causal != nil {
+		if got := opts.Causal.Tracks(); got != opts.Workers+1 {
+			return nil, fmt.Errorf("parallel: causal recorder has %d tracks, want Workers+1 = %d (use NewFlightRecorder)", got, opts.Workers+1)
+		}
+		rt.causal = opts.Causal
+		rt.ctlTrack = opts.Causal.Track(opts.Workers)
+		for i := 0; i < opts.Workers; i++ {
+			opts.Causal.SetTrackName(i, fmt.Sprintf("worker %d", i))
+		}
+		opts.Causal.SetTrackName(opts.Workers, "control")
+	}
 	if opts.RouteRoots {
 		rt.rootProc = rete.NewProcessor(net, opts.NBuckets)
 		rt.rootBufs = make([][]message, opts.Workers)
@@ -269,8 +333,9 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 			id:      i,
 			rt:      rt,
 			proc:    rete.NewProcessor(net, opts.NBuckets),
-			inbox:   newMailbox(dropped),
+			inbox:   newMailbox(dropped, rt.causal != nil),
 			outBufs: make([][]message, opts.Workers),
+			ctrack:  rt.causal.Track(i),
 		}
 		if opts.ChaosSeed != 0 {
 			w.chaos = newChaos(opts.ChaosSeed, i)
@@ -296,6 +361,11 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 		panic("parallel: Apply after Close")
 	}
 	rt.insts = rt.insts[:0] // quiescent: no worker holds instMu
+
+	cycle := rt.curCycle.Add(1)
+	if rt.causal != nil {
+		rt.causal.BeginCycle(cycle, rt.nowNS())
+	}
 
 	if rt.opts.RouteRoots {
 		rt.routeRoots(changes)
@@ -332,6 +402,12 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 			obs.Label{Key: "waves", Value: strconv.Itoa(waves)})
 	}
 
+	if rt.causal != nil {
+		// Quiescent again: every worker's events for this cycle are
+		// recorded, so the aggregate commit observes them all.
+		rt.causal.EndCycle(cycle, rt.nowNS())
+	}
+
 	rt.cyclePkt.changes = nil // release the caller's slice
 	return rt.netting.net(rt.insts)
 }
@@ -347,9 +423,16 @@ func (rt *Runtime) broadcast(changes []rete.Change) {
 	rt.cyclePkt.changes = changes
 	rt.counter.Add(len(rt.workers))
 	rt.controlCounts().AddSent(len(rt.workers))
+	// One broadcast send event covers the whole wave; every worker's
+	// mailbox carries the same batch stamp, so each recv joins back to
+	// this send.
+	batch := rt.causal.NextBatch()
+	if rt.ctlTrack != nil {
+		rt.ctlTrack.Send(rt.nowNS(), rt.curCycle.Load(), batch, obs.BroadcastDst, int32(len(rt.workers)))
+	}
 	msg := message{kind: msgCycle, cycle: rt.cyclePkt}
 	for _, w := range rt.workers {
-		w.inbox.push(msg)
+		w.inbox.push(msg, batch, int32(rt.opts.Workers))
 	}
 }
 
@@ -363,7 +446,7 @@ func (rt *Runtime) routeRoots(changes []rete.Change) {
 		for _, act := range rt.rootScratch {
 			b := rt.rootProc.Bucket(act)
 			owner := rt.opts.Partition[b]
-			rt.rootBufs[owner] = append(rt.rootBufs[owner], message{kind: msgAct, bucket: int32(b), act: act})
+			rt.rootBufs[owner] = append(rt.rootBufs[owner], message{kind: msgAct, bucket: int32(b), depth: 1, act: act})
 			sent++
 		}
 	}
@@ -377,11 +460,17 @@ func (rt *Runtime) routeRoots(changes []rete.Change) {
 	}
 	rt.counter.Add(sent)
 	rt.controlCounts().AddSent(sent)
+	var ts int64
+	if rt.ctlTrack != nil {
+		ts = rt.nowNS()
+	}
 	for dst, buf := range rt.rootBufs {
 		if len(buf) == 0 {
 			continue
 		}
-		rt.workers[dst].inbox.pushBatch(buf)
+		batch := rt.causal.NextBatch()
+		rt.ctlTrack.Send(ts, rt.curCycle.Load(), batch, int32(dst), int32(len(buf)))
+		rt.workers[dst].inbox.pushBatch(buf, batch, int32(rt.opts.Workers))
 		rt.rootBufs[dst] = buf[:0]
 	}
 }
@@ -398,6 +487,14 @@ func (rt *Runtime) Stats() Stats {
 		s.MsgsSent[i] = rt.msgsSent[i].Load()
 	}
 	return s
+}
+
+// FlightDump snapshots the attached flight recorder: the last-N causal
+// events per track plus the retained per-cycle aggregates. Nil when no
+// recorder is attached. Only legal at quiescence — between Apply calls
+// or after Close — which is when post-mortem analysis runs.
+func (rt *Runtime) FlightDump() *obs.FlightDump {
+	return rt.causal.Dump()
 }
 
 // Close stops the workers. The runtime cannot be reused. Any message a
@@ -426,18 +523,29 @@ func (w *worker) loop() {
 	rt := w.rt
 	for {
 		var ok bool
+		var stamps []recvStamp
 		if w.chaos == nil {
-			w.batch, ok = w.inbox.drain(w.batch)
+			w.batch, stamps, ok = w.inbox.drain(w.batch, w.stampBuf)
 		} else {
-			w.batch, ok = w.chaos.nextBatch(w)
+			w.batch, stamps, ok = w.chaos.nextBatch(w)
 		}
 		if !ok {
 			return
 		}
 		var t0 int64
-		if rt.rec != nil {
+		if rt.rec != nil || w.ctrack != nil {
 			t0 = rt.nowNS()
 		}
+		if w.ctrack != nil {
+			// Cache the turn's timestamp and cycle once: handle events
+			// reuse them instead of reading the clock per activation.
+			w.turnTS = t0
+			w.turnCycle = rt.curCycle.Load()
+			for _, s := range stamps {
+				w.ctrack.Recv(t0, w.turnCycle, s.batch, s.src, s.count)
+			}
+		}
+		w.stampBuf = stamps // donate the stamp buffer back next drain
 		var kinds [numMsgKinds]int
 		for i := range w.batch {
 			msg := &w.batch[i]
@@ -446,18 +554,22 @@ func (w *worker) loop() {
 			case msgCycle:
 				// Constant tests run on every worker (duplicated work,
 				// the coarse granularity of Section 3.2); only
-				// locally-owned roots are processed.
+				// locally-owned roots are processed. Every root of the
+				// turn is enqueued before any is expanded so storage
+				// precedes discovery (see drainLocal).
 				for _, ch := range msg.cycle.changes {
 					w.rootScratch = w.proc.RootActivationsInto(ch, w.rootScratch[:0])
 					for _, act := range w.rootScratch {
 						b := w.proc.Bucket(act)
 						if rt.opts.Partition[b] == w.id {
-							w.process(act, b)
+							w.localQ = append(w.localQ, localAct{act: act, bucket: int32(b), depth: 1})
 						}
 					}
 				}
+				w.drainLocal()
 			case msgAct:
-				w.process(msg.act, int(msg.bucket))
+				w.localQ = append(w.localQ, localAct{act: msg.act, bucket: msg.bucket, depth: msg.depth})
+				w.drainLocal()
 			case msgMigrateOut:
 				w.handleMigrateOut(msg.migrate)
 			case msgMigrateIn:
@@ -515,14 +627,22 @@ func (w *worker) flushActs(force bool) {
 	rt.counter.Add(w.pendingSends)
 	rt.counts[w.id].AddSent(w.pendingSends)
 	w.turnSent += int64(w.pendingSends)
+	total := w.pendingSends
 	w.pendingSends = 0
+	var ts int64
+	if w.ctrack != nil {
+		ts = rt.nowNS()
+	}
 	for dst, buf := range w.outBufs {
 		if len(buf) == 0 {
 			continue
 		}
-		rt.workers[dst].inbox.pushBatch(buf)
+		batch := rt.causal.NextBatch()
+		w.ctrack.Send(ts, w.turnCycle, batch, int32(dst), int32(len(buf)))
+		rt.workers[dst].inbox.pushBatch(buf, batch, int32(w.id))
 		w.outBufs[dst] = buf[:0]
 	}
+	w.ctrack.Flush(ts, w.turnCycle, int32(total))
 }
 
 // flushInsts delivers the turn's conflict-set deltas to the control
@@ -563,8 +683,34 @@ func (w *worker) sendInst(ic rete.InstChange) {
 // recursively — the zero-message fast path of the fine granularity;
 // remote successors are coalesced per destination and flushed at end
 // of turn. bucket is the activation's hash bucket, already computed by
-// whoever routed the activation here.
-func (w *worker) process(act rete.Activation, bucket int) {
+// whoever routed the activation here; depth is the activation's
+// position in the cycle's dependency chain (roots are 1), carried so
+// the flight recorder can measure the cycle's critical path.
+//
+// Production-node activations become instantiation deltas, not handle
+// events, and contribute neither depth nor fan-out — mirroring the
+// sequential matcher, whose trace listener records Instantiation, not
+// Activation, for them. The measured per-cycle MaxDepth therefore
+// walks the same activation forest as analysis.CriticalPath.
+// drainLocal performs queued activations in FIFO order, appending
+// locally-owned successors to the same queue. Breadth-first order
+// matches the sequential matcher's queue discipline, which keeps the
+// measured depth attribution of join discovery comparable to the
+// recorded trace: a depth-first expansion could walk a chain into a
+// join node before the sibling roots feeding the join's other side
+// have been stored, so the join would later fire from the shallow
+// side and the measured activation forest would flatten.
+func (w *worker) drainLocal() {
+	for qi := 0; qi < len(w.localQ); qi++ {
+		la := w.localQ[qi]
+		w.processOne(la.act, int(la.bucket), la.depth)
+	}
+	w.localQ = w.localQ[:0]
+}
+
+// processOne performs a single activation, queueing locally-owned
+// successors on localQ and buffering remote ones for the turn's flush.
+func (w *worker) processOne(act rete.Activation, bucket int, depth int32) {
 	rt := w.rt
 	if act.Node.Kind == rete.KindProduction {
 		// A root activation of a single-CE production.
@@ -573,24 +719,27 @@ func (w *worker) process(act rete.Activation, bucket int) {
 	}
 	w.turnProcessed++
 
+	fanout := int32(0)
 	w.proc.ProcessAt(act, bucket,
 		func(child rete.Activation) {
 			if child.Node.Kind == rete.KindProduction {
 				w.sendInst(w.proc.BuildInst(child))
 				return
 			}
+			fanout++
 			b := w.proc.Bucket(child)
 			owner := rt.opts.Partition[b]
 			if owner == w.id {
-				w.process(child, b)
+				w.localQ = append(w.localQ, localAct{act: child, bucket: int32(b), depth: depth + 1})
 				return
 			}
-			w.outBufs[owner] = append(w.outBufs[owner], message{kind: msgAct, bucket: int32(b), act: child})
+			w.outBufs[owner] = append(w.outBufs[owner], message{kind: msgAct, bucket: int32(b), depth: depth + 1, act: child})
 			w.pendingSends++
 		},
 		func(rete.InstChange) {
 			panic("parallel: unexpected instantiation emission")
 		})
+	w.ctrack.Handle(w.turnTS, w.turnCycle, int32(bucket), depth, fanout)
 }
 
 // netter nets raw deltas per instantiation key: within one match

@@ -61,6 +61,21 @@ func BlocksWorldWMEs(n int) string {
 	return out
 }
 
+// RubikLikeWMEs builds f faces of c cubies each plus one queued twist
+// per face and the solve phase marker. Each twist rewrites its face's
+// c cubies (one rub-move firing per cubie) before rub-advance unlocks
+// the next twist.
+func RubikLikeWMEs(f, c int) string {
+	out := "(phase ^name solve ^next 1)\n"
+	for i := 1; i <= f; i++ {
+		out += fmt.Sprintf("(twist ^face f%d ^seq %d)\n", i, i)
+		for j := 1; j <= c; j++ {
+			out += fmt.Sprintf("(cubie ^face f%d ^pos %d ^moved no)\n", i, j)
+		}
+	}
+	return out
+}
+
 // TourneyLikeWMEs builds t teams and s round/field slots plus the
 // propose phase marker; the cross-product pairing production generates
 // t*s pairings.

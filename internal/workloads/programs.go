@@ -140,6 +140,51 @@ const MonkeyBananasWMEs = `
 (goal ^status active ^type holds ^object bananas)
 `
 
+// RubikLike is a miniature analogue of the paper's Rubik section: a
+// queue of twist moves, each of which rewrites every unmoved cubie on
+// its face before the next twist becomes eligible. The per-face
+// modify storm gives wide cycles (many independent activations) while
+// the twist queue serialises the phases — the mix that made Rubik a
+// well-behaved parallel workload in the paper's measurements.
+const RubikLike = `
+(literalize cubie face pos moved)
+(literalize twist face seq)
+(literalize phase name next)
+
+; Apply the current twist to one unmoved cubie on its face.
+(p rub-move
+    (phase ^name solve ^next <s>)
+    (twist ^face <f> ^seq <s>)
+    (cubie ^face <f> ^moved no ^pos <p>)
+    -->
+    (modify 3 ^pos (compute <p> + 1) ^moved yes))
+
+; All cubies on the twisted face have moved: retire the twist, reset
+; the face, and advance to the next move in the queue.
+(p rub-advance
+    (phase ^name solve ^next <s>)
+    (twist ^face <f> ^seq <s>)
+    -(cubie ^face <f> ^moved no)
+    -->
+    (remove 2)
+    (modify 1 ^next (compute <s> + 1)))
+
+; Un-move cubies of retired faces so a later twist can rewrite them.
+(p rub-reset
+    (phase ^name solve ^next <s>)
+    (cubie ^face <f> ^moved yes)
+    -(twist ^face <f>)
+    -->
+    (modify 2 ^moved no))
+
+; No twists left: solved.
+(p rub-done
+    (phase ^name solve)
+    -(twist)
+    -->
+    (halt))
+`
+
 // CounterChain is a tiny arithmetic workload with a long dependency
 // chain of modifies; useful for timing the sequential engine.
 const CounterChain = `

@@ -1,13 +1,9 @@
 // Command bench is the repo's reproducible benchmark harness: it runs
 // the canonical performance workloads with fixed iteration counts and
 // writes a machine-readable BENCH_results.json — the perf trajectory
-// point CI compares against the committed BENCH_baseline.json.
-//
-// Unlike `go test -bench`, which picks iteration counts adaptively,
-// bench pins them, so allocs/op is exactly reproducible run to run and
-// the allocation gate can be strict. Wall-clock (ns/op) still varies
-// with the host; the CI gate allows a configurable tolerance for it
-// and none (beyond noise slack) for allocations.
+// point CI compares against the committed BENCH_baseline.json. The
+// results schema and the regression gate live in internal/benchfmt,
+// shared with cmd/ops5load.
 //
 // Usage:
 //
@@ -35,11 +31,19 @@
 //	                  the causal flight recorder's overhead on the same
 //	                  burst: off = nil recorder (the always-paid nil
 //	                  check), on = full per-event recording
+//	server/sessions-sec
+//	                  multi-tenant session turnover: open a session over
+//	                  the shared compiled network via the in-process HTTP
+//	                  server, assert, run, close
+//	server/assert-c<N>
+//	                  per-assert request latency with N ∈ {1,8,64}
+//	                  concurrent sessions driving the server
 //
-// Wall-clock-only benchmarks (the parallel family) are scheduled by the
-// Go runtime and inherently noisier than the simulator workloads; they
-// carry a per-benchmark ns_tolerance in the results file that Compare
-// uses in place of the global -tolerance when it is looser.
+// Wall-clock-only benchmarks (the parallel and server families) are
+// scheduled by the Go runtime and inherently noisier than the simulator
+// workloads; they carry a per-benchmark ns_tolerance in the results
+// file that Compare uses in place of the global -tolerance when it is
+// looser.
 //
 // Refreshing the baseline after an intentional perf change:
 //
@@ -50,13 +54,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
+	"mpcrete/internal/benchfmt"
 	"mpcrete/internal/core"
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
@@ -66,33 +68,6 @@ import (
 	"mpcrete/internal/workloads"
 )
 
-// Benchmark is one measured workload.
-type Benchmark struct {
-	Name         string  `json:"name"`
-	Iters        int     `json:"iters"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
-	BytesPerOp   float64 `json:"bytes_per_op"`
-	EventsPerSec float64 `json:"events_per_sec,omitempty"`
-	// NsTolerance, when non-zero in a baseline, overrides the global
-	// -tolerance for this benchmark if looser (wall-clock workloads
-	// scheduled by the Go runtime need more slack than the simulator).
-	NsTolerance float64           `json:"ns_tolerance,omitempty"`
-	Meta        map[string]string `json:"meta,omitempty"`
-}
-
-// File is the results document.
-type File struct {
-	SchemaVersion int         `json:"schema_version"`
-	GeneratedAt   string      `json:"generated_at"`
-	GoVersion     string      `json:"go_version"`
-	GOOS          string      `json:"goos"`
-	GOARCH        string      `json:"goarch"`
-	CPUs          int         `json:"cpus"`
-	Short         bool        `json:"short"`
-	Benchmarks    []Benchmark `json:"benchmarks"`
-}
-
 func main() {
 	short := flag.Bool("short", false, "CI mode: fewer iterations per benchmark")
 	out := flag.String("o", "BENCH_results.json", "results output path")
@@ -100,14 +75,15 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth vs the baseline")
 	flag.Parse()
 
-	f := &File{
-		SchemaVersion: 1,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		CPUs:          runtime.NumCPU(),
-		Short:         *short,
+	f := benchfmt.NewFile(*short)
+	add := func(b benchfmt.Benchmark) {
+		f.Add(b)
+		ev := ""
+		if b.EventsPerSec > 0 {
+			ev = fmt.Sprintf("  %12.0f events/s", b.EventsPerSec)
+		}
+		fmt.Printf("%-16s %4d iters  %12.0f ns/op  %10.0f allocs/op  %12.0f B/op%s\n",
+			b.Name, b.Iters, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, ev)
 	}
 	iters := func(full, shortN int) int {
 		if *short {
@@ -129,7 +105,7 @@ func main() {
 	fig51Procs := []int{8, 16, 32}
 	for _, sec := range sections {
 		tr := sec.gen()
-		f.add(measure("fig51/"+sec.name, iters(10, 3),
+		add(benchfmt.Measure("fig51/"+sec.name, iters(10, 3),
 			map[string]string{"procs": "8,16,32", "overhead": "zero"},
 			func() int64 {
 				var events int64
@@ -148,7 +124,7 @@ func main() {
 	// fig52/<section>: the Fig 5-2 overhead sweep at 32 processors.
 	for _, sec := range sections {
 		tr := sec.gen()
-		f.add(measure("fig52/"+sec.name, iters(10, 3),
+		add(benchfmt.Measure("fig52/"+sec.name, iters(10, 3),
 			map[string]string{"procs": "32", "overheads": "run1-run4"},
 			func() int64 {
 				var events int64
@@ -176,7 +152,7 @@ func main() {
 		Overheads: core.OverheadRuns()[1:2],
 		Baseline:  true,
 	}
-	f.add(measure("sweep/stress", iters(5, 2),
+	add(benchfmt.Measure("sweep/stress", iters(5, 2),
 		map[string]string{"points": "3 sections x 5 procs", "baseline": "memoized"},
 		func() int64 {
 			eng.Reset()
@@ -227,7 +203,7 @@ func main() {
 	// allocs/op axis and gives ns/op a 1.0 (doubling) tolerance.
 	const parallelNsTolerance = 1.0
 	parallelBench := func(name string, opts parallel.Options, meta map[string]string) {
-		b := measure(name, iters(15, 5), meta, func() int64 {
+		b := benchfmt.Measure(name, iters(15, 5), meta, func() int64 {
 			rt, err := parallel.New(net, opts)
 			if err != nil {
 				fatal(err)
@@ -237,7 +213,7 @@ func main() {
 			return 0
 		})
 		b.NsTolerance = parallelNsTolerance
-		f.add(b)
+		add(b)
 	}
 	parallelBench("parallel/match", parallel.Options{Workers: 4},
 		map[string]string{"workers": "4", "workload": "tourney-like 30x25"})
@@ -272,7 +248,7 @@ func main() {
 		recorder bool
 	}{{"obs/flight-off", false}, {"obs/flight-on", true}} {
 		fl := fl
-		b := measure(fl.name, iters(15, 5),
+		b := benchfmt.Measure(fl.name, iters(15, 5),
 			map[string]string{"workers": "4", "recorder": fmt.Sprint(fl.recorder), "workload": "tourney-like 30x25"},
 			func() int64 {
 				opts := parallel.Options{Workers: 4}
@@ -288,25 +264,23 @@ func main() {
 				return 0
 			})
 		b.NsTolerance = parallelNsTolerance
-		f.add(b)
+		add(b)
 	}
 
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// server/*: the multi-tenant HTTP server family (see serverbench.go).
+	serverBenches(add, iters)
+
+	if err := f.WriteFile(*out); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
 
 	if *baseline != "" {
-		base, err := readFile(*baseline)
+		base, err := benchfmt.ReadFile(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		regressions := Compare(base, f, *tolerance)
+		regressions := benchfmt.Compare(base, f, *tolerance)
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
 		}
@@ -316,94 +290,6 @@ func main() {
 		}
 		fmt.Printf("no regressions vs %s (ns tolerance %.0f%%)\n", *baseline, 100**tolerance)
 	}
-}
-
-func (f *File) add(b Benchmark) {
-	f.Benchmarks = append(f.Benchmarks, b)
-	ev := ""
-	if b.EventsPerSec > 0 {
-		ev = fmt.Sprintf("  %12.0f events/s", b.EventsPerSec)
-	}
-	fmt.Printf("%-16s %4d iters  %12.0f ns/op  %10.0f allocs/op  %12.0f B/op%s\n",
-		b.Name, b.Iters, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, ev)
-}
-
-// measure runs fn once to warm caches, then iters times under
-// wall-clock and allocation accounting. fn returns the number of
-// simulator events it processed (0 for wall-clock-only workloads).
-func measure(name string, iters int, meta map[string]string, fn func() int64) Benchmark {
-	fn() // warm-up: pools, rings, code paths
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	var events int64
-	for i := 0; i < iters; i++ {
-		events += fn()
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	b := Benchmark{
-		Name:        name,
-		Iters:       iters,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
-		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-		Meta:        meta,
-	}
-	if events > 0 && elapsed > 0 {
-		b.EventsPerSec = float64(events) / elapsed.Seconds()
-	}
-	return b
-}
-
-// Compare gates cur against base: a benchmark regresses when its
-// ns/op grows beyond the tolerance fraction, or its allocs/op grows
-// beyond noise slack (1% + 8 allocations — allocation counts are
-// otherwise deterministic at fixed iteration counts). A baseline
-// benchmark carrying its own NsTolerance uses that instead of the
-// global tolerance when it is looser (wall-clock workloads). A
-// benchmark present in the baseline but missing from the current run
-// is also a regression: the gate must not pass by silently dropping
-// coverage.
-func Compare(base, cur *File, tolerance float64) []string {
-	curBy := map[string]Benchmark{}
-	for _, b := range cur.Benchmarks {
-		curBy[b.Name] = b
-	}
-	var regressions []string
-	for _, b := range base.Benchmarks {
-		c, ok := curBy[b.Name]
-		if !ok {
-			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
-			continue
-		}
-		tol := tolerance
-		if b.NsTolerance > tol {
-			tol = b.NsTolerance
-		}
-		if limit := b.NsPerOp * (1 + tol); c.NsPerOp > limit {
-			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (+%.0f%% > %.0f%% tolerance)",
-				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
-		}
-		if limit := b.AllocsPerOp*1.01 + 8; c.AllocsPerOp > limit {
-			regressions = append(regressions, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f",
-				b.Name, c.AllocsPerOp, b.AllocsPerOp))
-		}
-	}
-	return regressions
-}
-
-func readFile(path string) (*File, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	f := &File{}
-	if err := json.Unmarshal(data, f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return f, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"mpcrete/internal/benchfmt"
+	"mpcrete/internal/engine"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/server"
+	"mpcrete/internal/workloads"
+)
+
+// serverBenches measures the multi-tenant HTTP server end to end over
+// a loopback httptest listener:
+//
+//	server/sessions-sec   one full session lifecycle per op — open with
+//	                      the workload's seed wmes, run to quiescence,
+//	                      close — so EventsPerSec is sessions/sec
+//	server/assert-c<N>    N pre-opened sessions each issue one assert
+//	                      concurrently, several waves per op;
+//	                      EventsPerSec is the aggregate asserts/sec
+//
+// Like the parallel family these are wall-clock workloads (goroutine
+// scheduling plus a real TCP loopback, microseconds per request), so
+// they carry a very loose ns tolerance and gate primarily on
+// allocs/op.
+func serverBenches(add func(benchfmt.Benchmark), iters func(full, shortN int) int) {
+	named, err := workloads.Named("counter")
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ops5.ParseProgram(named.Program)
+	if err != nil {
+		fatal(err)
+	}
+	compiled, err := engine.Compile(prog, engine.CompileOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{Compiled: compiled, Workload: named})
+	if err != nil {
+		fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Keep one warm connection per concurrent session so connection
+	// churn doesn't add allocation noise to the gate.
+	if tr, ok := ts.Client().Transport.(*http.Transport); ok {
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 128
+	}
+	client := server.NewClient(ts.URL, ts.Client())
+
+	const serverNsTolerance = 3.0
+
+	b := benchfmt.Measure("server/sessions-sec", iters(30, 10),
+		map[string]string{"workload": named.Name, "transport": "http loopback"},
+		func() int64 {
+			id, err := client.Open(true, "")
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := client.Run(id, 0); err != nil {
+				fatal(err)
+			}
+			if err := client.Close(id); err != nil {
+				fatal(err)
+			}
+			return 1
+		})
+	b.NsTolerance = serverNsTolerance
+	add(b)
+
+	for _, concurrency := range []int{1, 8, 64} {
+		// Pre-open the sessions outside the measured region; each op
+		// is one concurrent wave of asserts.
+		ids := make([]string, concurrency)
+		for i := range ids {
+			id, err := client.Open(false, "")
+			if err != nil {
+				fatal(err)
+			}
+			ids[i] = id
+		}
+		b := benchfmt.Measure(fmt.Sprintf("server/assert-c%d", concurrency), iters(20, 5),
+			map[string]string{
+				"workload":    named.Name,
+				"sessions":    fmt.Sprint(concurrency),
+				"transport":   "http loopback",
+				"op":          "assert",
+				"events_unit": "asserts",
+			},
+			func() int64 {
+				// Several waves per op so even c1 measures hundreds of
+				// microseconds, not one scheduler-noisy round trip.
+				const waves = 8
+				for w := 0; w < waves; w++ {
+					var wg sync.WaitGroup
+					for _, id := range ids {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if _, err := client.Assert(id, "(counter ^value 1 ^limit 0)"); err != nil {
+								fatal(err)
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				return int64(concurrency * waves)
+			})
+		b.NsTolerance = serverNsTolerance
+		add(b)
+		for _, id := range ids {
+			if err := client.Close(id); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command ops5d is the multi-tenant OPS5 rule-engine server: it
+// compiles one production-system program at startup and serves
+// thousands of independent working-memory sessions over HTTP/JSON, all
+// sharing the compiled Rete network read-only. See internal/server for
+// the wire protocol.
+//
+// Usage:
+//
+//	ops5d -workload blocks                 serve a built-in workload
+//	ops5d -program rules.ops5              serve an OPS5 source file
+//	ops5d -addr :8080 -debug-addr :6060    API and pprof/expvar listeners
+//	ops5d -max-sessions 4096 -queue 256    capacity limits
+//
+// SIGTERM/SIGINT drain gracefully: admission stops (503), in-flight
+// requests finish, sessions close, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpcrete/internal/engine"
+	"mpcrete/internal/obs"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/server"
+	"mpcrete/internal/workloads"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "API listen address")
+		debugAddr   = flag.String("debug-addr", "", "pprof/expvar listen address (empty = disabled)")
+		programPath = flag.String("program", "", "OPS5 program file to serve")
+		workload    = flag.String("workload", "", fmt.Sprintf("built-in workload to serve %v", workloads.NamedNames()))
+		maxSessions = flag.Int("max-sessions", 4096, "maximum live sessions")
+		maxInflight = flag.Int("inflight", 0, "concurrent request slots (0 = 2*GOMAXPROCS)")
+		queueDepth  = flag.Int("queue", 256, "waiting requests beyond inflight before 429")
+		maxCycles   = flag.Int("max-cycles", 1000, "default per-run cycle budget")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *debugAddr, *programPath, *workload, *maxSessions, *maxInflight, *queueDepth, *maxCycles); err != nil {
+		fmt.Fprintln(os.Stderr, "ops5d:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, debugAddr, programPath, workload string, maxSessions, maxInflight, queueDepth, maxCycles int) error {
+	var named workloads.NamedProgram
+	switch {
+	case programPath != "" && workload != "":
+		return errors.New("-program and -workload are mutually exclusive")
+	case programPath != "":
+		src, err := os.ReadFile(programPath)
+		if err != nil {
+			return err
+		}
+		named = workloads.NamedProgram{Name: programPath, Program: string(src)}
+	case workload != "":
+		var err error
+		named, err = workloads.Named(workload)
+		if err != nil {
+			return err
+		}
+	default:
+		return errors.New("one of -program or -workload is required")
+	}
+
+	prog, err := ops5.ParseProgram(named.Program)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", named.Name, err)
+	}
+	compiled, err := engine.Compile(prog, engine.CompileOptions{})
+	if err != nil {
+		return fmt.Errorf("compile %s: %w", named.Name, err)
+	}
+
+	metrics := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Compiled:         compiled,
+		Workload:         named,
+		MaxSessions:      maxSessions,
+		MaxInflight:      maxInflight,
+		QueueDepth:       queueDepth,
+		DefaultMaxCycles: maxCycles,
+		Metrics:          metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	if debugAddr != "" {
+		dbg, stop, err := obs.ServeDebug(debugAddr, map[string]func() any{
+			"metrics": metrics.SnapshotVar(),
+		})
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer stop()
+		log.Printf("ops5d: debug server on http://%s/debug/pprof/", dbg)
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ops5d: serving %s (%d productions) on http://%s", named.Name, len(prog.Productions), addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("ops5d: draining")
+	srv.Drain()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("ops5d: drained cleanly")
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package benchfmt defines the repo's machine-readable benchmark
+// results schema and the regression gate over it. It is shared by
+// cmd/bench (the reproducible benchmark harness), cmd/ops5load (the
+// server load generator, which emits its latency report in the same
+// format so CI tooling reads one schema), and the CI bench gate.
+//
+// Unlike `go test -bench`, which picks iteration counts adaptively,
+// Measure pins them, so allocs/op is exactly reproducible run to run
+// and the allocation gate can be strict. Wall-clock (ns/op) still
+// varies with the host; Compare allows a configurable tolerance for it
+// and none (beyond noise slack) for allocations.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion is the current results-document schema.
+const SchemaVersion = 1
+
+// Benchmark is one measured workload.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// NsTolerance, when non-zero in a baseline, overrides the global
+	// tolerance for this benchmark if looser (wall-clock workloads
+	// scheduled by the Go runtime need more slack than the simulator).
+	NsTolerance float64           `json:"ns_tolerance,omitempty"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// File is the results document.
+type File struct {
+	SchemaVersion int         `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at"`
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	CPUs          int         `json:"cpus"`
+	Short         bool        `json:"short"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// NewFile returns a results document stamped with the current
+// environment.
+func NewFile(short bool) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Short:         short,
+	}
+}
+
+// Add appends a benchmark to the document.
+func (f *File) Add(b Benchmark) { f.Benchmarks = append(f.Benchmarks, b) }
+
+// Measure runs fn once to warm caches, then iters times under
+// wall-clock and allocation accounting. fn returns the number of
+// events it processed (0 for wall-clock-only workloads), which feeds
+// EventsPerSec.
+func Measure(name string, iters int, meta map[string]string, fn func() int64) Benchmark {
+	fn() // warm-up: pools, rings, code paths
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events int64
+	for i := 0; i < iters; i++ {
+		events += fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	b := Benchmark{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Meta:        meta,
+	}
+	if events > 0 && elapsed > 0 {
+		b.EventsPerSec = float64(events) / elapsed.Seconds()
+	}
+	return b
+}
+
+// Compare gates cur against base: a benchmark regresses when its
+// ns/op grows beyond the tolerance fraction, or its allocs/op grows
+// beyond noise slack (1% + 8 allocations — allocation counts are
+// otherwise deterministic at fixed iteration counts). A baseline
+// benchmark carrying its own NsTolerance uses that instead of the
+// global tolerance when it is looser (wall-clock workloads). A
+// benchmark present in the baseline but missing from the current run
+// is also a regression: the gate must not pass by silently dropping
+// coverage.
+func Compare(base, cur *File, tolerance float64) []string {
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		tol := tolerance
+		if b.NsTolerance > tol {
+			tol = b.NsTolerance
+		}
+		if limit := b.NsPerOp * (1 + tol); c.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (+%.0f%% > %.0f%% tolerance)",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		if limit := b.AllocsPerOp*1.01 + 8; c.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return regressions
+}
+
+// ReadFile loads a results document from disk.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// WriteFile writes the document as indented JSON with a trailing
+// newline.
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

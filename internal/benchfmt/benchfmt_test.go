@@ -1,12 +1,13 @@
-package main
+package benchfmt
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func mkFile(bs ...Benchmark) *File {
-	return &File{SchemaVersion: 1, Benchmarks: bs}
+	return &File{SchemaVersion: SchemaVersion, Benchmarks: bs}
 }
 
 func TestCompareClean(t *testing.T) {
@@ -90,5 +91,35 @@ func TestCompareBothAxesRegress(t *testing.T) {
 	cur := mkFile(Benchmark{Name: "a", NsPerOp: 5000, AllocsPerOp: 500})
 	if regs := Compare(base, cur, 0.25); len(regs) != 2 {
 		t.Errorf("want both axes reported, got %v", regs)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := NewFile(true)
+	f.Add(Benchmark{Name: "x", Iters: 3, NsPerOp: 12.5, EventsPerSec: 100,
+		NsTolerance: 1.0, Meta: map[string]string{"k": "v"}})
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.SchemaVersion != SchemaVersion || !got.Short || len(got.Benchmarks) != 1 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if b := got.Benchmarks[0]; b.Name != "x" || b.NsTolerance != 1.0 || b.Meta["k"] != "v" {
+		t.Fatalf("round trip lost benchmark fields: %+v", b)
+	}
+}
+
+func TestMeasureEventsPerSec(t *testing.T) {
+	b := Measure("m", 4, nil, func() int64 { return 10 })
+	if b.Iters != 4 || b.Name != "m" {
+		t.Fatalf("measure metadata wrong: %+v", b)
+	}
+	if b.EventsPerSec <= 0 {
+		t.Fatalf("want positive events/sec, got %v", b.EventsPerSec)
 	}
 }

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// sessionOpts mirrors fuzzOpts: cheap per-case cost, shallow parallel
+// sweep.
+var sessionOpts = CheckOptions{MaxCycles: 20, Workers: []int{1, 2}, Budget: 10000}
+
+func TestCheckSessionsGeneratedCases(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		c := Gen(seed, ConfigFromBytes(nil))
+		if mis := CheckSessions(c, sessionOpts); mis != nil {
+			t.Fatalf("%v\nrepro:\n%s", mis, c.Encode())
+		}
+	}
+}
+
+func TestCheckSessionsCorpus(t *testing.T) {
+	cases, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, c := range cases {
+		if c.IsScript() {
+			continue
+		}
+		if mis := CheckSessions(c, sessionOpts); mis != nil {
+			t.Errorf("%v", mis)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("corpus has no engine-level cases")
+	}
+}
+
+func TestCheckSessionsSkipsScripts(t *testing.T) {
+	c := GenScript(1, ConfigFromBytes(nil))
+	if mis := CheckSessions(c, sessionOpts); mis != nil {
+		t.Fatalf("script case not skipped: %v", mis)
+	}
+}
+
+// TestCheckSessionsForcedDivergence drills the divergence-reporting
+// path: a synthetic perturbation of one configuration must surface as
+// a mismatch naming that configuration.
+func TestCheckSessionsForcedDivergence(t *testing.T) {
+	c := Gen(1, ConfigFromBytes(nil))
+	opts := sessionOpts
+	opts.ForceDivergence = "pooled"
+	mis := CheckSessions(c, opts)
+	if mis == nil {
+		t.Fatal("forced divergence not detected")
+	}
+	if !strings.Contains(mis.Config, "pooled") {
+		t.Errorf("divergence blamed %q, want the pooled configuration", mis.Config)
+	}
+}
+
+// FuzzSessionDifferential is the session-level generative fuzz target:
+// every generated engine-level case must behave identically through
+// the private engine, shared sessions, pool-recycled sessions,
+// parallel-matcher sessions, and concurrent sessions.
+func FuzzSessionDifferential(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{5, 3, 3, 3, 3, 90, 40, 20})
+	f.Add(int64(3), []byte{1, 1, 1, 1, 1, 0, 0, 0})
+	f.Add(int64(4), []byte{4, 3, 2, 2, 2, 99, 49, 0})
+	f.Fuzz(func(t *testing.T, seed int64, knobs []byte) {
+		c := Gen(seed, ConfigFromBytes(knobs))
+		if mis := CheckSessions(c, sessionOpts); mis != nil {
+			t.Fatalf("%v\nrepro (save under testdata/corpus/):\n%s", mis, c.Encode())
+		}
+	})
+}

@@ -14,23 +14,38 @@ import (
 // the new production with private two-input nodes and primes them by
 // replaying working memory through them alone (shared nodes' memories
 // must not be touched — they are already correct).
+//
+// Both rewrite the compiled network, so they are only legal on the
+// private single-session engines made by New/NewWithNetwork. Sessions
+// opened with Compiled.NewSession share their network (and specificity
+// table) with sibling sessions and refuse with errSharedNetwork.
+
+// errSharedNetwork explains why a multi-tenant session cannot rewrite
+// its network.
+func errSharedNetwork(op string) error {
+	return fmt.Errorf("engine: %s requires a private network (engine.New); this session shares its Compiled network with other sessions", op)
+}
 
 // ExciseProduction removes a production from the running system: its
 // network nodes are detached (shared prefixes survive) and its
 // instantiations leave the conflict set.
-func (e *Engine) ExciseProduction(name string) error {
-	if err := e.net.Excise(name); err != nil {
+func (e *Session) ExciseProduction(name string) error {
+	if e.shared {
+		return errSharedNetwork("excise")
+	}
+	if err := e.c.net.Excise(name); err != nil {
 		return err
 	}
-	delete(e.spec, name)
+	delete(e.c.spec, name)
 	for key, in := range e.conflict {
 		if in.Prod.Name == name {
 			delete(e.conflict, key)
 		}
 	}
-	for i, p := range e.prog.Productions {
+	prog := e.c.prog
+	for i, p := range prog.Productions {
 		if p.Name == name {
-			e.prog.Productions = append(e.prog.Productions[:i], e.prog.Productions[i+1:]...)
+			prog.Productions = append(prog.Productions[:i], prog.Productions[i+1:]...)
 			break
 		}
 	}
@@ -41,18 +56,21 @@ func (e *Engine) ExciseProduction(name string) error {
 // working memory is matched immediately: instantiations over current
 // wmes enter the conflict set before the next cycle. Requires the
 // sequential matcher (the distributed runtime does not support live
-// network changes).
-func (e *Engine) AddProductionLive(p *ops5.Production) error {
+// network changes) and a private network.
+func (e *Session) AddProductionLive(p *ops5.Production) error {
+	if e.shared {
+		return errSharedNetwork("live production addition")
+	}
 	m, ok := e.matcher.(*rete.Matcher)
 	if !ok {
 		return fmt.Errorf("engine: live production addition requires the sequential matcher, have %T", e.matcher)
 	}
-	nodes, err := e.net.AddProductionPrivate(p)
+	nodes, err := e.c.net.AddProductionPrivate(p)
 	if err != nil {
 		return err
 	}
-	e.spec[p.Name] = specificity(p)
-	e.prog.Productions = append(e.prog.Productions, p)
+	e.c.spec[p.Name] = specificity(p)
+	e.c.prog.Productions = append(e.c.prog.Productions, p)
 
 	allowed := make(map[*rete.Node]bool, len(nodes))
 	for _, n := range nodes {
@@ -77,7 +95,7 @@ func (e *Engine) AddProductionLive(p *ops5.Production) error {
 				WMEs:     ic.WMEs,
 				TimeTags: ic.TimeTags,
 				key:      key,
-				spec:     e.spec[ic.Prod.Name],
+				spec:     e.c.spec[ic.Prod.Name],
 			}
 		} else {
 			delete(e.conflict, key)

@@ -3,6 +3,13 @@
 // Rete matcher. It supports the LEX and MEA conflict-resolution
 // strategies, executes right-hand-side actions, and exposes hooks for
 // the hash-table activity trace recorder.
+//
+// The interpreter state is split in two (compiled.go): Compiled is the
+// immutable half — the Rete network and production metadata, shared
+// read-only by any number of sessions — and Session is the mutable half
+// — working memory, token memories, conflict set, and counters. Engine
+// is an alias for Session kept for the original single-tenant API:
+// engine.New compiles a private Compiled and opens its one session.
 package engine
 
 import (
@@ -45,7 +52,9 @@ type MatchApplier interface {
 	Apply(changes []rete.Change) []rete.InstChange
 }
 
-// Options configure an Engine.
+// Options configure a single-tenant Engine made by New/NewWithNetwork.
+// Multi-session callers use CompileOptions + SessionOptions instead;
+// Options is the union of the two, kept for compatibility.
 type Options struct {
 	// Strategy is the conflict-resolution strategy (default LEX).
 	Strategy Strategy
@@ -68,6 +77,18 @@ type Options struct {
 	Watch int
 }
 
+// sessionOptions extracts the per-session half of Options.
+func (o Options) sessionOptions() SessionOptions {
+	return SessionOptions{
+		Strategy: o.Strategy,
+		NBuckets: o.NBuckets,
+		Listener: o.Listener,
+		Output:   o.Output,
+		Matcher:  o.Matcher,
+		Watch:    o.Watch,
+	}
+}
+
 // Instantiation is a conflict-set member.
 type Instantiation struct {
 	Prod *ops5.Production
@@ -83,55 +104,57 @@ type Instantiation struct {
 // Key identifies the instantiation (production name + wme IDs).
 func (in *Instantiation) Key() string { return in.key }
 
-// Engine is an OPS5 interpreter instance.
-type Engine struct {
-	prog     *ops5.Program
-	net      *rete.Network
-	matcher  MatchApplier
-	opts     Options
+// Session is one OPS5 interpreter instance: the mutable half of the
+// Compiled/Session split. It owns the working memory, the matcher (and
+// through it the token memories), the conflict set, and the firing
+// counters; the network it matches over lives in the shared Compiled.
+// A session is single-threaded — callers running sessions concurrently
+// serialize access to each one — but independent sessions over one
+// Compiled may run concurrently.
+type Session struct {
+	c       *Compiled
+	matcher MatchApplier
+	opts    SessionOptions
+	// shared marks sessions opened with Compiled.NewSession, whose
+	// network may be shared with other sessions and therefore must not
+	// be rewritten (see dynamic.go).
+	shared   bool
 	wm       map[int]*ops5.WME
 	conflict map[string]*Instantiation
 	pending  []rete.Change
-	spec     map[string]int // production name -> specificity
 	nextID   int
 	timetag  int
 	fired    int
 	halted   bool
+	closed   bool
 }
 
-// New compiles a program and returns a ready engine.
+// Engine is the original name of Session, kept as an alias for the
+// single-tenant API.
+type Engine = Session
+
+// New compiles a program and returns a ready single-tenant engine. The
+// compiled network is private to this engine, so dynamic production
+// management (excise, live addition) is permitted.
 func New(prog *ops5.Program, opts Options) (*Engine, error) {
-	net, err := rete.CompileWith(prog.Productions, rete.CompileOptions{DisableSharing: opts.DisableSharing})
+	c, err := Compile(prog, CompileOptions{DisableSharing: opts.DisableSharing})
 	if err != nil {
 		return nil, err
 	}
-	return NewWithNetwork(prog, net, opts)
+	e := c.NewSession(opts.sessionOptions())
+	e.shared = false
+	return e, nil
 }
 
-// NewWithNetwork builds an engine over a pre-compiled (possibly
-// transformed) network for the same program.
+// NewWithNetwork builds a single-tenant engine over a pre-compiled
+// (possibly transformed) network for the same program.
 func NewWithNetwork(prog *ops5.Program, net *rete.Network, opts Options) (*Engine, error) {
-	if opts.Output == nil {
-		opts.Output = io.Discard
+	c, err := NewCompiled(prog, net)
+	if err != nil {
+		return nil, err
 	}
-	matcher := opts.Matcher
-	if matcher == nil {
-		matcher = rete.NewMatcher(net, rete.MatcherOptions{NBuckets: opts.NBuckets, Listener: opts.Listener})
-	}
-	e := &Engine{
-		prog:     prog,
-		net:      net,
-		matcher:  matcher,
-		opts:     opts,
-		wm:       map[int]*ops5.WME{},
-		conflict: map[string]*Instantiation{},
-		spec:     map[string]int{},
-		nextID:   1,
-		timetag:  1,
-	}
-	for _, p := range prog.Productions {
-		e.spec[p.Name] = specificity(p)
-	}
+	e := c.NewSession(opts.sessionOptions())
+	e.shared = false
 	return e, nil
 }
 
@@ -148,49 +171,84 @@ func specificity(p *ops5.Production) int {
 	return n
 }
 
+// Compiled returns the shared immutable half of this session.
+func (e *Session) Compiled() *Compiled { return e.c }
+
 // Network returns the compiled Rete network.
-func (e *Engine) Network() *rete.Network { return e.net }
+func (e *Session) Network() *rete.Network { return e.c.net }
 
 // Matcher returns the underlying match implementation.
-func (e *Engine) Matcher() MatchApplier { return e.matcher }
+func (e *Session) Matcher() MatchApplier { return e.matcher }
 
 // WMCount returns the current working-memory size.
-func (e *Engine) WMCount() int { return len(e.wm) }
+func (e *Session) WMCount() int { return len(e.wm) }
 
-// WMEs returns the live working-memory elements sorted by ID — the
-// final-state artifact the differential test harness compares across
-// match implementations.
-func (e *Engine) WMEs() []*ops5.WME {
+// WMEs returns defensive copies of the live working-memory elements
+// sorted by ID (IDs and time tags preserved) — the final-state artifact
+// the differential test harness compares across match implementations.
+// Because the copies share nothing with the session, a caller may hand
+// them out (e.g. serialize a snapshot response) after releasing its
+// session lock without racing later mutations.
+func (e *Session) WMEs() []*ops5.WME {
 	out := make([]*ops5.WME, 0, len(e.wm))
 	for _, w := range e.wm {
-		out = append(out, w)
+		out = append(out, w.Clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Fired returns the number of instantiations fired so far.
-func (e *Engine) Fired() int { return e.fired }
+func (e *Session) Fired() int { return e.fired }
 
 // Halted reports whether a halt action has executed.
-func (e *Engine) Halted() bool { return e.halted }
+func (e *Session) Halted() bool { return e.halted }
 
 // MakeWME schedules a wme addition (an OPS5 top-level make); it takes
 // effect at the next match phase. The returned wme carries its
 // assigned ID and time tag.
-func (e *Engine) MakeWME(class string, pairs ...any) *ops5.WME {
+func (e *Session) MakeWME(class string, pairs ...any) *ops5.WME {
 	w := ops5.NewWME(class, pairs...)
 	return e.addWME(w)
 }
 
 // InsertWMEs schedules pre-built wmes (e.g. parsed by ops5.ParseWMEs).
-func (e *Engine) InsertWMEs(wmes ...*ops5.WME) {
+func (e *Session) InsertWMEs(wmes ...*ops5.WME) {
 	for _, w := range wmes {
 		e.addWME(w.Clone())
 	}
 }
 
-func (e *Engine) addWME(w *ops5.WME) *ops5.WME {
+// Assert schedules pre-built wmes and returns the session-owned copies
+// carrying their assigned IDs and time tags (the handle a Retract call
+// names). It is InsertWMEs with the assignment made visible — the
+// session-level API the multi-tenant server exposes.
+func (e *Session) Assert(wmes ...*ops5.WME) []*ops5.WME {
+	out := make([]*ops5.WME, len(wmes))
+	for i, w := range wmes {
+		out[i] = e.addWME(w.Clone())
+	}
+	return out
+}
+
+// Retract schedules deletion of the live wme with the given ID,
+// reporting whether such a wme existed (live, or still pending from an
+// earlier assert this cycle).
+func (e *Session) Retract(id int) bool {
+	if w, ok := e.wm[id]; ok {
+		e.removeWME(w)
+		return true
+	}
+	for _, ch := range e.pending {
+		if ch.Tag == rete.Add && ch.WME.ID == id {
+			e.removeWME(ch.WME)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Session) addWME(w *ops5.WME) *ops5.WME {
 	w.ID = e.nextID
 	e.nextID++
 	w.TimeTag = e.timetag
@@ -203,7 +261,7 @@ func (e *Engine) addWME(w *ops5.WME) *ops5.WME {
 }
 
 // removeWME schedules a deletion if the wme is still live.
-func (e *Engine) removeWME(w *ops5.WME) {
+func (e *Session) removeWME(w *ops5.WME) {
 	if w == nil {
 		return
 	}
@@ -240,7 +298,7 @@ func (e *Engine) removeWME(w *ops5.WME) {
 
 // match runs one match phase over the pending changes, updating
 // working memory and the conflict set.
-func (e *Engine) match() {
+func (e *Session) match() {
 	changes := e.pending
 	e.pending = nil
 	for _, ch := range changes {
@@ -258,7 +316,7 @@ func (e *Engine) match() {
 				WMEs:     ic.WMEs,
 				TimeTags: ic.TimeTags,
 				key:      key,
-				spec:     e.spec[ic.Prod.Name],
+				spec:     e.c.spec[ic.Prod.Name],
 			}
 		} else {
 			delete(e.conflict, key)
@@ -268,7 +326,7 @@ func (e *Engine) match() {
 
 // ConflictSet returns the current instantiations sorted best-first
 // under the configured strategy.
-func (e *Engine) ConflictSet() []*Instantiation {
+func (e *Session) ConflictSet() []*Instantiation {
 	out := make([]*Instantiation, 0, len(e.conflict))
 	for _, in := range e.conflict {
 		out = append(out, in)
@@ -280,7 +338,7 @@ func (e *Engine) ConflictSet() []*Instantiation {
 // Step runs one MRA cycle: match pending changes, resolve, fire.
 // It returns the fired instantiation, or nil when the conflict set is
 // empty or the engine has halted.
-func (e *Engine) Step() (*Instantiation, error) {
+func (e *Session) Step() (*Instantiation, error) {
 	if e.halted {
 		return nil, nil
 	}
@@ -306,7 +364,7 @@ var ErrCycleLimit = errors.New("engine: cycle limit reached")
 
 // Run executes MRA cycles until the conflict set is empty, a halt
 // action executes, or maxCycles cycles have fired.
-func (e *Engine) Run(maxCycles int) (fired int, err error) {
+func (e *Session) Run(maxCycles int) (fired int, err error) {
 	for i := 0; i < maxCycles; i++ {
 		in, err := e.Step()
 		if err != nil {
@@ -328,8 +386,11 @@ func (e *Engine) Run(maxCycles int) (fired int, err error) {
 	return fired, ErrCycleLimit
 }
 
+// RunCycles is Run under its session-level API name.
+func (e *Session) RunCycles(maxCycles int) (int, error) { return e.Run(maxCycles) }
+
 // resolve picks the best instantiation under the strategy.
-func (e *Engine) resolve() *Instantiation {
+func (e *Session) resolve() *Instantiation {
 	var best *Instantiation
 	for _, in := range e.conflict {
 		if best == nil || e.better(in, best) {
@@ -340,7 +401,7 @@ func (e *Engine) resolve() *Instantiation {
 }
 
 // better reports whether a should fire in preference to b.
-func (e *Engine) better(a, b *Instantiation) bool {
+func (e *Session) better(a, b *Instantiation) bool {
 	if e.opts.Strategy == MEA {
 		at, bt := firstCETag(a), firstCETag(b)
 		if at != bt {
@@ -408,8 +469,8 @@ func compareRecency(a, b []int) int {
 }
 
 // act executes the RHS of the fired instantiation.
-func (e *Engine) act(in *Instantiation) error {
-	info := e.net.Prods[in.Prod.Name]
+func (e *Session) act(in *Instantiation) error {
+	info := e.c.net.Prods[in.Prod.Name]
 	local := map[string]ops5.Value{}
 
 	lookup := func(v string) (ops5.Value, error) {

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"mpcrete/internal/ops5"
+)
+
+// API is the session-level interface both engine variants satisfy: a
+// Session matching on its own sequential rete.Matcher and a Session
+// whose match phase runs on a parallel.Runtime (SessionOptions.Matcher)
+// expose exactly this surface. The multi-tenant server drives tenants
+// through it, and the differential harness fuzzes session-level parity
+// across both implementations with it (difftest.CheckSessions).
+type API interface {
+	// Assert schedules wme additions; the returned copies carry their
+	// assigned IDs and time tags.
+	Assert(wmes ...*ops5.WME) []*ops5.WME
+	// Retract schedules deletion of the live wme with the given ID.
+	Retract(id int) bool
+	// Step runs one MRA cycle; nil when quiescent or halted.
+	Step() (*Instantiation, error)
+	// RunCycles runs MRA cycles up to the limit.
+	RunCycles(maxCycles int) (int, error)
+	// ConflictSet returns the current instantiations, best-first.
+	ConflictSet() []*Instantiation
+	// Snapshot returns a self-contained copy of the observable state.
+	Snapshot() *Snapshot
+	// Fired returns the number of instantiations fired so far.
+	Fired() int
+	// Halted reports whether a halt action has executed.
+	Halted() bool
+	// Close releases the session's match resources.
+	Close() error
+}
+
+// compile-time check: *Session implements API.
+var _ API = (*Session)(nil)
+
+// SnapshotInst is one conflict-set member in a Snapshot.
+type SnapshotInst struct {
+	// Key identifies the instantiation (production name + wme IDs).
+	Key string `json:"key"`
+	// Production is the production's name.
+	Production string `json:"production"`
+	// TimeTags are the matched wmes' time tags, ascending.
+	TimeTags []int `json:"time_tags"`
+}
+
+// Snapshot is a self-contained copy of a session's observable state:
+// nothing in it aliases session-mutable data, so a caller (e.g. a
+// snapshot endpoint) may serialize it after releasing its session lock
+// while other requests keep mutating the session.
+type Snapshot struct {
+	// WMEs are deep copies of the live working memory, sorted by ID.
+	WMEs []*ops5.WME
+	// ConflictSet lists the current instantiations best-first under the
+	// session's strategy.
+	ConflictSet []SnapshotInst
+	// Fired is the number of instantiations fired so far.
+	Fired int
+	// Halted reports whether a halt action has executed.
+	Halted bool
+	// NextTimeTag is the time tag the next asserted wme will receive.
+	NextTimeTag int
+}
+
+// Snapshot captures the session's observable state as defensive
+// copies.
+func (e *Session) Snapshot() *Snapshot {
+	s := &Snapshot{
+		WMEs:        e.WMEs(), // already defensive copies
+		Fired:       e.fired,
+		Halted:      e.halted,
+		NextTimeTag: e.timetag,
+	}
+	for _, in := range e.ConflictSet() {
+		tags := make([]int, len(in.TimeTags))
+		copy(tags, in.TimeTags)
+		s.ConflictSet = append(s.ConflictSet, SnapshotInst{
+			Key:        in.Key(),
+			Production: in.Prod.Name,
+			TimeTags:   tags,
+		})
+	}
+	return s
+}
+
+// matcherCloser is the optional shutdown hook of a match
+// implementation (parallel.Runtime implements it; rete.Matcher needs
+// none).
+type matcherCloser interface{ Close() }
+
+// matcherResetter is the optional reuse hook of a match
+// implementation: Reset must return the matcher to its
+// freshly-constructed state (empty memories, cycle zero).
+type matcherResetter interface{ Reset() }
+
+// Close releases the session's match resources (for a parallel
+// matcher, its worker goroutines). Closing twice is a no-op. The
+// session must not be used after Close.
+func (e *Session) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if c, ok := e.matcher.(matcherCloser); ok {
+		c.Close()
+	}
+	return nil
+}
+
+// Reset returns the session to its freshly-opened state — empty
+// working memory, empty conflict set, counters and ID/time-tag
+// assignment rewound — reusing the matcher's hash-table and arena
+// storage. It reports false (and resets nothing) when the matcher does
+// not support reuse; the SessionPool then drops the session instead of
+// shelving it dirty.
+func (e *Session) Reset() bool {
+	if e.closed {
+		return false
+	}
+	r, ok := e.matcher.(matcherResetter)
+	if !ok {
+		return false
+	}
+	r.Reset()
+	clear(e.wm)
+	clear(e.conflict)
+	e.pending = nil
+	e.nextID = 1
+	e.timetag = 1
+	e.fired = 0
+	e.halted = false
+	return true
+}

@@ -27,6 +27,13 @@ type tokenArena struct {
 	wmes   []*ops5.WME // unconsumed tail of the current backing chunk
 }
 
+// reset keeps the unconsumed chunk tails (still zeroed, still usable)
+// but is otherwise a no-op: tokens already carved out become garbage
+// when the memories that stored them are Reset. It exists so
+// Processor.Reset has a single arena hook if recycling ever grows
+// smarter.
+func (ar *tokenArena) reset() {}
+
 // newToken returns a fresh token with an n-wide WMEs slice, both carved
 // from the arena. The slice is full-capacity-capped so an append can
 // never bleed into a neighbouring token's backing.

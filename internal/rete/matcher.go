@@ -133,6 +133,18 @@ func (m *Matcher) Memories() (left, right *Memory) { return m.proc.Memories() }
 // Cycle returns the number of completed match phases.
 func (m *Matcher) Cycle() int { return m.cycle }
 
+// Reset returns the matcher to its freshly-constructed state over the
+// same network: empty memories (storage retained), cycle and sequence
+// counters rewound, queue emptied. It is the session-pool reuse hook —
+// a Reset matcher behaves exactly like NewMatcher's result without
+// reallocating its hash tables.
+func (m *Matcher) Reset() {
+	m.proc.Reset()
+	m.cycle = 0
+	m.seq = 0
+	m.queue = m.queue[:0]
+}
+
 // Apply runs one match phase over the given wme changes and returns
 // the conflict-set deltas in deterministic generation order.
 func (m *Matcher) Apply(changes []Change) []InstChange {

@@ -119,6 +119,21 @@ func (m *Memory) scan(b int, n *Node, visit func(*memEntry)) {
 	}
 }
 
+// Reset empties every bucket while keeping the bucket slices' backing
+// arrays for reuse — the session-pool hook. Stored entry pointers are
+// nilled out so the entries (and the tokens and wmes they reference)
+// become collectible; the unconsumed tail of the current chunk stays
+// usable. Only legal at quiescence (no scan in progress).
+func (m *Memory) Reset() {
+	for i, b := range m.buckets {
+		for j := range b {
+			b[j] = nil
+		}
+		m.buckets[i] = b[:0]
+	}
+	m.size = 0
+}
+
 // BucketSizes returns the entry count per bucket (for distribution
 // diagnostics).
 func (m *Memory) BucketSizes() []int {

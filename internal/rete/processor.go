@@ -58,6 +58,16 @@ func (p *Processor) Memories() (left, right *Memory) { return p.left, p.right }
 // Bucket maps an activation to its hash-bucket index.
 func (p *Processor) Bucket(a Activation) int { return p.left.Bucket(a.HashKey()) }
 
+// Reset empties both memories (keeping their bucket storage) and drops
+// the arena's references to consumed chunks, returning the processor
+// to its freshly-constructed state over the same network — the
+// session-pool reuse hook. Only legal at quiescence.
+func (p *Processor) Reset() {
+	p.left.Reset()
+	p.right.Reset()
+	p.arena.reset()
+}
+
 // RootActivations runs the constant tests for one wme change and
 // returns the resulting activations (the paper's "tokens generated
 // directly by wmes"). Copy-and-constraint node copies filter right

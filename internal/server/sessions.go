@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mpcrete/internal/engine"
+)
+
+// session is one tenant: an engine.Session guarded by its own mutex.
+// Requests for different sessions run concurrently; requests for the
+// same session serialize on mu. The engine itself is single-threaded
+// per session by design — only the compiled network is shared.
+type session struct {
+	id  string
+	mu  sync.Mutex
+	eng *engine.Session
+}
+
+// do runs fn with the session locked. It reports false — and does not
+// call fn — when the session was concurrently closed (a DELETE racing
+// another request on the same id).
+func (sess *session) do(fn func(eng *engine.Session)) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.eng == nil {
+		return false
+	}
+	fn(sess.eng)
+	return true
+}
+
+// sessionTable owns the id -> session map and the recycle pool.
+type sessionTable struct {
+	compiled *engine.Compiled
+	max      int
+
+	mu     sync.Mutex
+	byID   map[string]*session
+	nextID int64
+	pool   *engine.SessionPool
+}
+
+func newSessionTable(c *engine.Compiled, max int) *sessionTable {
+	return &sessionTable{
+		compiled: c,
+		max:      max,
+		byID:     make(map[string]*session),
+		pool:     engine.NewSessionPool(c, engine.SessionOptions{}),
+	}
+}
+
+// open creates (or recycles) a session and registers it.
+func (t *sessionTable) open() (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) >= t.max {
+		return nil, fmt.Errorf("session limit reached (%d live)", t.max)
+	}
+	t.nextID++
+	sess := &session{
+		id:  "s" + strconv.FormatInt(t.nextID, 10),
+		eng: t.pool.Get(),
+	}
+	t.byID[sess.id] = sess
+	return sess, nil
+}
+
+// get returns the live session with the given id, or nil.
+func (t *sessionTable) get(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// close unregisters a session and recycles its engine through the
+// pool. It reports false for an unknown id.
+func (t *sessionTable) close(id string) bool {
+	t.mu.Lock()
+	sess := t.byID[id]
+	delete(t.byID, id)
+	t.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	// Serialize with any in-flight request on this session before the
+	// engine is reset for reuse.
+	sess.mu.Lock()
+	eng := sess.eng
+	sess.eng = nil
+	sess.mu.Unlock()
+	t.pool.Put(eng)
+	return true
+}
+
+// closeAll tears down every live session (drain path).
+func (t *sessionTable) closeAll() {
+	t.mu.Lock()
+	all := make([]*session, 0, len(t.byID))
+	for _, sess := range t.byID {
+		all = append(all, sess)
+	}
+	t.byID = make(map[string]*session)
+	t.mu.Unlock()
+	for _, sess := range all {
+		sess.mu.Lock()
+		if sess.eng != nil {
+			sess.eng.Close()
+			sess.eng = nil
+		}
+		sess.mu.Unlock()
+	}
+}
+
+func (t *sessionTable) live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+func (t *sessionTable) pooled() int { return t.pool.Len() }
+
+// admission is the bounded-queue backpressure gate: at most inflight
+// requests execute, at most queueDepth wait, the rest bounce with 429.
+type admission struct {
+	inflight chan struct{}
+	depth    int64
+	waiting  atomic.Int64
+	drained  atomic.Bool
+	wg       sync.WaitGroup
+}
+
+type admitResult int
+
+const (
+	admitOK admitResult = iota
+	admitDraining
+	admitOverflow
+	admitCanceled
+)
+
+func newAdmission(maxInflight, queueDepth int) *admission {
+	return &admission{
+		inflight: make(chan struct{}, maxInflight),
+		depth:    int64(queueDepth),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// all slots are busy. The caller must release() after admitOK.
+func (a *admission) acquire(ctx context.Context) admitResult {
+	if a.drained.Load() {
+		return admitDraining
+	}
+	select {
+	case a.inflight <- struct{}{}:
+	default:
+		// All slots busy: join the bounded wait queue.
+		if a.waiting.Add(1) > a.depth {
+			a.waiting.Add(-1)
+			return admitOverflow
+		}
+		defer a.waiting.Add(-1)
+		select {
+		case a.inflight <- struct{}{}:
+		case <-ctx.Done():
+			return admitCanceled
+		}
+	}
+	if a.drained.Load() {
+		// Lost the race with drain: back out so drain's slot sweep
+		// keeps its accounting.
+		<-a.inflight
+		return admitDraining
+	}
+	a.wg.Add(1)
+	return admitOK
+}
+
+func (a *admission) release() {
+	<-a.inflight
+	a.wg.Done()
+}
+
+// drain stops admission and blocks until all admitted requests have
+// released.
+func (a *admission) drain() {
+	a.drained.Store(true)
+	a.wg.Wait()
+}
+
+func (a *admission) draining() bool    { return a.drained.Load() }
+func (a *admission) waitingNow() int64 { return a.waiting.Load() }

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NamedProgram is one servable workload: an OPS5 program plus a default
+// initial working-memory set and a cycle budget, addressable by name.
+// cmd/ops5d's -workload flag, cmd/ops5load, and the server benchmarks
+// all resolve programs through this registry so they agree on what
+// "blocks" means.
+type NamedProgram struct {
+	Name      string
+	Program   string // OPS5 source
+	WMEs      string // default initial working-memory source
+	MaxCycles int    // cycle budget for a default run
+}
+
+// named is the registry of servable workloads. WME sizes are chosen so
+// a default run finishes in well under a second on the sequential
+// engine — these parameterize load tests, not capacity tests.
+var named = map[string]NamedProgram{
+	"blocks": {
+		Name:      "blocks",
+		Program:   BlocksWorld,
+		WMEs:      "", // filled in init: generated
+		MaxCycles: 200,
+	},
+	"monkey": {
+		Name:      "monkey",
+		Program:   MonkeyBananas,
+		WMEs:      MonkeyBananasWMEs,
+		MaxCycles: 100,
+	},
+	"rubik-like": {
+		Name:      "rubik-like",
+		Program:   RubikLike,
+		WMEs:      "",
+		MaxCycles: 300,
+	},
+	"tourney-like": {
+		Name:      "tourney-like",
+		Program:   TourneyLike,
+		WMEs:      "",
+		MaxCycles: 300,
+	},
+	"queens": {
+		Name:      "queens",
+		Program:   Queens,
+		WMEs:      "",
+		MaxCycles: 2000,
+	},
+	"counter": {
+		Name:      "counter",
+		Program:   CounterChain,
+		WMEs:      "(counter ^value 0 ^limit 50)",
+		MaxCycles: 100,
+	},
+}
+
+func init() {
+	for name, gen := range map[string]func() string{
+		"blocks":       func() string { return BlocksWorldWMEs(8) },
+		"rubik-like":   func() string { return RubikLikeWMEs(6, 8) },
+		"tourney-like": func() string { return TourneyLikeWMEs(8, 6) },
+		"queens":       func() string { return QueensWMEs(6) },
+	} {
+		p := named[name]
+		p.WMEs = gen()
+		named[name] = p
+	}
+}
+
+// Named resolves a servable workload by name.
+func Named(name string) (NamedProgram, error) {
+	p, ok := named[name]
+	if !ok {
+		return NamedProgram{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, NamedNames())
+	}
+	return p, nil
+}
+
+// NamedNames lists the registry's workload names, sorted.
+func NamedNames() []string {
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -65,6 +65,7 @@ import (
 	"mpcrete/internal/rete"
 	"mpcrete/internal/sweep"
 	"mpcrete/internal/trace"
+	"mpcrete/internal/transport"
 	"mpcrete/internal/workloads"
 )
 
@@ -235,6 +236,44 @@ func main() {
 						"workload": "tourney-like 30x25",
 					})
 			}
+		}
+	}
+
+	// transport/*: the pluggable message plane on the same burst — the
+	// in-process reference endpoints against the loopback TCP wire
+	// (full frame codec plus real localhost sockets), isolating the
+	// per-message serialization and syscall cost the multi-process
+	// runtime pays. Wall-clock only; gated like the parallel family.
+	for _, tr := range []struct {
+		name string
+		mk   func() parallel.Transport
+	}{
+		{"inproc", func() parallel.Transport { return parallel.InProc() }},
+		{"tcp", func() parallel.Transport { return transport.NewLoopback(net) }},
+	} {
+		for _, det := range []struct {
+			name string
+			d    parallel.Detector
+		}{{"count", parallel.CountingDetector}, {"four", parallel.FourCounterDetector}} {
+			tr, det := tr, det
+			b := benchfmt.Measure(fmt.Sprintf("transport/%s-w4-%s", tr.name, det.name), iters(10, 3),
+				map[string]string{
+					"workers":   "4",
+					"detector":  det.name,
+					"transport": tr.name,
+					"workload":  "tourney-like 30x25",
+				},
+				func() int64 {
+					rt, err := parallel.New(net, parallel.Options{Workers: 4, Detector: det.d, Transport: tr.mk()})
+					if err != nil {
+						fatal(err)
+					}
+					rt.Apply(changes)
+					rt.Close()
+					return 0
+				})
+			b.NsTolerance = parallelNsTolerance
+			add(b)
 		}
 	}
 

@@ -10,6 +10,7 @@
 //
 //	obsreport -workload rubik
 //	obsreport -workload tourney -workers 8 -routed
+//	obsreport -workload rubik -transport tcp
 //	obsreport -workload blocks -json report.json -csv report.csv
 //	obsreport -workload rubik -trace rubik.trace.json -dump rubik.flight.json
 //	obsreport -prog my.ops5 -wmes my.wmes -workers 4
@@ -22,6 +23,9 @@ import (
 	"os"
 
 	"mpcrete/internal/analysis"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/transport"
 	"mpcrete/internal/workloads"
 )
 
@@ -43,6 +47,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "parallel workers (also the model's processor count)")
 		cycles   = flag.Int("cycles", 200, "max recognize-act cycles")
 		routed   = flag.Bool("routed", false, "route root activations to their owners (Fig 3-2) instead of broadcasting")
+		tname    = flag.String("transport", "inproc", "measured run's message plane: inproc (goroutine mailboxes) or tcp (loopback TCP with the full wire codec)")
 		chaos    = flag.Int64("chaos", 0, "chaos-scheduling seed for the measured run (0 = off)")
 		jsonOut  = flag.String("json", "", "write the report as JSON here")
 		csvOut   = flag.String("csv", "", "write the per-cycle rows as CSV here")
@@ -58,12 +63,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, err := analysis.CompareModelMeasured(name, prog, wmes, analysis.MMOptions{
+	mm := analysis.MMOptions{
 		Workers:    *workers,
 		MaxCycles:  *cycles,
 		RouteRoots: *routed,
 		ChaosSeed:  *chaos,
-	})
+	}
+	switch *tname {
+	case "inproc":
+	case "tcp":
+		mm.Transport = func(n *rete.Network) parallel.Transport { return transport.NewLoopback(n) }
+	default:
+		fatal(fmt.Errorf("unknown transport %q (inproc or tcp)", *tname))
+	}
+	rep, err := analysis.CompareModelMeasured(name, prog, wmes, mm)
 	fatal(err)
 
 	fatal(rep.Render(os.Stdout))

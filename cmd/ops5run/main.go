@@ -8,9 +8,18 @@
 //
 //	ops5run -program rules.ops5 -wmes initial.wmes [-cycles 1000]
 //	        [-strategy lex|mea] [-trace out.trace] [-v]
+//	ops5run -workload rubik-like -v
 //	ops5run -program rules.ops5 -parallel 4 -timeline out.json
 //	ops5run -program rules.ops5 -parallel 4 -route-roots
 //	ops5run -program rules.ops5 -parallel 4 -debug-addr localhost:6060
+//
+// With -transport tcp the match phase runs on separate worker
+// processes: ops5run becomes the control process, listens on -listen,
+// and waits for -parallel ops5worker processes to dial in before the
+// first cycle:
+//
+//	ops5run -workload rubik-like -parallel 4 -transport tcp -listen 127.0.0.1:7465
+//	ops5worker -addr 127.0.0.1:7465   (x4, in other terminals)
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
 	"mpcrete/internal/trace"
+	"mpcrete/internal/transport"
+	"mpcrete/internal/workloads"
 )
 
 func main() {
@@ -41,15 +52,37 @@ func main() {
 	routeRoots := flag.Bool("route-roots", false, "hash-route root activations from the control goroutine (Fig 3-2) instead of broadcasting changes (requires -parallel)")
 	timelinePath := flag.String("timeline", "", "write the parallel matcher's wall-clock Chrome trace timeline here (requires -parallel)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar (live runtime stats) on this address")
+	workloadName := flag.String("workload", "", "built-in workload name (alternative to -program/-wmes; see internal/workloads)")
+	transportName := flag.String("transport", "inproc", "parallel message plane: inproc (goroutine mailboxes) or tcp (multi-process; match workers are separate ops5worker processes)")
+	listenAddr := flag.String("listen", "127.0.0.1:0", "control listen address for -transport tcp")
+	flightPath := flag.String("flight-dump", "", "write the parallel run's causal flight dump (JSON) here (requires -parallel)")
 	flag.Parse()
 
-	if *programPath == "" {
+	var src, wsrc string
+	var traceName string
+	switch {
+	case *workloadName != "" && *programPath != "":
+		fatal("workload", fmt.Errorf("-workload and -program are mutually exclusive"))
+	case *workloadName != "":
+		wl, err := workloads.Named(*workloadName)
+		fatal("workload", err)
+		src, wsrc = wl.Program, wl.WMEs
+		traceName = *workloadName
+	case *programPath != "":
+		b, err := os.ReadFile(*programPath)
+		fatal("read program", err)
+		src = string(b)
+		traceName = strings.TrimSuffix(*programPath, ".ops5")
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(*programPath)
-	fatal("read program", err)
-	prog, err := ops5.ParseProgram(string(src))
+	if *wmePath != "" {
+		b, err := os.ReadFile(*wmePath)
+		fatal("read wmes", err)
+		wsrc = string(b)
+	}
+	prog, err := ops5.ParseProgram(src)
 	fatal("parse program", err)
 
 	opts := engine.Options{Output: os.Stdout, NBuckets: *nbuckets, Watch: *watch}
@@ -64,7 +97,7 @@ func main() {
 
 	var rec *trace.Recorder
 	if *tracePath != "" {
-		rec = trace.NewRecorder(strings.TrimSuffix(*programPath, ".ops5"), *nbuckets)
+		rec = trace.NewRecorder(traceName, *nbuckets)
 		opts.Listener = rec
 	}
 
@@ -74,32 +107,72 @@ func main() {
 	if *routeRoots && *par <= 0 {
 		fatal("route-roots", fmt.Errorf("-route-roots selects the parallel runtime's root delivery; add -parallel N"))
 	}
+	if *flightPath != "" && *par <= 0 {
+		fatal("flight-dump", fmt.Errorf("-flight-dump records the parallel matcher; add -parallel N"))
+	}
+	if *transportName == "tcp" && *par <= 0 {
+		fatal("transport", fmt.Errorf("-transport tcp needs -parallel N (the worker process count)"))
+	}
 	var timeline *obs.Recorder
 	var rt *parallel.Runtime
+	var ctl *transport.Control
 	if *par > 0 {
 		if *tracePath != "" {
 			fatal("parallel", fmt.Errorf("-trace requires the sequential matcher (the recorder hooks rete.Matcher)"))
 		}
-		if *timelinePath != "" {
-			timeline = obs.NewRecorder()
-		}
 		net, err := rete.Compile(prog.Productions)
 		fatal("compile", err)
-		rt, err = parallel.New(net, parallel.Options{
-			Workers:    *par,
-			NBuckets:   *nbuckets,
-			RouteRoots: *routeRoots,
-			Recorder:   timeline,
-		})
-		fatal("parallel runtime", err)
-		defer rt.Close()
-		opts.Matcher = rt
+		var causal *obs.CausalRecorder
+		if *flightPath != "" {
+			nb := *nbuckets
+			if nb == 0 {
+				nb = rete.DefaultNBuckets
+			}
+			causal = parallel.NewFlightRecorder(*par, 0, 0, nb)
+		}
+		switch *transportName {
+		case "inproc":
+			if *timelinePath != "" {
+				timeline = obs.NewRecorder()
+			}
+			rt, err = parallel.New(net, parallel.Options{
+				Workers:    *par,
+				NBuckets:   *nbuckets,
+				RouteRoots: *routeRoots,
+				Recorder:   timeline,
+				Causal:     causal,
+			})
+			fatal("parallel runtime", err)
+			defer rt.Close()
+			opts.Matcher = rt
+		case "tcp":
+			if *timelinePath != "" {
+				fatal("timeline", fmt.Errorf("-timeline hooks the in-process runtime; use -flight-dump with -transport tcp"))
+			}
+			ctl, err = transport.Listen(net, *listenAddr, transport.ControlOptions{
+				Workers:    *par,
+				NBuckets:   *nbuckets,
+				RouteRoots: *routeRoots,
+				Causal:     causal,
+			})
+			fatal("control listen", err)
+			defer ctl.Close()
+			fmt.Fprintf(os.Stderr, "ops5run: control listening on %s; waiting for %d ops5worker processes\n", ctl.Addr(), *par)
+			fatal("worker handshake", ctl.WaitWorkers())
+			fmt.Fprintf(os.Stderr, "ops5run: %d workers connected\n", *par)
+			opts.Matcher = ctl
+		default:
+			fatal("transport", fmt.Errorf("unknown transport %q (inproc or tcp)", *transportName))
+		}
 	}
 
 	if *debugAddr != "" {
 		snapshots := map[string]func() any{}
 		if rt != nil {
 			snapshots["runtime"] = func() any { return rt.Stats() }
+		}
+		if ctl != nil {
+			snapshots["runtime"] = func() any { return ctl.Stats() }
 		}
 		addr, stop, err := obs.ServeDebug(*debugAddr, snapshots)
 		fatal("debug server", err)
@@ -117,10 +190,8 @@ func main() {
 		fatal("close dot", f.Close())
 	}
 
-	if *wmePath != "" {
-		wsrc, err := os.ReadFile(*wmePath)
-		fatal("read wmes", err)
-		wmes, err := ops5.ParseWMEs(string(wsrc))
+	if wsrc != "" {
+		wmes, err := ops5.ParseWMEs(wsrc)
 		fatal("parse wmes", err)
 		e.InsertWMEs(wmes...)
 	}
@@ -137,12 +208,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ops5run: %d productions, %d alpha patterns, %d joins, %d negatives\n",
 			len(prog.Productions), s.AlphaPatterns, s.JoinNodes, s.NegativeNodes)
 		fmt.Fprintf(os.Stderr, "ops5run: fired %d, wm size %d, halted %v\n", fired, e.WMCount(), e.Halted())
+		var st parallel.Stats
+		switch {
+		case rt != nil:
+			st = rt.Stats()
+		case ctl != nil:
+			st = ctl.Stats()
+		}
+		for w, n := range st.Processed {
+			fmt.Fprintf(os.Stderr, "ops5run: worker %d: %d activations, %d messages sent\n",
+				w, n, st.MsgsSent[w])
+		}
+	}
+	if *flightPath != "" {
+		var dump *obs.FlightDump
 		if rt != nil {
-			st := rt.Stats()
-			for w, n := range st.Processed {
-				fmt.Fprintf(os.Stderr, "ops5run: worker %d: %d activations, %d messages sent\n",
-					w, n, st.MsgsSent[w])
-			}
+			dump = rt.FlightDump()
+		} else {
+			dump = ctl.FlightDump()
+		}
+		f, err := os.Create(*flightPath)
+		fatal("create flight dump", err)
+		fatal("write flight dump", dump.WriteJSON(f))
+		fatal("close flight dump", f.Close())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ops5run: flight dump written to %s\n", *flightPath)
 		}
 	}
 	if *timelinePath != "" {

@@ -61,6 +61,12 @@ type MMOptions struct {
 	RetainCycles int
 	// ChaosSeed perturbs the measured run's scheduling (0 = off).
 	ChaosSeed int64
+	// Transport, when non-nil, is called with the compiled network to
+	// supply the measured run's message plane (e.g. the loopback TCP
+	// transport in internal/transport, so measured per-message costs
+	// include real serialization and socket hops). Nil uses the
+	// in-process reference endpoints.
+	Transport func(*rete.Network) parallel.Transport
 }
 
 // MMRow is one cycle of the side-by-side comparison.
@@ -172,13 +178,17 @@ func CompareModelMeasured(name, progSrc, wmeSrc string, opts MMOptions) (*MMRepo
 		return nil, fmt.Errorf("analysis: compile %s: %w", name, err)
 	}
 	cr := parallel.NewFlightRecorder(opts.Workers, opts.RingCap, retain, tr.NBuckets)
-	rt, err := parallel.New(net, parallel.Options{
+	popts := parallel.Options{
 		Workers:    opts.Workers,
 		NBuckets:   tr.NBuckets,
 		RouteRoots: opts.RouteRoots,
 		ChaosSeed:  opts.ChaosSeed,
 		Causal:     cr,
-	})
+	}
+	if opts.Transport != nil {
+		popts.Transport = opts.Transport(net)
+	}
+	rt, err := parallel.New(net, popts)
 	if err != nil {
 		return nil, err
 	}

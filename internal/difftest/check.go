@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mpcrete/internal/engine"
 	"mpcrete/internal/obs"
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
+	"mpcrete/internal/transport"
 )
 
 // checkNBuckets is the hash-space size every configuration runs with.
@@ -48,6 +50,14 @@ type CheckOptions struct {
 	// It exists to drill the divergence-reporting path end to end
 	// (shrink, repro file, flight dump) without needing a real bug.
 	ForceDivergence string
+	// TCP, when true, adds the wire-transport configurations to the
+	// matrix: the in-process runtime over the loopback TCP transport
+	// (tcp-*, every message through the full frame codec and a real
+	// socket) and the multi-process control plane with worker protocol
+	// loops on local connections (tcpproc-*). Off by default — each
+	// configuration opens real sockets per case, which is too slow for
+	// the fuzzing inner loop.
+	TCP bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -256,11 +266,74 @@ func parConfig(workers int, routed bool, variant string) config {
 	}}
 }
 
+// tcpConfig is the in-process runtime with its mailboxes replaced by
+// the loopback TCP transport: identical scheduling, but every message
+// crosses the full wire codec and a real localhost socket.
+func tcpConfig(workers int, routed bool) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("tcp-w%d-%s", workers, mode)
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
+		net, err := compileVariant(prods, "shared")
+		if err != nil {
+			return built{}, err
+		}
+		rt, err := parallel.New(net, parallel.Options{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+			Metrics:    opts.Metrics,
+			Transport:  transport.NewLoopback(net),
+		})
+		if err != nil {
+			return built{}, err
+		}
+		return built{net: net, matcher: rt, close: rt.Close}, nil
+	}}
+}
+
+// tcpProcConfig is the multi-process control plane: a transport.Control
+// hub with worker protocol loops served over local TCP connections —
+// the same code path ops5run -transport tcp and ops5worker run as
+// separate OS processes.
+func tcpProcConfig(workers int, routed bool) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("tcpproc-w%d-%s", workers, mode)
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
+		net, err := compileVariant(prods, "shared")
+		if err != nil {
+			return built{}, err
+		}
+		ctl, err := transport.Listen(net, "127.0.0.1:0", transport.ControlOptions{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+		})
+		if err != nil {
+			return built{}, err
+		}
+		for i := 0; i < workers; i++ {
+			go transport.Serve(ctl.Addr(), 10*time.Second)
+		}
+		if err := ctl.WaitWorkers(); err != nil {
+			ctl.Close()
+			return built{}, err
+		}
+		return built{net: net, matcher: ctl, close: func() { ctl.Close() }}, nil
+	}}
+}
+
 // configMatrix is the full run matrix: the sequential reference comes
 // first, then the sequential network variants, the parallel sweep over
 // worker counts and both message-plane modes, and cross-variant
 // parallel runs (a routed copy-and-constraint runtime is the paper's
-// Fig 3-2 machine executing a Section 5.2.2 network).
+// Fig 3-2 machine executing a Section 5.2.2 network). With opts.TCP
+// the wire-transport configurations join the matrix in both modes.
 func configMatrix(opts CheckOptions) []config {
 	configs := []config{
 		seqConfig("shared"),
@@ -278,6 +351,12 @@ func configMatrix(opts CheckOptions) []config {
 		parConfig(cross, false, "unshared"),
 		parConfig(cross, true, "candc"),
 	)
+	if opts.TCP {
+		configs = append(configs,
+			tcpConfig(2, false), tcpConfig(2, true),
+			tcpProcConfig(2, false), tcpProcConfig(2, true),
+		)
+	}
 	return configs
 }
 

@@ -98,6 +98,42 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
+// TestTCPTransportParity replays the committed corpus and a slice of
+// generated cases through the wire-transport configurations — the
+// loopback TCP endpoints under the in-process runtime (tcp-*) and the
+// multi-process control plane with worker protocol loops on local
+// connections (tcpproc-*) — proving conflict-set parity across the
+// frame codec and real sockets.
+func TestTCPTransportParity(t *testing.T) {
+	opts := CheckOptions{MaxCycles: 20, Workers: []int{2}, Budget: 10000, TCP: true}
+	cases, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() && len(cases) > 4 {
+		cases = cases[:4]
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			if mis := Check(c, opts); mis != nil {
+				t.Fatal(mis)
+			}
+		})
+	}
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		if mis := Check(Gen(seed, GenConfig{}), opts); mis != nil {
+			t.Fatalf("%v\nrepro:\n%s", mis, mis.Case.Encode())
+		}
+		if mis := Check(GenScript(seed, GenConfig{}), opts); mis != nil {
+			t.Fatalf("%v\nrepro:\n%s", mis, mis.Case.Encode())
+		}
+	}
+}
+
 // TestGeneratedCasesCheckClean is the deterministic slice of the fuzz
 // target: a spread of seeds and configs through the quick matrix.
 func TestGeneratedCasesCheckClean(t *testing.T) {

@@ -215,6 +215,23 @@ func (t *TrackRecorder) Handle(ts int64, cycle, bucket, depth, fanout int32) {
 	t.record(CausalEvent{Kind: EvHandle, TS: ts, Cycle: cycle, Batch: 0, Src: NoValue, Dst: NoValue, Bucket: bucket, Depth: depth, Count: fanout})
 }
 
+// MergeRemote folds a remotely-measured per-turn aggregate into the
+// track's current cycle. A multi-process runtime measures handles,
+// flushes, and dependency depth on the worker process's side of the
+// wire and ships only the totals home — no ring events survive the
+// transport — so the control-side conn reader (the track's single
+// producer) merges them here and per-cycle aggregates stay exact.
+func (t *TrackRecorder) MergeRemote(handles, flushes int64, maxDepth int32) {
+	if t == nil {
+		return
+	}
+	t.agg.Handles += handles
+	t.agg.Flushes += flushes
+	if maxDepth > t.agg.MaxDepth {
+		t.agg.MaxDepth = maxDepth
+	}
+}
+
 // Flush records a non-empty coalesced flush of count messages.
 func (t *TrackRecorder) Flush(ts int64, cycle, count int32) {
 	if t == nil {

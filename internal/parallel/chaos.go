@@ -39,10 +39,10 @@ type chaos struct {
 	// ahead of newly arrived messages on a later turn (chaos-owned
 	// backing array — batch slices are donated back to the mailbox and
 	// must not be aliased).
-	carry []message
+	carry []Message
 
 	// shuffleRun scratch.
-	buckets map[int32][]message
+	buckets map[int32][]Message
 	order   []int32
 }
 
@@ -51,7 +51,7 @@ func newChaos(seed int64, id int) *chaos {
 	// worker 1/worker 0 of adjacent seeds.
 	return &chaos{
 		rng:     rand.New(rand.NewSource(seed + int64(id+1)*0x9e3779b97f4a7c)),
-		buckets: map[int32][]message{},
+		buckets: map[int32][]Message{},
 	}
 }
 
@@ -67,11 +67,11 @@ func newChaos(seed int64, id int) *chaos {
 // the flight recorder marks arrival (drain time), so a carried message
 // is recv'd on its drain turn even if handled on a later one — the
 // only causal imprecision the chaos layer introduces.
-func (c *chaos) nextBatch(w *worker) ([]message, []recvStamp, bool) {
-	var batch []message
-	var stamps []recvStamp
+func (c *chaos) nextBatch(w *worker) ([]Message, []RecvStamp, bool) {
+	var batch []Message
+	var stamps []RecvStamp
 	if len(c.carry) == 0 {
-		b, s, ok := w.inbox.drain(w.batch, w.stampBuf)
+		b, s, ok := w.inbox.Drain(w.batch, w.stampBuf)
 		if !ok {
 			return b, s, false
 		}
@@ -80,8 +80,8 @@ func (c *chaos) nextBatch(w *worker) ([]message, []recvStamp, bool) {
 		// Deferred messages pending: don't block on the mailbox (no one
 		// may ever send again), just take whatever else arrived and
 		// process the carry first to preserve arrival order.
-		drained, s, _ := w.inbox.tryDrain(w.batch, w.stampBuf)
-		combined := make([]message, 0, len(c.carry)+len(drained))
+		drained, s, _ := w.inbox.TryDrain(w.batch, w.stampBuf)
+		combined := make([]Message, 0, len(c.carry)+len(drained))
 		combined = append(combined, c.carry...)
 		combined = append(combined, drained...)
 		c.carry = c.carry[:0]
@@ -103,18 +103,18 @@ func (c *chaos) nextBatch(w *worker) ([]message, []recvStamp, bool) {
 	return batch, stamps, true
 }
 
-// perturb re-interleaves each maximal run of msgAct messages in place.
+// perturb re-interleaves each maximal run of MsgAct messages in place.
 // Non-act messages (cycle packets, migrations) act as barriers: they
 // carry phase semantics and keep their positions.
-func (c *chaos) perturb(batch []message) {
+func (c *chaos) perturb(batch []Message) {
 	i := 0
 	for i < len(batch) {
-		if batch[i].kind != msgAct {
+		if batch[i].Kind != MsgAct {
 			i++
 			continue
 		}
 		j := i
-		for j < len(batch) && batch[j].kind == msgAct {
+		for j < len(batch) && batch[j].Kind == MsgAct {
 			j++
 		}
 		if j-i > 1 {
@@ -130,14 +130,14 @@ func (c *chaos) perturb(batch []message) {
 // different buckets live in different memories with no ordering
 // relation, while same-bucket traffic (in particular a token's add
 // followed by its delete) is serialized by its owner.
-func (c *chaos) shuffleRun(run []message) {
+func (c *chaos) shuffleRun(run []Message) {
 	clear(c.buckets)
 	c.order = c.order[:0]
 	for _, m := range run {
-		if _, seen := c.buckets[m.bucket]; !seen {
-			c.order = append(c.order, m.bucket)
+		if _, seen := c.buckets[m.Bucket]; !seen {
+			c.order = append(c.order, m.Bucket)
 		}
-		c.buckets[m.bucket] = append(c.buckets[m.bucket], m)
+		c.buckets[m.Bucket] = append(c.buckets[m.Bucket], m)
 	}
 	if len(c.order) < 2 {
 		return

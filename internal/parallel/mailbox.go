@@ -11,10 +11,10 @@ import (
 // many messages the run contained. Stamps exist only when the mailbox
 // was created stamped (a causal recorder is attached); they are the
 // receive half of the send->recv happens-before edge.
-type recvStamp struct {
-	batch int32
-	src   int32
-	count int32
+type RecvStamp struct {
+	Batch int32
+	Src   int32
+	Count int32
 }
 
 // mailbox is an unbounded FIFO message queue consumed in batches.
@@ -35,8 +35,8 @@ type recvStamp struct {
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []message
-	stamps []recvStamp
+	queue  []Message
+	stamps []RecvStamp
 	closed bool
 	// stamped enables recvStamp recording (set when the runtime has a
 	// causal recorder attached).
@@ -60,7 +60,7 @@ func newMailbox(dropped *obs.Counter, stamped bool) *mailbox {
 // straggler worker flushing its coalescing buffer can race close, and
 // by the time Close is legal (the runtime is quiescent) no droppable
 // message can carry live work.
-func (m *mailbox) push(msg message, batch, src int32) {
+func (m *mailbox) Push(msg Message, batch, src int32) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -69,7 +69,7 @@ func (m *mailbox) push(msg message, batch, src int32) {
 	}
 	m.queue = append(m.queue, msg)
 	if m.stamped {
-		m.stamps = append(m.stamps, recvStamp{batch: batch, src: src, count: 1})
+		m.stamps = append(m.stamps, RecvStamp{Batch: batch, Src: src, Count: 1})
 	}
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -79,7 +79,7 @@ func (m *mailbox) push(msg message, batch, src int32) {
 // lock acquisition, recording a single stamp for the whole run on
 // stamped mailboxes. The batch is copied, so the caller may reuse its
 // buffer immediately. Like push, it drops (and counts) after close.
-func (m *mailbox) pushBatch(msgs []message, batch, src int32) {
+func (m *mailbox) PushBatch(msgs []Message, batch, src int32) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -91,7 +91,7 @@ func (m *mailbox) pushBatch(msgs []message, batch, src int32) {
 	}
 	m.queue = append(m.queue, msgs...)
 	if m.stamped {
-		m.stamps = append(m.stamps, recvStamp{batch: batch, src: src, count: int32(len(msgs))})
+		m.stamps = append(m.stamps, RecvStamp{Batch: batch, Src: src, Count: int32(len(msgs))})
 	}
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -104,7 +104,7 @@ func (m *mailbox) pushBatch(msgs []message, batch, src int32) {
 // (truncated, capacity kept) as the mailbox's next backing arrays.
 // Pending messages are still delivered after close; ok == false means
 // closed *and* empty.
-func (m *mailbox) drain(buf []message, sbuf []recvStamp) (batch []message, stamps []recvStamp, ok bool) {
+func (m *mailbox) Drain(buf []Message, sbuf []RecvStamp) (batch []Message, stamps []RecvStamp, ok bool) {
 	buf = buf[:0]
 	if sbuf != nil {
 		sbuf = sbuf[:0]
@@ -129,7 +129,7 @@ func (m *mailbox) drain(buf []message, sbuf []recvStamp) (batch []message, stamp
 // holds deferred messages: it takes whatever is pending (possibly
 // nothing) without waiting. ok == false means closed and empty, as for
 // drain.
-func (m *mailbox) tryDrain(buf []message, sbuf []recvStamp) (batch []message, stamps []recvStamp, ok bool) {
+func (m *mailbox) TryDrain(buf []Message, sbuf []RecvStamp) (batch []Message, stamps []RecvStamp, ok bool) {
 	buf = buf[:0]
 	if sbuf != nil {
 		sbuf = sbuf[:0]
@@ -150,7 +150,7 @@ func (m *mailbox) tryDrain(buf []message, sbuf []recvStamp) (batch []message, st
 
 // close wakes all blocked readers; pending messages are still
 // delivered before drain reports closure, and later sends are dropped.
-func (m *mailbox) close() {
+func (m *mailbox) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.cond.Broadcast()

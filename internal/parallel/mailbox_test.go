@@ -9,35 +9,35 @@ import (
 
 // seqMsg encodes a sequence number in a message via inject pointer
 // identity (message has no spare integer field).
-func seqMsg(seqs map[*migrateIn]int, seq int) message {
+func seqMsg(seqs map[*migrateIn]int, seq int) Message {
 	mi := &migrateIn{}
 	seqs[mi] = seq
-	return message{kind: msgAct, inject: mi}
+	return Message{Kind: MsgAct, inject: mi}
 }
 
 func TestMailboxDrainFIFO(t *testing.T) {
 	m := newMailbox(nil, false)
 	seqs := map[*migrateIn]int{}
 	sent, next := 0, 0
-	var batch []message
+	var batch []Message
 	// Interleave single pushes, batched pushes, and drains so both the
 	// swap path and buffer reuse are exercised with messages pending.
 	for round := 0; round < 50; round++ {
 		for i := 0; i < 3; i++ {
-			m.push(seqMsg(seqs, sent), 0, 0)
+			m.Push(seqMsg(seqs, sent), 0, 0)
 			sent++
 		}
-		var b []message
+		var b []Message
 		for i := 0; i < 17; i++ {
 			b = append(b, seqMsg(seqs, sent))
 			sent++
 		}
-		m.pushBatch(b, 0, 0)
+		m.PushBatch(b, 0, 0)
 		if round%3 != 0 {
 			continue // let the queue accumulate across rounds
 		}
 		var ok bool
-		batch, _, ok = m.drain(batch, nil)
+		batch, _, ok = m.Drain(batch, nil)
 		if !ok {
 			t.Fatal("unexpected close")
 		}
@@ -49,10 +49,10 @@ func TestMailboxDrainFIFO(t *testing.T) {
 		}
 	}
 	// Drain the remainder, then observe closure.
-	m.close()
+	m.Close()
 	for next < sent {
 		var ok bool
-		batch, _, ok = m.drain(batch, nil)
+		batch, _, ok = m.Drain(batch, nil)
 		if !ok {
 			t.Fatalf("closed with %d of %d undelivered", sent-next, sent)
 		}
@@ -63,7 +63,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 			next++
 		}
 	}
-	if _, _, ok := m.drain(batch, nil); ok {
+	if _, _, ok := m.Drain(batch, nil); ok {
 		t.Fatal("drain after close and empty should report closed")
 	}
 }
@@ -71,12 +71,12 @@ func TestMailboxDrainFIFO(t *testing.T) {
 func TestMailboxPushBatchCopies(t *testing.T) {
 	m := newMailbox(nil, false)
 	seqs := map[*migrateIn]int{}
-	buf := []message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
-	m.pushBatch(buf, 0, 0)
+	buf := []Message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
+	m.PushBatch(buf, 0, 0)
 	// The sender reuses its buffer immediately, as workers do.
 	buf[0] = seqMsg(seqs, 99)
 	buf[1] = seqMsg(seqs, 99)
-	batch, _, ok := m.drain(nil, nil)
+	batch, _, ok := m.Drain(nil, nil)
 	if !ok || len(batch) != 2 {
 		t.Fatalf("drain = %d messages, ok=%v; want 2", len(batch), ok)
 	}
@@ -96,15 +96,15 @@ func TestMailboxSendAfterCloseDropped(t *testing.T) {
 	reg := obs.NewRegistry()
 	dropped := reg.Counter("parallel.dropped_post_close")
 	m := newMailbox(dropped, false)
-	m.push(message{kind: msgAct}, 0, 0)
-	m.close()
-	m.push(message{kind: msgAct}, 0, 0)  // dropped, no panic
-	m.pushBatch([]message{{}, {}}, 0, 0) // dropped, no panic
-	m.pushBatch(nil, 0, 0)               // no-op
-	if batch, _, ok := m.drain(nil, nil); !ok || len(batch) != 1 {
+	m.Push(Message{Kind: MsgAct}, 0, 0)
+	m.Close()
+	m.Push(Message{Kind: MsgAct}, 0, 0)  // dropped, no panic
+	m.PushBatch([]Message{{}, {}}, 0, 0) // dropped, no panic
+	m.PushBatch(nil, 0, 0)               // no-op
+	if batch, _, ok := m.Drain(nil, nil); !ok || len(batch) != 1 {
 		t.Fatalf("drain = %d messages, ok=%v; want the 1 pre-close message", len(batch), ok)
 	}
-	if _, _, ok := m.drain(nil, nil); ok {
+	if _, _, ok := m.Drain(nil, nil); ok {
 		t.Fatal("post-close pushes must not be delivered")
 	}
 	if got := dropped.Value(); got != 3 {
@@ -114,16 +114,16 @@ func TestMailboxSendAfterCloseDropped(t *testing.T) {
 
 func TestMailboxTryDrain(t *testing.T) {
 	m := newMailbox(nil, false)
-	if batch, _, ok := m.tryDrain(nil, nil); !ok || len(batch) != 0 {
+	if batch, _, ok := m.TryDrain(nil, nil); !ok || len(batch) != 0 {
 		t.Fatalf("tryDrain on empty open mailbox = (%d, %v), want (0, true)", len(batch), ok)
 	}
-	m.push(message{kind: msgAct}, 0, 0)
-	batch, _, ok := m.tryDrain(nil, nil)
+	m.Push(Message{Kind: MsgAct}, 0, 0)
+	batch, _, ok := m.TryDrain(nil, nil)
 	if !ok || len(batch) != 1 {
 		t.Fatalf("tryDrain = (%d, %v), want (1, true)", len(batch), ok)
 	}
-	m.close()
-	if _, _, ok := m.tryDrain(batch, nil); ok {
+	m.Close()
+	if _, _, ok := m.TryDrain(batch, nil); ok {
 		t.Fatal("tryDrain on closed empty mailbox must report closure")
 	}
 }
@@ -136,25 +136,25 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var buf []message
+			var buf []Message
 			for i := 0; i < per; i++ {
-				buf = append(buf, message{kind: msgAct})
+				buf = append(buf, Message{Kind: MsgAct})
 				if len(buf) == batchLen {
-					m.pushBatch(buf, 0, 0)
+					m.PushBatch(buf, 0, 0)
 					buf = buf[:0]
 				}
 			}
-			m.pushBatch(buf, 0, 0)
+			m.PushBatch(buf, 0, 0)
 		}()
 	}
 	received := 0
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		var batch []message
+		var batch []Message
 		var ok bool
 		for received < producers*per {
-			if batch, _, ok = m.drain(batch, nil); !ok {
+			if batch, _, ok = m.Drain(batch, nil); !ok {
 				return
 			}
 			received += len(batch)

@@ -39,6 +39,12 @@ func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) 
 	if rt.closed {
 		return MigrationStats{}, fmt.Errorf("parallel: Repartition after Close")
 	}
+	if !rt.refDelivery {
+		// Migration messages carry live *rete.BucketContents pointers;
+		// only a by-reference transport (see RefTransport) can deliver
+		// them.
+		return MigrationStats{}, fmt.Errorf("parallel: Repartition requires an in-process (by-reference) transport")
+	}
 	if len(newPart) != rt.opts.NBuckets {
 		return MigrationStats{}, fmt.Errorf("parallel: partition covers %d buckets, want %d", len(newPart), rt.opts.NBuckets)
 	}
@@ -69,7 +75,7 @@ func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) 
 		}
 		rt.counter.Add(1)
 		rt.controlCounts().IncSent()
-		rt.workers[w].inbox.push(message{kind: msgMigrateOut, migrate: &migrateOut{moves: moves}}, rt.causal.NextBatch(), int32(rt.opts.Workers))
+		rt.workers[w].inbox.Push(Message{Kind: MsgMigrateOut, migrate: &migrateOut{moves: moves}}, rt.causal.NextBatch(), int32(rt.opts.Workers))
 	}
 	rt.counter.Wait()
 
@@ -106,6 +112,6 @@ func (w *worker) handleMigrateOut(m *migrateOut) {
 		w.migrationMsgs++
 		rt.counter.Add(1)
 		rt.counts[w.id].IncSent()
-		rt.workers[m.moves[b]].inbox.push(message{kind: msgMigrateIn, inject: &migrateIn{contents: bc}}, rt.causal.NextBatch(), int32(w.id))
+		rt.workers[m.moves[b]].inbox.Push(Message{Kind: MsgMigrateIn, inject: &migrateIn{contents: bc}}, rt.causal.NextBatch(), int32(w.id))
 	}
 }

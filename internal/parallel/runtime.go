@@ -94,6 +94,12 @@ type Options struct {
 	// post-close mailbox sends (normal operation keeps it zero; soak
 	// runs assert that).
 	Metrics *obs.Registry
+	// Transport supplies the message plane (nil: the in-process
+	// double-buffer mailboxes, InProc). See the Transport contract in
+	// transport.go; internal/transport provides a TCP loopback
+	// implementation used to validate wire framing against this
+	// reference in-process.
+	Transport Transport
 	// Causal, when non-nil, attaches the flight recorder: every worker
 	// records sequence-stamped send/recv/handle/flush events (with
 	// bucket, cycle, batch id, and dependency depth) into its own
@@ -117,32 +123,35 @@ func NewFlightRecorder(workers, ringCap, retainCycles, nbuckets int) *obs.Causal
 	return obs.NewCausalRecorder(workers+1, ringCap, retainCycles, nbuckets)
 }
 
-// cyclePacket is the broadcast payload of one match phase. A single
+// CyclePacket is the broadcast payload of one match phase. A single
 // packet, owned by the Runtime and reused across cycles, is shared
 // read-only by every worker — the control goroutine ships one pooled
 // changes slice per cycle rather than per-worker copies.
-type cyclePacket struct {
-	changes []rete.Change
+type CyclePacket struct {
+	Changes []rete.Change
 }
 
-// message is the worker-mailbox protocol.
-type message struct {
-	kind    msgKind
-	bucket  int32           // msgAct: the activation's hash bucket, computed by the sender for routing
-	depth   int32           // msgAct: dependency depth within the cycle (roots are 1)
-	cycle   *cyclePacket    // msgCycle: shared, read-only
-	act     rete.Activation // msgAct
-	migrate *migrateOut     // msgMigrateOut
-	inject  *migrateIn      // msgMigrateIn
+// Message is the worker-mailbox protocol. The exported fields are the
+// wire-visible protocol a Transport must carry; migrate/inject stay
+// unexported because they move live pointers and are only meaningful
+// inside one process (see RefTransport).
+type Message struct {
+	Kind    MsgKind
+	Bucket  int32           // MsgAct: the activation's hash bucket, computed by the sender for routing
+	Depth   int32           // MsgAct: dependency depth within the cycle (roots are 1)
+	Cycle   *CyclePacket    // MsgCycle: shared, read-only
+	Act     rete.Activation // MsgAct
+	migrate *migrateOut     // MsgMigrateOut
+	inject  *migrateIn      // MsgMigrateIn
 }
 
-type msgKind uint8
+type MsgKind uint8
 
 const (
-	msgCycle msgKind = iota
-	msgAct
-	msgMigrateOut
-	msgMigrateIn
+	MsgCycle MsgKind = iota
+	MsgAct
+	MsgMigrateOut
+	MsgMigrateIn
 	numMsgKinds
 )
 
@@ -166,12 +175,18 @@ type Runtime struct {
 	opts Options
 
 	workers  []*worker
-	cyclePkt *cyclePacket
+	cyclePkt *CyclePacket
+
+	// transport owns the message plane; refDelivery records whether it
+	// delivers by reference (required by Repartition's pointer-carrying
+	// migration messages).
+	transport   Transport
+	refDelivery bool
 
 	// root-routing state (RouteRoots mode): the control goroutine's
 	// constant-test processor plus reusable per-destination buffers.
 	rootProc    *rete.Processor
-	rootBufs    [][]message
+	rootBufs    [][]Message
 	rootScratch []rete.Activation
 
 	counter *termdet.Counter
@@ -227,7 +242,7 @@ type worker struct {
 	id    int
 	rt    *Runtime
 	proc  *rete.Processor
-	inbox *mailbox
+	inbox Endpoint
 	done  sync.WaitGroup
 
 	// localQ is the worker's FIFO of locally-owned activations,
@@ -239,10 +254,10 @@ type worker struct {
 	// and the conflict-set delta buffer. pendingSends counts messages
 	// buffered in outBufs since the last flush; turnProcessed/turnSent
 	// accumulate the per-activation counters published once per turn.
-	batch         []message
-	stampBuf      []recvStamp
+	batch         []Message
+	stampBuf      []RecvStamp
 	rootScratch   []rete.Activation
-	outBufs       [][]message
+	outBufs       [][]Message
 	instBuf       []rete.InstChange
 	pendingSends  int
 	turnProcessed int64
@@ -291,7 +306,7 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 	rt := &Runtime{
 		net:       net,
 		opts:      opts,
-		cyclePkt:  &cyclePacket{},
+		cyclePkt:  &CyclePacket{},
 		counter:   termdet.NewCounter(),
 		processed: make([]atomic.Int64, opts.Workers),
 		msgsSent:  make([]atomic.Int64, opts.Workers),
@@ -311,12 +326,17 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 	}
 	if opts.RouteRoots {
 		rt.rootProc = rete.NewProcessor(net, opts.NBuckets)
-		rt.rootBufs = make([][]message, opts.Workers)
+		rt.rootBufs = make([][]Message, opts.Workers)
 	}
 	dropped := opts.Metrics.Counter("parallel.dropped_post_close")
 	if opts.ChaosSeed != 0 {
 		rt.ctlChaos = newChaos(opts.ChaosSeed, opts.Workers)
 	}
+	rt.transport = opts.Transport
+	if rt.transport == nil {
+		rt.transport = InProc()
+	}
+	_, rt.refDelivery = rt.transport.(RefTransport)
 	if rt.rec != nil {
 		for i := 0; i < opts.Workers; i++ {
 			rt.rec.SetTrack(i, fmt.Sprintf("worker %d", i))
@@ -328,13 +348,26 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 	}
 	rt.four = termdet.NewFourCounter(rt.counts)
 
+	eps, err := rt.transport.Open(opts.Workers, EndpointOptions{
+		Dropped: dropped,
+		Stamped: rt.causal != nil,
+		OnError: func(err error) {
+			rt.counter.Fail(fmt.Errorf("parallel: transport failed: %w", err))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(eps) != opts.Workers {
+		return nil, fmt.Errorf("parallel: transport opened %d endpoints, want %d", len(eps), opts.Workers)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{
 			id:      i,
 			rt:      rt,
 			proc:    rete.NewProcessor(net, opts.NBuckets),
-			inbox:   newMailbox(dropped, rt.causal != nil),
-			outBufs: make([][]message, opts.Workers),
+			inbox:   eps[i],
+			outBufs: make([][]Message, opts.Workers),
 			ctrack:  rt.causal.Track(i),
 		}
 		if opts.ChaosSeed != 0 {
@@ -394,9 +427,27 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 				inner()
 			}
 		}
+		// A failed transport means quiescence is unreachable: the
+		// four-counter totals can never balance once messages are lost.
+		// Bail out of the polling loop through the same panic surface as
+		// the counter check below.
+		inner := yield
+		yield = func() {
+			if err := rt.counter.Err(); err != nil {
+				panic(err)
+			}
+			inner()
+		}
 		rt.four.WaitTerminated(yield)
 	}
 	rt.counter.Wait()
+	if err := rt.counter.Err(); err != nil {
+		// The transport lost accepted messages (see
+		// EndpointOptions.OnError). Apply cannot return an error — it is
+		// engine.MatchApplier — so the failure surfaces as a panic
+		// rather than a hang.
+		panic(err)
+	}
 	if rt.rec != nil {
 		rt.rec.Span(rt.controlTrack(), "quiesce", waitStart, rt.nowNS(),
 			obs.Label{Key: "waves", Value: strconv.Itoa(waves)})
@@ -408,7 +459,7 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 		rt.causal.EndCycle(cycle, rt.nowNS())
 	}
 
-	rt.cyclePkt.changes = nil // release the caller's slice
+	rt.cyclePkt.Changes = nil // release the caller's slice
 	return rt.netting.net(rt.insts)
 }
 
@@ -420,7 +471,7 @@ func (rt *Runtime) broadcast(changes []rete.Change) {
 		rt.rec.Instant(rt.controlTrack(), "cycle-broadcast", rt.nowNS(),
 			obs.Label{Key: "changes", Value: strconv.Itoa(len(changes))})
 	}
-	rt.cyclePkt.changes = changes
+	rt.cyclePkt.Changes = changes
 	rt.counter.Add(len(rt.workers))
 	rt.controlCounts().AddSent(len(rt.workers))
 	// One broadcast send event covers the whole wave; every worker's
@@ -430,9 +481,9 @@ func (rt *Runtime) broadcast(changes []rete.Change) {
 	if rt.ctlTrack != nil {
 		rt.ctlTrack.Send(rt.nowNS(), rt.curCycle.Load(), batch, obs.BroadcastDst, int32(len(rt.workers)))
 	}
-	msg := message{kind: msgCycle, cycle: rt.cyclePkt}
+	msg := Message{Kind: MsgCycle, Cycle: rt.cyclePkt}
 	for _, w := range rt.workers {
-		w.inbox.push(msg, batch, int32(rt.opts.Workers))
+		w.inbox.Push(msg, batch, int32(rt.opts.Workers))
 	}
 }
 
@@ -446,7 +497,7 @@ func (rt *Runtime) routeRoots(changes []rete.Change) {
 		for _, act := range rt.rootScratch {
 			b := rt.rootProc.Bucket(act)
 			owner := rt.opts.Partition[b]
-			rt.rootBufs[owner] = append(rt.rootBufs[owner], message{kind: msgAct, bucket: int32(b), depth: 1, act: act})
+			rt.rootBufs[owner] = append(rt.rootBufs[owner], Message{Kind: MsgAct, Bucket: int32(b), Depth: 1, Act: act})
 			sent++
 		}
 	}
@@ -470,7 +521,7 @@ func (rt *Runtime) routeRoots(changes []rete.Change) {
 		}
 		batch := rt.causal.NextBatch()
 		rt.ctlTrack.Send(ts, rt.curCycle.Load(), batch, int32(dst), int32(len(buf)))
-		rt.workers[dst].inbox.pushBatch(buf, batch, int32(rt.opts.Workers))
+		rt.workers[dst].inbox.PushBatch(buf, batch, int32(rt.opts.Workers))
 		rt.rootBufs[dst] = buf[:0]
 	}
 }
@@ -507,11 +558,12 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed = true
 	for _, w := range rt.workers {
-		w.inbox.close()
+		w.inbox.Close()
 	}
 	for _, w := range rt.workers {
 		w.done.Wait()
 	}
+	rt.transport.Close()
 }
 
 // loop is the worker goroutine: one match processor of the mapping. It
@@ -523,9 +575,9 @@ func (w *worker) loop() {
 	rt := w.rt
 	for {
 		var ok bool
-		var stamps []recvStamp
+		var stamps []RecvStamp
 		if w.chaos == nil {
-			w.batch, stamps, ok = w.inbox.drain(w.batch, w.stampBuf)
+			w.batch, stamps, ok = w.inbox.Drain(w.batch, w.stampBuf)
 		} else {
 			w.batch, stamps, ok = w.chaos.nextBatch(w)
 		}
@@ -542,22 +594,22 @@ func (w *worker) loop() {
 			w.turnTS = t0
 			w.turnCycle = rt.curCycle.Load()
 			for _, s := range stamps {
-				w.ctrack.Recv(t0, w.turnCycle, s.batch, s.src, s.count)
+				w.ctrack.Recv(t0, w.turnCycle, s.Batch, s.Src, s.Count)
 			}
 		}
 		w.stampBuf = stamps // donate the stamp buffer back next drain
 		var kinds [numMsgKinds]int
 		for i := range w.batch {
 			msg := &w.batch[i]
-			kinds[msg.kind]++
-			switch msg.kind {
-			case msgCycle:
+			kinds[msg.Kind]++
+			switch msg.Kind {
+			case MsgCycle:
 				// Constant tests run on every worker (duplicated work,
 				// the coarse granularity of Section 3.2); only
 				// locally-owned roots are processed. Every root of the
 				// turn is enqueued before any is expanded so storage
 				// precedes discovery (see drainLocal).
-				for _, ch := range msg.cycle.changes {
+				for _, ch := range msg.Cycle.Changes {
 					w.rootScratch = w.proc.RootActivationsInto(ch, w.rootScratch[:0])
 					for _, act := range w.rootScratch {
 						b := w.proc.Bucket(act)
@@ -567,12 +619,12 @@ func (w *worker) loop() {
 					}
 				}
 				w.drainLocal()
-			case msgAct:
-				w.localQ = append(w.localQ, localAct{act: msg.act, bucket: msg.bucket, depth: msg.depth})
+			case MsgAct:
+				w.localQ = append(w.localQ, localAct{act: msg.Act, bucket: msg.Bucket, depth: msg.Depth})
 				w.drainLocal()
-			case msgMigrateOut:
+			case MsgMigrateOut:
 				w.handleMigrateOut(msg.migrate)
-			case msgMigrateIn:
+			case MsgMigrateIn:
 				w.proc.InjectBucket(msg.inject.contents)
 			}
 			w.flushActs(false)
@@ -639,7 +691,7 @@ func (w *worker) flushActs(force bool) {
 		}
 		batch := rt.causal.NextBatch()
 		w.ctrack.Send(ts, w.turnCycle, batch, int32(dst), int32(len(buf)))
-		rt.workers[dst].inbox.pushBatch(buf, batch, int32(w.id))
+		rt.workers[dst].inbox.PushBatch(buf, batch, int32(w.id))
 		w.outBufs[dst] = buf[:0]
 	}
 	w.ctrack.Flush(ts, w.turnCycle, int32(total))
@@ -733,7 +785,7 @@ func (w *worker) processOne(act rete.Activation, bucket int, depth int32) {
 				w.localQ = append(w.localQ, localAct{act: child, bucket: int32(b), depth: depth + 1})
 				return
 			}
-			w.outBufs[owner] = append(w.outBufs[owner], message{kind: msgAct, bucket: int32(b), depth: depth + 1, act: child})
+			w.outBufs[owner] = append(w.outBufs[owner], Message{Kind: MsgAct, Bucket: int32(b), Depth: depth + 1, Act: child})
 			w.pendingSends++
 		},
 		func(rete.InstChange) {
@@ -806,8 +858,11 @@ func (n *netter) net(raw []rete.InstChange) []rete.InstChange {
 	return out
 }
 
-// netInsts is the one-shot form of netter.net (tests use it).
-func netInsts(raw []rete.InstChange) []rete.InstChange {
+// NetInsts nets raw conflict-set deltas per instantiation key exactly
+// as Apply does before returning — exported so out-of-process control
+// planes (internal/transport) produce the same deterministic netted
+// output as the in-process runtime.
+func NetInsts(raw []rete.InstChange) []rete.InstChange {
 	var n netter
 	return n.net(raw)
 }

@@ -478,15 +478,15 @@ func TestNetInsts(t *testing.T) {
 		return rete.InstChange{Tag: tag, Prod: p, WMEs: []*ops5.WME{w}}
 	}
 	// +, -, + nets to a single add.
-	out := netInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete), mk(rete.Add)})
+	out := NetInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete), mk(rete.Add)})
 	if len(out) != 1 || out[0].Tag != rete.Add {
 		t.Errorf("net of +-+ = %v", out)
 	}
 	// +, - cancels.
-	if out := netInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete)}); len(out) != 0 {
+	if out := NetInsts([]rete.InstChange{mk(rete.Add), mk(rete.Delete)}); len(out) != 0 {
 		t.Errorf("net of +- = %v", out)
 	}
-	if out := netInsts(nil); len(out) != 0 {
+	if out := NetInsts(nil); len(out) != 0 {
 		t.Errorf("net of empty = %v", out)
 	}
 }

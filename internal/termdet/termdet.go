@@ -32,6 +32,7 @@ type Counter struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	n    int64
+	err  error
 }
 
 // NewCounter returns a zero counter.
@@ -58,13 +59,33 @@ func (c *Counter) Add(delta int) {
 // Done deregisters one unit.
 func (c *Counter) Done() { c.Add(-1) }
 
-// Wait blocks until the outstanding count is zero.
+// Wait blocks until the outstanding count is zero or Fail has been
+// called (quiescence can never be reached once work is lost; check Err
+// after Wait when failure is possible).
 func (c *Counter) Wait() {
 	c.mu.Lock()
-	for c.n != 0 {
+	for c.n != 0 && c.err == nil {
 		c.cond.Wait()
 	}
 	c.mu.Unlock()
+}
+
+// Fail records a fatal error — work has been lost and quiescence is
+// unreachable — and wakes every waiter. The first error wins.
+func (c *Counter) Fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Err reports the error recorded by Fail, if any.
+func (c *Counter) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // Pending returns the current outstanding count (racy; diagnostics

@@ -1,0 +1,519 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpcrete/internal/obs"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
+	"mpcrete/internal/termdet"
+)
+
+// ControlOptions configure a multi-process control plane.
+type ControlOptions struct {
+	// Workers is the number of worker processes the topology expects.
+	Workers int
+	// NBuckets sizes the hash-bucket space (default
+	// rete.DefaultNBuckets).
+	NBuckets int
+	// Partition maps bucket -> worker (default round-robin).
+	Partition sched.Partition
+	// RouteRoots selects Fig 3-2 root routing: the control process runs
+	// the constant tests once per cycle and routes each root to its
+	// owner, instead of broadcasting the changes (Fig 3-3).
+	RouteRoots bool
+	// Causal, when non-nil, attaches a flight recorder with Workers+1
+	// tracks (workers first, control last; build it with
+	// parallel.NewFlightRecorder). Worker-process handle aggregates are
+	// merged into their tracks per turn; send/recv events are recorded
+	// control-side from the relay traffic and echoed stamps.
+	Causal *obs.CausalRecorder
+	// HandshakeTimeout bounds WaitWorkers (default 30s).
+	HandshakeTimeout time.Duration
+}
+
+// Control is the control process of the multi-process runtime: the
+// paper's control processor realized as the hub of a star topology.
+// It owns the MRA cycle — broadcast or routed root delivery, relay
+// forwarding of worker-to-worker activations, exact credit-counting
+// termination detection over the wire, and conflict-set netting —
+// while N worker processes own the match state.
+//
+// Control implements engine.MatchApplier via Apply; Cycle is the
+// error-returning form (a worker disconnect mid-cycle surfaces as an
+// error from Cycle, not a hang: the conn reader fails the termination
+// counter, which wakes the cycle's wait).
+type Control struct {
+	network *rete.Network
+	opts    ControlOptions
+	ln      net.Listener
+	conns   []*ctlConn
+
+	counter *termdet.Counter
+	counts  []*termdet.ChannelCounts // workers first, control last
+	four    *termdet.FourCounter
+
+	rootProc    *rete.Processor
+	rootBufs    [][]wireAct
+	rootScratch []rete.Activation
+
+	instMu sync.Mutex
+	insts  []rete.InstChange
+
+	processed []atomic.Int64
+	msgsSent  []atomic.Int64
+	instCount atomic.Int64
+
+	causal   *obs.CausalRecorder
+	ctlTrack *obs.TrackRecorder
+	curCycle atomic.Int32
+	epoch    time.Time
+
+	closed  atomic.Bool
+	readers sync.WaitGroup
+}
+
+// ctlConn is one worker's connection: the conn reader goroutine is the
+// single consumer of its frames and the single producer of its causal
+// track; writers (the cycle's delivery and other readers' relay
+// forwarding) serialize on mu.
+type ctlConn struct {
+	id int
+	c  net.Conn
+	br *bufio.Reader
+
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	ebuf []byte
+}
+
+// writeLocked frames and flushes one payload under the conn's write
+// mutex.
+func (cc *ctlConn) write(ft frameType, payload []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := writeFrame(cc.bw, ft, payload); err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// Listen starts a control plane for the given compiled network on
+// addr ("127.0.0.1:0" for an ephemeral port). Call WaitWorkers next;
+// the returned Control is not usable for cycles until it completes.
+func Listen(network *rete.Network, addr string, opts ControlOptions) (*Control, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("transport: Workers = %d", opts.Workers)
+	}
+	if opts.NBuckets == 0 {
+		opts.NBuckets = rete.DefaultNBuckets
+	}
+	if opts.Partition == nil {
+		opts.Partition = sched.RoundRobin(opts.NBuckets, opts.Workers)
+	}
+	if len(opts.Partition) != opts.NBuckets {
+		return nil, fmt.Errorf("transport: partition covers %d buckets, want %d", len(opts.Partition), opts.NBuckets)
+	}
+	if err := opts.Partition.Validate(opts.Workers); err != nil {
+		return nil, err
+	}
+	if opts.HandshakeTimeout == 0 {
+		opts.HandshakeTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: control listen: %w", err)
+	}
+	c := &Control{
+		network:   network,
+		opts:      opts,
+		ln:        ln,
+		counter:   termdet.NewCounter(),
+		processed: make([]atomic.Int64, opts.Workers),
+		msgsSent:  make([]atomic.Int64, opts.Workers),
+		epoch:     time.Now(),
+	}
+	if opts.Causal != nil {
+		if got := opts.Causal.Tracks(); got != opts.Workers+1 {
+			ln.Close()
+			return nil, fmt.Errorf("transport: causal recorder has %d tracks, want Workers+1 = %d", got, opts.Workers+1)
+		}
+		c.causal = opts.Causal
+		c.ctlTrack = opts.Causal.Track(opts.Workers)
+		for i := 0; i < opts.Workers; i++ {
+			opts.Causal.SetTrackName(i, fmt.Sprintf("worker %d", i))
+		}
+		opts.Causal.SetTrackName(opts.Workers, "control")
+	}
+	if opts.RouteRoots {
+		c.rootProc = rete.NewProcessor(network, opts.NBuckets)
+		c.rootBufs = make([][]wireAct, opts.Workers)
+	}
+	for i := 0; i <= opts.Workers; i++ {
+		c.counts = append(c.counts, &termdet.ChannelCounts{})
+	}
+	c.four = termdet.NewFourCounter(c.counts)
+	return c, nil
+}
+
+// Addr returns the listener's address for worker processes to dial.
+func (c *Control) Addr() string { return c.ln.Addr().String() }
+
+func (c *Control) nowNS() int64 { return time.Since(c.epoch).Nanoseconds() }
+
+// WaitWorkers accepts and handshakes all worker connections (worker
+// ids are assigned in accept order) and starts the conn readers. It
+// must complete before the first Cycle.
+func (c *Control) WaitWorkers() error {
+	deadline := time.Now().Add(c.opts.HandshakeTimeout)
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for id := 0; id < c.opts.Workers; id++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accepting worker %d/%d: %w", id, c.opts.Workers, err)
+		}
+		cc := &ctlConn{
+			id: id,
+			c:  conn,
+			br: bufio.NewReaderSize(conn, 1<<16),
+			bw: bufio.NewWriterSize(conn, 1<<16),
+		}
+		payload, err := encodeHello(nil, hello{
+			id:         id,
+			workers:    c.opts.Workers,
+			nbuckets:   c.opts.NBuckets,
+			routeRoots: c.opts.RouteRoots,
+			partition:  c.opts.Partition,
+		}, c.network)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if err := cc.write(ftHello, payload); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: hello to worker %d: %w", id, err)
+		}
+		conn.SetReadDeadline(deadline)
+		ft, rp, err := readFrame(cc.br, nil)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: ready from worker %d: %w", id, err)
+		}
+		if ft != ftReady {
+			conn.Close()
+			return fmt.Errorf("%w: expected ready from worker %d, got %s", ErrBadPayload, id, ft)
+		}
+		d := dec{b: rp}
+		gotID, err := d.int()
+		if err != nil || gotID != id {
+			conn.Close()
+			return fmt.Errorf("%w: worker %d echoed id %d", ErrBadPayload, id, gotID)
+		}
+		conn.SetReadDeadline(time.Time{})
+		c.conns = append(c.conns, cc)
+	}
+	for _, cc := range c.conns {
+		c.readers.Add(1)
+		go c.readLoop(cc)
+	}
+	return nil
+}
+
+// fail records a fatal runtime error and wakes any cycle wait.
+func (c *Control) fail(err error) { c.counter.Fail(err) }
+
+// readLoop consumes one worker's frames: relays are forwarded to their
+// destination conn, turns deregister processed work and deliver
+// measurements and conflict-set deltas. It is the single producer of
+// the worker's causal track.
+func (c *Control) readLoop(cc *ctlConn) {
+	defer c.readers.Done()
+	track := c.causal.Track(cc.id)
+	var fbuf []byte
+	var acts []wireAct
+	for {
+		ft, payload, err := readFrame(cc.br, fbuf)
+		if err != nil {
+			if !c.closed.Load() {
+				c.fail(fmt.Errorf("transport: worker %d connection: %w", cc.id, err))
+			}
+			return
+		}
+		fbuf = payload[:0]
+		switch ft {
+		case ftRelay:
+			d := dec{b: payload}
+			dst32, err := d.i32()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			dst := int(dst32)
+			if dst < 0 || dst >= len(c.conns) || dst == cc.id {
+				c.fail(fmt.Errorf("%w: worker %d relayed to %d", ErrBadPayload, cc.id, dst))
+				return
+			}
+			if acts, err = d.actList(c.network, acts); err != nil {
+				c.fail(err)
+				return
+			}
+			if err := d.done(); err != nil {
+				c.fail(err)
+				return
+			}
+			k := len(acts)
+			if k == 0 {
+				continue
+			}
+			// Register the forwarded work BEFORE it becomes visible to
+			// the destination — the wire form of Add-before-send.
+			c.counter.Add(k)
+			c.counts[cc.id].AddSent(k)
+			c.msgsSent[cc.id].Add(int64(k))
+			batch := c.causal.NextBatch()
+			track.Send(c.nowNS(), c.curCycle.Load(), batch, dst32, int32(k))
+			e := enc{buf: cc.ebuf[:0]}
+			e.i32(batch)
+			e.i32(int32(cc.id))
+			e.actList(acts)
+			cc.ebuf = e.buf[:0]
+			if err := c.conns[dst].write(ftActs, e.buf); err != nil {
+				c.fail(fmt.Errorf("transport: forwarding to worker %d: %w", dst, err))
+				return
+			}
+		case ftTurn:
+			d := dec{b: payload}
+			n, err := d.int()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			nstamps, err := d.count(1 << 16)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			ts := c.nowNS()
+			cycle := c.curCycle.Load()
+			for i := 0; i < nstamps; i++ {
+				batch, err1 := d.i32()
+				src, err2 := d.i32()
+				cnt, err3 := d.i32()
+				if err1 != nil || err2 != nil || err3 != nil {
+					c.fail(fmt.Errorf("%w: turn stamp", ErrBadPayload))
+					return
+				}
+				track.Recv(ts, cycle, batch, src, cnt)
+			}
+			handles, err1 := d.i64()
+			flushes, err2 := d.i64()
+			maxDepth, err3 := d.i32()
+			if err1 != nil || err2 != nil || err3 != nil {
+				c.fail(fmt.Errorf("%w: turn aggregate", ErrBadPayload))
+				return
+			}
+			track.MergeRemote(handles, flushes, maxDepth)
+			c.processed[cc.id].Add(handles)
+			ninsts, err := d.count(1 << 24)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if ninsts > 0 {
+				c.instMu.Lock()
+				for i := 0; i < ninsts; i++ {
+					ic, err := d.instChange(c.network)
+					if err != nil {
+						c.instMu.Unlock()
+						c.fail(err)
+						return
+					}
+					c.insts = append(c.insts, ic)
+				}
+				c.instMu.Unlock()
+				c.instCount.Add(int64(ninsts))
+			}
+			if err := d.done(); err != nil {
+				c.fail(err)
+				return
+			}
+			// Deregister AFTER everything the turn produced (relays on
+			// this stream arrived first; deltas and counters are
+			// published above).
+			c.counts[cc.id].AddRecv(n)
+			c.counter.Add(-n)
+		default:
+			c.fail(fmt.Errorf("%w: control got unexpected %s frame from worker %d", ErrBadPayload, ft, cc.id))
+			return
+		}
+	}
+}
+
+// Cycle runs one match phase across the worker processes and returns
+// the netted conflict-set deltas. A worker failure (disconnect,
+// malformed frame) surfaces as an error — the cycle does not hang.
+func (c *Control) Cycle(changes []rete.Change) ([]rete.InstChange, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("transport: Cycle after Close")
+	}
+	if err := c.counter.Err(); err != nil {
+		return nil, err
+	}
+	c.insts = c.insts[:0] // quiescent: no reader holds instMu
+	cycle := c.curCycle.Add(1)
+	c.causal.BeginCycle(cycle, c.nowNS())
+
+	if c.opts.RouteRoots {
+		if err := c.routeRoots(changes); err != nil {
+			return nil, err
+		}
+	} else if err := c.broadcast(changes); err != nil {
+		return nil, err
+	}
+
+	c.counter.Wait()
+	if err := c.counter.Err(); err != nil {
+		return nil, err
+	}
+	// Four-counter mirror: at quiescence every message registered as
+	// sent must have been registered received, or the wire accounting
+	// has diverged from the credit counter.
+	if sent, recv := c.four.Poll(); sent != recv {
+		return nil, fmt.Errorf("transport: channel counts diverged at quiescence: sent=%d recv=%d", sent, recv)
+	}
+	c.causal.EndCycle(cycle, c.nowNS())
+	return parallel.NetInsts(c.insts), nil
+}
+
+// Apply implements engine.MatchApplier. Transport failures panic (the
+// interface has no error path); engines needing errors call Cycle.
+func (c *Control) Apply(changes []rete.Change) []rete.InstChange {
+	insts, err := c.Cycle(changes)
+	if err != nil {
+		panic(err)
+	}
+	return insts
+}
+
+// broadcast ships the cycle's changes to every worker (Fig 3-3).
+func (c *Control) broadcast(changes []rete.Change) error {
+	c.counter.Add(len(c.conns))
+	c.controlCounts().AddSent(len(c.conns))
+	batch := c.causal.NextBatch()
+	c.ctlTrack.Send(c.nowNS(), c.curCycle.Load(), batch, obs.BroadcastDst, int32(len(c.conns)))
+	e := enc{}
+	e.i32(batch)
+	e.i32(int32(c.opts.Workers)) // src: the control track
+	e.count(len(changes))
+	for _, ch := range changes {
+		e.change(ch)
+	}
+	for _, cc := range c.conns {
+		if err := cc.write(ftCycle, e.buf); err != nil {
+			err = fmt.Errorf("transport: broadcast to worker %d: %w", cc.id, err)
+			c.fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// routeRoots runs the constant tests once and routes each root to its
+// owner (Fig 3-2), one coalesced ftActs frame per destination.
+func (c *Control) routeRoots(changes []rete.Change) error {
+	sent := 0
+	for _, ch := range changes {
+		c.rootScratch = c.rootProc.RootActivationsInto(ch, c.rootScratch[:0])
+		for _, act := range c.rootScratch {
+			b := c.rootProc.Bucket(act)
+			owner := c.opts.Partition[b]
+			c.rootBufs[owner] = append(c.rootBufs[owner], wireAct{bucket: int32(b), depth: 1, act: act})
+			sent++
+		}
+	}
+	if sent == 0 {
+		return nil
+	}
+	c.counter.Add(sent)
+	c.controlCounts().AddSent(sent)
+	ts := c.nowNS()
+	var ebuf []byte
+	for dst, buf := range c.rootBufs {
+		if len(buf) == 0 {
+			continue
+		}
+		batch := c.causal.NextBatch()
+		c.ctlTrack.Send(ts, c.curCycle.Load(), batch, int32(dst), int32(len(buf)))
+		e := enc{buf: ebuf[:0]}
+		e.i32(batch)
+		e.i32(int32(c.opts.Workers))
+		e.actList(buf)
+		ebuf = e.buf[:0]
+		if err := c.conns[dst].write(ftActs, e.buf); err != nil {
+			err = fmt.Errorf("transport: routing to worker %d: %w", dst, err)
+			c.fail(err)
+			return err
+		}
+		c.rootBufs[dst] = buf[:0]
+	}
+	return nil
+}
+
+func (c *Control) controlCounts() *termdet.ChannelCounts {
+	return c.counts[len(c.counts)-1]
+}
+
+// Stats snapshots per-worker counters in the parallel.Stats shape:
+// Processed counts worker-side node activations (from turn
+// aggregates), MsgsSent counts relayed worker-to-worker activations.
+func (c *Control) Stats() parallel.Stats {
+	s := parallel.Stats{
+		Processed: make([]int64, len(c.processed)),
+		MsgsSent:  make([]int64, len(c.msgsSent)),
+		Insts:     c.instCount.Load(),
+	}
+	for i := range c.processed {
+		s.Processed[i] = c.processed[i].Load()
+		s.MsgsSent[i] = c.msgsSent[i].Load()
+	}
+	return s
+}
+
+// FlightDump snapshots the attached flight recorder (nil without one).
+// Only legal at quiescence, as for parallel.Runtime.
+func (c *Control) FlightDump() *obs.FlightDump {
+	return c.causal.Dump()
+}
+
+// Err reports a recorded fatal transport error, if any.
+func (c *Control) Err() error { return c.counter.Err() }
+
+// Close shuts the topology down: a shutdown frame to every worker,
+// then the connections and listener. Safe to call more than once.
+func (c *Control) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, cc := range c.conns {
+		cc.write(ftShutdown, nil)
+	}
+	// Give readers their EOF: workers close their end on shutdown; the
+	// conn close below unblocks any reader whose worker won't.
+	for _, cc := range c.conns {
+		cc.c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	}
+	c.readers.Wait()
+	for _, cc := range c.conns {
+		cc.c.Close()
+	}
+	c.ln.Close()
+	return nil
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+)
+
+// startWorkers launches n worker protocol loops (each on its own real
+// TCP connection, as separate processes would) against the control's
+// listener.
+func startWorkers(t *testing.T, addr string, n int) chan error {
+	t.Helper()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			errs <- Serve(addr, 5*time.Second)
+		}()
+	}
+	return errs
+}
+
+// TestControlParity holds the multi-process star topology against the
+// in-process runtime: same network, same changes, identical netted
+// conflict sets across add and delete cycles, in both broadcast and
+// routed-roots modes, with stamp accounting verified at quiescence.
+func TestControlParity(t *testing.T) {
+	for _, wl := range []string{"blocks", "rubik-like"} {
+		for _, routed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/routed=%v", wl, routed), func(t *testing.T) {
+				const workers = 4
+				net, changes := compileWorkload(t, wl)
+				ref, err := parallel.New(net, parallel.Options{Workers: workers, RouteRoots: routed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+
+				causal := parallel.NewFlightRecorder(workers, 0, 0, rete.DefaultNBuckets)
+				ctl, err := Listen(net, "127.0.0.1:0", ControlOptions{
+					Workers:    workers,
+					RouteRoots: routed,
+					Causal:     causal,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ctl.Close()
+				werrs := startWorkers(t, ctl.Addr(), workers)
+				if err := ctl.WaitWorkers(); err != nil {
+					t.Fatal(err)
+				}
+
+				want := instKeys(ref.Apply(changes))
+				got, err := ctl.Cycle(changes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) == 0 {
+					t.Fatalf("workload %s produced no instantiations; vacuous test", wl)
+				}
+				if fmt.Sprint(instKeys(got)) != fmt.Sprint(want) {
+					t.Fatalf("conflict sets diverge\n ctl: %v\n ref: %v", instKeys(got), want)
+				}
+
+				del := []rete.Change{{Tag: rete.Delete, WME: changes[0].WME}}
+				want = instKeys(ref.Apply(del))
+				got, err = ctl.Cycle(del)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(instKeys(got)) != fmt.Sprint(want) {
+					t.Fatalf("deletion cycle diverges\n ctl: %v\n ref: %v", instKeys(got), want)
+				}
+
+				// Flight accounting: every message sent across the wire
+				// was received, per the cycle aggregates.
+				dump := ctl.FlightDump()
+				if len(dump.Cycles) != 2 {
+					t.Fatalf("got %d cycle records, want 2", len(dump.Cycles))
+				}
+				for i, cy := range dump.Cycles {
+					tot := cy.Total()
+					if tot.Sends != tot.Recvs {
+						t.Fatalf("cycle %d: sends=%d recvs=%d; want equal", i, tot.Sends, tot.Recvs)
+					}
+					if i == 0 && tot.Sends == 0 {
+						t.Fatal("first cycle recorded no sends")
+					}
+				}
+
+				stats := ctl.Stats()
+				var processed int64
+				for _, p := range stats.Processed {
+					processed += p
+				}
+				if processed == 0 {
+					t.Fatal("no worker-side activations reported through turn aggregates")
+				}
+
+				if err := ctl.Close(); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < workers; i++ {
+					if err := <-werrs; err != nil {
+						t.Fatalf("worker exit: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestControlWorkerDisconnect kills one worker between cycles and
+// checks the next Cycle surfaces a runtime error instead of hanging on
+// the termination counter.
+func TestControlWorkerDisconnect(t *testing.T) {
+	const workers = 2
+	netw, changes := compileWorkload(t, "blocks")
+	ctl, err := Listen(netw, "127.0.0.1:0", ControlOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	// One real worker, one that handshakes and then drops the link.
+	go Serve(ctl.Addr(), 5*time.Second)
+	droppedConn := make(chan net.Conn, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ctl.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		br := bufio.NewReader(conn)
+		ft, payload, err := readFrame(br, nil)
+		if err != nil || ft != ftHello {
+			t.Errorf("fake worker handshake: ft=%v err=%v", ft, err)
+			conn.Close()
+			return
+		}
+		h, err := decodeHello(payload)
+		if err != nil {
+			t.Error(err)
+			conn.Close()
+			return
+		}
+		var ready enc
+		ready.int(h.id)
+		if err := writeFrame(conn, ftReady, ready.buf); err != nil {
+			t.Error(err)
+			conn.Close()
+			return
+		}
+		droppedConn <- conn
+	}()
+	if err := ctl.WaitWorkers(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the fake worker's link mid-topology, then drive a cycle.
+	(<-droppedConn).Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ctl.Cycle(changes)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Cycle succeeded with a dead worker; want a transport error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Cycle hung on a dead worker")
+	}
+
+	// The failure is sticky: later cycles fail fast too.
+	if _, err := ctl.Cycle(changes); err == nil {
+		t.Fatal("Cycle after failure succeeded; want sticky error")
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcrete/internal/obs"
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/workloads"
+)
+
+// compileWorkload compiles a named workload and returns its network
+// plus the initial changes.
+func compileWorkload(t *testing.T, name string) (*rete.Network, []rete.Change) {
+	t.Helper()
+	wl, err := workloads.Named(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ops5.ParseProgram(wl.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmes, err := ops5.ParseWMEs(wl.WMEs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := rete.Compile(prog.Productions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := make([]rete.Change, len(wmes))
+	for i, w := range wmes {
+		w.ID, w.TimeTag = i+1, i+1
+		changes[i] = rete.Change{Tag: rete.Add, WME: w}
+	}
+	return net, changes
+}
+
+func instKeys(insts []rete.InstChange) []string {
+	keys := make([]string, len(insts))
+	for i, ic := range insts {
+		keys[i] = ic.Tag.String() + ic.Key()
+	}
+	return keys
+}
+
+// TestLoopbackParity holds the loopback TCP transport against the
+// in-process reference: same network, same changes, identical netted
+// conflict sets, in both broadcast and routed-roots modes.
+func TestLoopbackParity(t *testing.T) {
+	for _, wl := range []string{"blocks", "rubik-like"} {
+		for _, routed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/routed=%v", wl, routed), func(t *testing.T) {
+				net, changes := compileWorkload(t, wl)
+				ref, err := parallel.New(net, parallel.Options{Workers: 2, RouteRoots: routed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				tcp, err := parallel.New(net, parallel.Options{
+					Workers: 2, RouteRoots: routed, Transport: NewLoopback(net),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer tcp.Close()
+
+				want := instKeys(ref.Apply(changes))
+				got := instKeys(tcp.Apply(changes))
+				if len(want) == 0 {
+					t.Fatalf("workload %s produced no instantiations; vacuous test", wl)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("conflict sets diverge\n tcp: %v\n ref: %v", got, want)
+				}
+
+				// Deletions must net against the stored state too.
+				del := []rete.Change{{Tag: rete.Delete, WME: changes[0].WME}}
+				want = instKeys(ref.Apply(del))
+				got = instKeys(tcp.Apply(del))
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("deletion cycle diverges\n tcp: %v\n ref: %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestLoopbackStamps verifies causal batch stamps survive the wire:
+// with a flight recorder attached, the per-cycle aggregates of a
+// loopback run account every sent message as received.
+func TestLoopbackStamps(t *testing.T) {
+	net, changes := compileWorkload(t, "blocks")
+	causal := parallel.NewFlightRecorder(2, 0, 0, rete.DefaultNBuckets)
+	rt, err := parallel.New(net, parallel.Options{
+		Workers: 2, Transport: NewLoopback(net), Causal: causal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Apply(changes)
+	dump := rt.FlightDump()
+	if len(dump.Cycles) != 1 {
+		t.Fatalf("got %d cycle records, want 1", len(dump.Cycles))
+	}
+	tot := dump.Cycles[0].Total()
+	if tot.Sends == 0 || tot.Sends != tot.Recvs {
+		t.Fatalf("cycle aggregate sends=%d recvs=%d; want equal and nonzero", tot.Sends, tot.Recvs)
+	}
+	// Each recv event must carry a stamp that joins a send event.
+	sends := map[int32]bool{}
+	for _, tr := range dump.Tracks {
+		for _, ev := range tr.Events {
+			if ev.Kind == obs.EvSend && ev.Batch != 0 {
+				sends[ev.Batch] = true
+			}
+		}
+	}
+	recvs := 0
+	for _, tr := range dump.Tracks {
+		for _, ev := range tr.Events {
+			if ev.Kind == obs.EvRecv {
+				recvs++
+				if !sends[ev.Batch] {
+					t.Fatalf("recv stamp %d has no matching send", ev.Batch)
+				}
+			}
+		}
+	}
+	if recvs == 0 {
+		t.Fatal("no recv events recorded")
+	}
+}
+
+// TestLoopbackPostCloseDrop mirrors the mailbox dropped_post_close
+// semantics: sends after Close are dropped and counted, not delivered
+// and not fatal.
+func TestLoopbackPostCloseDrop(t *testing.T) {
+	net, _ := compileWorkload(t, "blocks")
+	reg := obs.NewRegistry()
+	dropped := reg.Counter("parallel.dropped_post_close")
+	lb := NewLoopback(net)
+	eps, err := lb.Open(1, parallel.EndpointOptions{Dropped: dropped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	ep := eps[0]
+	ep.Push(parallel.Message{Kind: parallel.MsgAct, Act: rightAct(net)}, 0, 0)
+	ep.Close()
+	ep.Push(parallel.Message{Kind: parallel.MsgAct, Act: rightAct(net)}, 0, 0)
+	ep.PushBatch([]parallel.Message{{Kind: parallel.MsgAct, Act: rightAct(net)}, {Kind: parallel.MsgAct, Act: rightAct(net)}}, 0, 0)
+	if got := dropped.Value(); got != 3 {
+		t.Fatalf("dropped counter = %d, want 3", got)
+	}
+	// The pre-close message is still delivered before closure.
+	batch, _, ok := ep.Drain(nil, nil)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("drain after close: ok=%v len=%d, want the one pre-close message", ok, len(batch))
+	}
+	if _, _, ok := ep.Drain(nil, nil); ok {
+		t.Fatal("second drain should report closed")
+	}
+}
+
+// rightAct builds a minimal right activation for plumbing tests.
+func rightAct(net *rete.Network) rete.Activation {
+	var node *rete.Node
+	for _, n := range net.Nodes {
+		if len(n.Succs) == 0 && n.Kind != rete.KindProduction {
+			node = n
+			break
+		}
+	}
+	if node == nil {
+		node = net.Nodes[0]
+	}
+	return rete.Activation{
+		Node: node,
+		Side: rete.Right,
+		Tag:  rete.Add,
+		WME:  ops5.NewWME("probe", "v", ops5.N(1)),
+	}
+}

@@ -1,0 +1,386 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"time"
+
+	"mpcrete/internal/rete"
+)
+
+// The worker half of the multi-process star topology: one match
+// process owning a partition slice of the hash-bucket space, mirroring
+// parallel.worker message for message. It dials the control process,
+// receives the compiled network in the hello handshake, and then runs
+// the turn protocol: each incoming ftCycle/ftActs frame is one turn —
+// constant tests (broadcast mode) or direct enqueue (routed mode), a
+// breadth-first local drain identical to the in-process worker's, one
+// coalesced ftRelay frame per remote destination, and a closing ftTurn
+// frame carrying the processed count, the echoed recv stamps, the
+// turn's measurement aggregate, and the conflict-set deltas.
+//
+// Frame order is the termination-detection argument: relays precede
+// the turn frame on the same TCP stream, so the control process
+// registers forwarded work (counter.Add, AddSent) before it
+// deregisters the turn's processed messages (AddRecv, counter.Add(-n))
+// — the exact Add-before-visible / Done-after-processed discipline the
+// in-process runtime keeps with function-call ordering.
+
+// protoVersion is the handshake protocol version; a mismatch aborts
+// the handshake rather than mis-decoding frames.
+const protoVersion = 1
+
+// wireAct is one routed activation with its routing metadata.
+type wireAct struct {
+	bucket int32
+	depth  int32
+	act    rete.Activation
+}
+
+func (e *enc) actList(acts []wireAct) {
+	e.count(len(acts))
+	for i := range acts {
+		e.i32(acts[i].bucket)
+		e.i32(acts[i].depth)
+		e.activation(acts[i].act)
+	}
+}
+
+func (d *dec) actList(net *rete.Network, buf []wireAct) ([]wireAct, error) {
+	n, err := d.count(1 << 24)
+	if err != nil {
+		return nil, err
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		var wa wireAct
+		if wa.bucket, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if wa.depth, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if wa.act, err = d.activation(net); err != nil {
+			return nil, err
+		}
+		buf = append(buf, wa)
+	}
+	return buf, nil
+}
+
+// turnAgg is the worker-side measurement aggregate shipped home in
+// each ftTurn frame (merged into the control's flight recorder via
+// obs.TrackRecorder.MergeRemote).
+type turnAgg struct {
+	handles  int64
+	flushes  int64
+	maxDepth int32
+}
+
+// hello is the decoded handshake.
+type hello struct {
+	id         int
+	workers    int
+	nbuckets   int
+	routeRoots bool
+	partition  []int
+	net        *rete.Network
+}
+
+func encodeHello(buf []byte, h hello, network *rete.Network) ([]byte, error) {
+	e := enc{buf: buf}
+	e.u64(protoVersion)
+	e.int(h.id)
+	e.int(h.workers)
+	e.int(h.nbuckets)
+	e.bool(h.routeRoots)
+	e.count(len(h.partition))
+	for _, owner := range h.partition {
+		e.int(owner)
+	}
+	var nb bytes.Buffer
+	if err := rete.EncodeNetwork(&nb, network); err != nil {
+		return nil, fmt.Errorf("transport: encoding network for handshake: %w", err)
+	}
+	e.count(nb.Len())
+	e.buf = append(e.buf, nb.Bytes()...)
+	return e.buf, nil
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	var h hello
+	d := dec{b: payload}
+	ver, err := d.u64()
+	if err != nil {
+		return h, err
+	}
+	if ver != protoVersion {
+		return h, fmt.Errorf("%w: protocol version %d, want %d", ErrBadPayload, ver, protoVersion)
+	}
+	if h.id, err = d.int(); err != nil {
+		return h, err
+	}
+	if h.workers, err = d.int(); err != nil {
+		return h, err
+	}
+	if h.nbuckets, err = d.int(); err != nil {
+		return h, err
+	}
+	if h.routeRoots, err = d.bool(); err != nil {
+		return h, err
+	}
+	if h.id < 0 || h.workers < 1 || h.id >= h.workers || h.nbuckets < 1 {
+		return h, fmt.Errorf("%w: topology id=%d workers=%d nbuckets=%d", ErrBadPayload, h.id, h.workers, h.nbuckets)
+	}
+	np, err := d.count(1 << 24)
+	if err != nil {
+		return h, err
+	}
+	if np != h.nbuckets {
+		return h, fmt.Errorf("%w: partition covers %d buckets, want %d", ErrBadPayload, np, h.nbuckets)
+	}
+	h.partition = make([]int, np)
+	for i := range h.partition {
+		if h.partition[i], err = d.int(); err != nil {
+			return h, err
+		}
+		if h.partition[i] < 0 || h.partition[i] >= h.workers {
+			return h, fmt.Errorf("%w: bucket %d owned by worker %d of %d", ErrBadPayload, i, h.partition[i], h.workers)
+		}
+	}
+	nb, err := d.count(1 << 26)
+	if err != nil {
+		return h, err
+	}
+	if len(d.b) < nb {
+		return h, d.fail("network bytes")
+	}
+	network, err := rete.DecodeNetwork(bytes.NewReader(d.b[:nb]))
+	if err != nil {
+		return h, fmt.Errorf("%w: decoding network: %v", ErrBadPayload, err)
+	}
+	h.net = network
+	return h, nil
+}
+
+// Serve dials the control address, retrying until the timeout (worker
+// processes typically race the control's Listen), and runs the worker
+// protocol until shutdown (nil) or a fatal error.
+func Serve(addr string, dialTimeout time.Duration) error {
+	deadline := time.Now().Add(dialTimeout)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: dialing control at %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return ServeConn(conn)
+}
+
+// ServeConn runs the worker protocol on an established control
+// connection. It returns nil on a clean shutdown frame.
+func ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	ft, payload, err := readFrame(br, nil)
+	if err != nil {
+		return fmt.Errorf("transport: worker handshake: %w", err)
+	}
+	if ft != ftHello {
+		return fmt.Errorf("%w: worker expected hello, got %s", ErrBadPayload, ft)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return fmt.Errorf("transport: worker handshake: %w", err)
+	}
+	w := &wireWorker{
+		hello:   h,
+		proc:    rete.NewProcessor(h.net, h.nbuckets),
+		outBufs: make([][]wireAct, h.workers),
+	}
+
+	var ready enc
+	ready.int(h.id)
+	if err := writeFrame(bw, ftReady, ready.buf); err != nil {
+		return fmt.Errorf("transport: worker ready: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("transport: worker ready: %w", err)
+	}
+
+	var fbuf []byte
+	for {
+		ft, payload, err := readFrame(br, fbuf)
+		if err != nil {
+			return fmt.Errorf("transport: worker %d read: %w", h.id, err)
+		}
+		fbuf = payload[:0]
+		switch ft {
+		case ftShutdown:
+			return nil
+		case ftCycle, ftActs:
+			if err := w.turn(ft, payload, bw); err != nil {
+				return fmt.Errorf("transport: worker %d turn: %w", h.id, err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("transport: worker %d write: %w", h.id, err)
+			}
+		default:
+			return fmt.Errorf("%w: worker got unexpected %s frame", ErrBadPayload, ft)
+		}
+	}
+}
+
+// wireWorker is the match state of one worker process.
+type wireWorker struct {
+	hello
+	proc *rete.Processor
+
+	localQ      []wireAct
+	rootScratch []rete.Activation
+	outBufs     [][]wireAct // per-destination coalescing buffers
+	instBuf     []rete.InstChange
+	actScratch  []wireAct
+	ebuf        []byte
+
+	agg     turnAgg
+	pending int // acts buffered in outBufs this turn
+}
+
+// turn handles one incoming protocol frame end to end and writes the
+// relay and turn frames. Mirrors worker.loop in internal/parallel.
+func (w *wireWorker) turn(ft frameType, payload []byte, out *bufio.Writer) error {
+	d := dec{b: payload}
+	batch, err := d.i32()
+	if err != nil {
+		return err
+	}
+	src, err := d.i32()
+	if err != nil {
+		return err
+	}
+	var n int // protocol messages processed this turn
+	switch ft {
+	case ftCycle:
+		nch, err := d.count(1 << 24)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nch; i++ {
+			ch, err := d.change()
+			if err != nil {
+				return err
+			}
+			// Broadcast mode: every worker runs the constant tests and
+			// keeps the roots it owns. All roots of the turn are stored
+			// before any is expanded (breadth-first; see drainLocal).
+			w.rootScratch = w.proc.RootActivationsInto(ch, w.rootScratch[:0])
+			for _, act := range w.rootScratch {
+				b := w.proc.Bucket(act)
+				if w.partition[b] == w.id {
+					w.localQ = append(w.localQ, wireAct{bucket: int32(b), depth: 1, act: act})
+				}
+			}
+		}
+		n = 1
+	case ftActs:
+		if w.actScratch, err = d.actList(w.net, w.actScratch); err != nil {
+			return err
+		}
+		w.localQ = append(w.localQ, w.actScratch...)
+		n = len(w.actScratch)
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	w.drainLocal()
+
+	// One coalesced relay frame per destination, then the turn frame —
+	// in that order, on this one stream (see the package comment on
+	// termination accounting).
+	if w.pending > 0 {
+		w.agg.flushes++
+		for dst, buf := range w.outBufs {
+			if len(buf) == 0 {
+				continue
+			}
+			e := enc{buf: w.ebuf[:0]}
+			e.i32(int32(dst))
+			e.actList(buf)
+			w.ebuf = e.buf[:0]
+			if err := writeFrame(out, ftRelay, e.buf); err != nil {
+				return err
+			}
+			w.outBufs[dst] = buf[:0]
+		}
+		w.pending = 0
+	}
+
+	e := enc{buf: w.ebuf[:0]}
+	e.int(n)
+	e.count(1)
+	e.i32(batch)
+	e.i32(src)
+	e.i32(int32(n))
+	e.i64(w.agg.handles)
+	e.i64(w.agg.flushes)
+	e.i32(w.agg.maxDepth)
+	e.count(len(w.instBuf))
+	for i := range w.instBuf {
+		e.instChange(w.instBuf[i])
+	}
+	w.ebuf = e.buf[:0]
+	w.agg = turnAgg{}
+	w.instBuf = w.instBuf[:0]
+	return writeFrame(out, ftTurn, e.buf)
+}
+
+// drainLocal expands locally-owned activations breadth-first, exactly
+// as the in-process worker does; remote successors coalesce into
+// outBufs.
+func (w *wireWorker) drainLocal() {
+	for qi := 0; qi < len(w.localQ); qi++ {
+		la := w.localQ[qi]
+		w.processOne(la.act, int(la.bucket), la.depth)
+	}
+	w.localQ = w.localQ[:0]
+}
+
+func (w *wireWorker) processOne(act rete.Activation, bucket int, depth int32) {
+	if act.Node.Kind == rete.KindProduction {
+		w.instBuf = append(w.instBuf, w.proc.BuildInst(act))
+		return
+	}
+	w.agg.handles++
+	if depth > w.agg.maxDepth {
+		w.agg.maxDepth = depth
+	}
+	w.proc.ProcessAt(act, bucket,
+		func(child rete.Activation) {
+			if child.Node.Kind == rete.KindProduction {
+				w.instBuf = append(w.instBuf, w.proc.BuildInst(child))
+				return
+			}
+			b := w.proc.Bucket(child)
+			owner := w.partition[b]
+			if owner == w.id {
+				w.localQ = append(w.localQ, wireAct{bucket: int32(b), depth: depth + 1, act: child})
+				return
+			}
+			w.outBufs[owner] = append(w.outBufs[owner], wireAct{bucket: int32(b), depth: depth + 1, act: child})
+			w.pending++
+		},
+		func(rete.InstChange) {
+			panic("transport: unexpected instantiation emission")
+		})
+}

@@ -277,6 +277,52 @@ func main() {
 		}
 	}
 
+	// join/*: the adversarial cross-product chain family (see
+	// workloads.CrossChain) on the sequential matcher — plain hashed
+	// Rete against copy-and-constraint and the worst-case-bounded
+	// variant. Each op replays the full wme burst into a Reset matcher;
+	// events = conflict-set deltas, identical across variants. The
+	// point of the family is the k scaling: plain Rete's cost grows as
+	// N^(k/2) (the cross-product beta memories), bounded stays
+	// quadratic, so the gap widens as k doubles.
+	for _, k := range []int{2, 4, 8} {
+		chainProg, err := ops5.ParseProgram(workloads.CrossChain(k))
+		if err != nil {
+			fatal(err)
+		}
+		chainWMEs, err := ops5.ParseWMEs(workloads.CrossChainWMEs(k, 16))
+		if err != nil {
+			fatal(err)
+		}
+		chainChanges := make([]rete.Change, len(chainWMEs))
+		for i, w := range chainWMEs {
+			w.ID, w.TimeTag = i+1, i+1
+			chainChanges[i] = rete.Change{Tag: rete.Add, WME: w}
+		}
+		for _, v := range []struct{ label, variant string }{
+			{"plain", "shared"}, {"candc", "candc"}, {"bounded", "bounded"},
+		} {
+			cnet, err := rete.CompileVariant(chainProg.Productions, v.variant)
+			if err != nil {
+				fatal(err)
+			}
+			m := rete.NewMatcher(cnet, rete.MatcherOptions{})
+			b := benchfmt.Measure(fmt.Sprintf("join/%s-k%d", v.label, k), iters(10, 3),
+				map[string]string{"variant": v.variant, "k": fmt.Sprint(k), "wmes/class": "16"},
+				func() int64 {
+					m.Reset()
+					return int64(len(m.Apply(chainChanges)))
+				})
+			// The small-k points finish in microseconds, so shared-host
+			// noise swamps the 25% gate; the family's regression signal
+			// is the strict allocs/op axis (bounded: O(1) per
+			// activation) and the k8 wall-clock gap, both far beyond
+			// doubling noise.
+			b.NsTolerance = parallelNsTolerance
+			add(b)
+		}
+	}
+
 	// obs/flight-*: the flight recorder's cost on the same burst —
 	// flight-off pins the nil-recorder path (one nil check per event
 	// site; the disabled path's zero allocs/event is additionally pinned

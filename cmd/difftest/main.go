@@ -46,6 +46,7 @@ func main() {
 		out      = flag.String("out", "difftest-repros", "directory for shrunk .ops5 repro files")
 		flight   = flag.Int("flight", 64, "cycles of causal flight trace retained per parallel run (0 = off)")
 		force    = flag.String("force-divergence", "", "perturb configs whose name contains this substring (drills the divergence path)")
+		variant  = flag.String("variant", "", "focus the matrix on one network variant (shared, unshared, candc, bounded); empty = full matrix")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		Metrics:         metrics,
 		FlightCycles:    *flight,
 		ForceDivergence: *force,
+		Variant:         *variant,
 	}
 
 	deadline := time.Now().Add(*duration)

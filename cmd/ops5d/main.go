@@ -24,12 +24,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mpcrete/internal/engine"
 	"mpcrete/internal/obs"
 	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
 	"mpcrete/internal/server"
 	"mpcrete/internal/workloads"
 )
@@ -44,16 +46,17 @@ func main() {
 		maxInflight = flag.Int("inflight", 0, "concurrent request slots (0 = 2*GOMAXPROCS)")
 		queueDepth  = flag.Int("queue", 256, "waiting requests beyond inflight before 429")
 		maxCycles   = flag.Int("max-cycles", 1000, "default per-run cycle budget")
+		variant     = flag.String("variant", "shared", "network variant: "+strings.Join(rete.Variants(), ", "))
 	)
 	flag.Parse()
 
-	if err := run(*addr, *debugAddr, *programPath, *workload, *maxSessions, *maxInflight, *queueDepth, *maxCycles); err != nil {
+	if err := run(*addr, *debugAddr, *programPath, *workload, *variant, *maxSessions, *maxInflight, *queueDepth, *maxCycles); err != nil {
 		fmt.Fprintln(os.Stderr, "ops5d:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, debugAddr, programPath, workload string, maxSessions, maxInflight, queueDepth, maxCycles int) error {
+func run(addr, debugAddr, programPath, workload, variant string, maxSessions, maxInflight, queueDepth, maxCycles int) error {
 	var named workloads.NamedProgram
 	switch {
 	case programPath != "" && workload != "":
@@ -78,7 +81,7 @@ func run(addr, debugAddr, programPath, workload string, maxSessions, maxInflight
 	if err != nil {
 		return fmt.Errorf("parse %s: %w", named.Name, err)
 	}
-	compiled, err := engine.Compile(prog, engine.CompileOptions{})
+	compiled, err := engine.Compile(prog, engine.CompileOptions{Variant: variant})
 	if err != nil {
 		return fmt.Errorf("compile %s: %w", named.Name, err)
 	}

@@ -9,6 +9,7 @@
 //	ops5run -program rules.ops5 -wmes initial.wmes [-cycles 1000]
 //	        [-strategy lex|mea] [-trace out.trace] [-v]
 //	ops5run -workload rubik-like -v
+//	ops5run -workload chain -variant bounded -v
 //	ops5run -program rules.ops5 -parallel 4 -timeline out.json
 //	ops5run -program rules.ops5 -parallel 4 -route-roots
 //	ops5run -program rules.ops5 -parallel 4 -debug-addr localhost:6060
@@ -53,6 +54,7 @@ func main() {
 	timelinePath := flag.String("timeline", "", "write the parallel matcher's wall-clock Chrome trace timeline here (requires -parallel)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar (live runtime stats) on this address")
 	workloadName := flag.String("workload", "", "built-in workload name (alternative to -program/-wmes; see internal/workloads)")
+	variant := flag.String("variant", "shared", "network variant: "+strings.Join(rete.Variants(), ", "))
 	transportName := flag.String("transport", "inproc", "parallel message plane: inproc (goroutine mailboxes) or tcp (multi-process; match workers are separate ops5worker processes)")
 	listenAddr := flag.String("listen", "127.0.0.1:0", "control listen address for -transport tcp")
 	flightPath := flag.String("flight-dump", "", "write the parallel run's causal flight dump (JSON) here (requires -parallel)")
@@ -85,7 +87,7 @@ func main() {
 	prog, err := ops5.ParseProgram(src)
 	fatal("parse program", err)
 
-	opts := engine.Options{Output: os.Stdout, NBuckets: *nbuckets, Watch: *watch}
+	opts := engine.Options{Output: os.Stdout, NBuckets: *nbuckets, Watch: *watch, Variant: *variant}
 	switch strings.ToLower(*strategy) {
 	case "lex":
 		opts.Strategy = engine.LEX
@@ -120,7 +122,7 @@ func main() {
 		if *tracePath != "" {
 			fatal("parallel", fmt.Errorf("-trace requires the sequential matcher (the recorder hooks rete.Matcher)"))
 		}
-		net, err := rete.Compile(prog.Productions)
+		net, err := rete.CompileVariant(prog.Productions, *variant)
 		fatal("compile", err)
 		var causal *obs.CausalRecorder
 		if *flightPath != "" {
@@ -205,8 +207,8 @@ func main() {
 
 	if *verbose {
 		s := e.Network().Stats()
-		fmt.Fprintf(os.Stderr, "ops5run: %d productions, %d alpha patterns, %d joins, %d negatives\n",
-			len(prog.Productions), s.AlphaPatterns, s.JoinNodes, s.NegativeNodes)
+		fmt.Fprintf(os.Stderr, "ops5run: %d productions, %d alpha patterns, %d joins, %d negatives, %d bounded collectors\n",
+			len(prog.Productions), s.AlphaPatterns, s.JoinNodes, s.NegativeNodes, s.BoundedNodes)
 		fmt.Fprintf(os.Stderr, "ops5run: fired %d, wm size %d, halted %v\n", fired, e.WMCount(), e.Halted())
 		var st parallel.Stats
 		switch {

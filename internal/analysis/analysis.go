@@ -112,9 +112,15 @@ const (
 	// SuggestRedistribute recommends a better static bucket
 	// distribution for imbalanced cycles (Section 5.2.2 greedy).
 	SuggestRedistribute
+	// SuggestBoundedJoins recommends recompiling with the
+	// worst-case-bounded variant (rete.CompileOptions.BoundedJoins):
+	// cross-product nodes stop existing because no partial
+	// instantiations are materialized at all. Compile-level — AutoTune
+	// reports it but cannot apply it to a trace.
+	SuggestBoundedJoins
 )
 
-var suggestionNames = [...]string{"copy-and-constraint", "unshare", "cluster-on-one-processor", "redistribute-buckets"}
+var suggestionNames = [...]string{"copy-and-constraint", "unshare", "cluster-on-one-processor", "redistribute-buckets", "bounded-joins"}
 
 // String names the suggestion.
 func (k SuggestionKind) String() string { return suggestionNames[k] }
@@ -236,6 +242,12 @@ func (r *Report) suggest(opts Options) {
 			K:    k,
 			Reason: fmt.Sprintf("node %d sends %.0f%% of its %d activations to bucket %d (no hash discrimination)",
 				hn.Node, 100*hn.Share, hn.Activations, hn.Bucket),
+		})
+		r.Suggestions = append(r.Suggestions, Suggestion{
+			Kind: SuggestBoundedJoins,
+			Node: hn.Node,
+			Reason: fmt.Sprintf("node %d is a cross-product suspect: recompile with -variant bounded to avoid materializing its beta memory",
+				hn.Node),
 		})
 	}
 	for _, fs := range r.Fanouts {

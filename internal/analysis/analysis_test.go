@@ -32,15 +32,23 @@ func TestAnalyzeTourneyFindsCrossProduct(t *testing.T) {
 	if me := r.ModifyEffects[0]; me.Node != workloads.TourneyHotNode {
 		t.Errorf("modify effect = %+v", me)
 	}
-	// A copy-and-constraint suggestion targets the hot node.
-	found := false
+	// A copy-and-constraint suggestion targets the hot node, and the
+	// bounded-joins recompile is offered as its compile-level
+	// alternative.
+	var candc, bounded bool
 	for _, s := range r.Suggestions {
 		if s.Kind == SuggestCopyAndConstrain && s.Node == workloads.TourneyHotNode {
-			found = true
+			candc = true
+		}
+		if s.Kind == SuggestBoundedJoins && s.Node == workloads.TourneyHotNode {
+			bounded = true
 		}
 	}
-	if !found {
+	if !candc {
 		t.Errorf("no copy-and-constraint suggestion in %v", r.Suggestions)
+	}
+	if !bounded {
+		t.Errorf("no bounded-joins suggestion in %v", r.Suggestions)
 	}
 }
 

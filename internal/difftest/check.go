@@ -58,6 +58,12 @@ type CheckOptions struct {
 	// configuration opens real sockets per case, which is too slow for
 	// the fuzzing inner loop.
 	TCP bool
+	// Variant, when non-empty, focuses the matrix on one network
+	// variant: the sequential shared reference, the variant
+	// sequentially, and the variant on the parallel runtime in both
+	// message-plane modes across every worker count — the cmd/difftest
+	// -variant knob. Empty runs the full default matrix.
+	Variant string
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -168,45 +174,13 @@ type config struct {
 }
 
 // compileVariant compiles prods with the named network variant:
-// "shared" (default compilation), "unshared" (no node sharing), or
-// "candc" (copy-and-constrain k=2 applied to every eligible join of a
-// shared network).
+// "shared" (default compilation), "unshared" (no node sharing), "candc"
+// (copy-and-constrain k=2 applied to every eligible join of a shared
+// network), or "bounded" (worst-case-bounded collector groups). The
+// spelling — and the compilation — is rete.CompileVariant's, shared
+// with the ops5run/ops5d -variant flag.
 func compileVariant(prods []*ops5.Production, variant string) (*rete.Network, error) {
-	net, err := rete.CompileWith(prods, rete.CompileOptions{DisableSharing: variant == "unshared"})
-	if err != nil {
-		return nil, err
-	}
-	if variant == "candc" {
-		// Split every terminal join (all successors are production
-		// nodes). Chained splits are out: cloning a join rewires only
-		// its original parent's successor list, so stacking copies
-		// through a join-over-join pyramid loses replication paths —
-		// the paper's source-level transformation likewise targets one
-		// culprit node. Snapshot first: CopyAndConstrain appends clones
-		// to net.Nodes.
-		joins := make([]*rete.Node, 0, len(net.Nodes))
-		for _, n := range net.Nodes {
-			if n.Kind != rete.KindJoin {
-				continue
-			}
-			terminal := true
-			for _, s := range n.Succs {
-				if s.Kind != rete.KindProduction {
-					terminal = false
-					break
-				}
-			}
-			if terminal {
-				joins = append(joins, n)
-			}
-		}
-		for _, n := range joins {
-			if _, err := net.CopyAndConstrain(n, 2); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return net, nil
+	return rete.CompileVariant(prods, variant)
 }
 
 // seqConfig is a sequential-matcher configuration over a network
@@ -335,10 +309,21 @@ func tcpProcConfig(workers int, routed bool) config {
 // Fig 3-2 machine executing a Section 5.2.2 network). With opts.TCP
 // the wire-transport configurations join the matrix in both modes.
 func configMatrix(opts CheckOptions) []config {
+	if opts.Variant != "" {
+		configs := []config{seqConfig("shared")}
+		if opts.Variant != "shared" {
+			configs = append(configs, seqConfig(opts.Variant))
+		}
+		for _, w := range opts.Workers {
+			configs = append(configs, parConfig(w, false, opts.Variant), parConfig(w, true, opts.Variant))
+		}
+		return configs
+	}
 	configs := []config{
 		seqConfig("shared"),
 		seqConfig("unshared"),
 		seqConfig("candc"),
+		seqConfig("bounded"),
 	}
 	for _, w := range opts.Workers {
 		configs = append(configs, parConfig(w, false, "shared"), parConfig(w, true, "shared"))
@@ -347,9 +332,15 @@ func configMatrix(opts CheckOptions) []config {
 	if len(opts.Workers) > 0 {
 		cross = opts.Workers[len(opts.Workers)-1]
 	}
+	first := 1
+	if len(opts.Workers) > 0 {
+		first = opts.Workers[0]
+	}
 	configs = append(configs,
 		parConfig(cross, false, "unshared"),
 		parConfig(cross, true, "candc"),
+		parConfig(first, false, "bounded"),
+		parConfig(cross, true, "bounded"),
 	)
 	if opts.TCP {
 		configs = append(configs,

@@ -32,6 +32,8 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(int64(2), []byte{5, 3, 3, 3, 3, 90, 40, 20})
 	f.Add(int64(3), []byte{1, 1, 1, 1, 1, 0, 0, 0})   // Tourney-shaped: no discriminating tests
 	f.Add(int64(4), []byte{4, 3, 2, 2, 2, 99, 49, 0}) // negation-heavy
+	f.Add(int64(5), []byte{2, 3, 0, 1, 1, 0, 0, 0})   // bounded stress: wide same-class cross products (one wme, many collectors)
+	f.Add(int64(6), []byte{2, 3, 2, 2, 1, 99, 30, 0}) // bounded stress: eq chains + negation drive the join-ordering pass
 	f.Fuzz(func(t *testing.T, seed int64, knobs []byte) {
 		c := Gen(seed, ConfigFromBytes(knobs))
 		if mis := Check(c, fuzzOpts); mis != nil {

@@ -20,7 +20,16 @@ import (
 // nodes, copy-and-constraint copies), which mere recompilation of the
 // source productions would lose.
 
-const netMagic = "RETENET1"
+// Format 2 added the compile-option flags word, the per-node bounded
+// fields (bPos/bNeg), and the per-production bounded collector-group
+// member list.
+const netMagic = "RETENET2"
+
+// Compile-option flag bits in the header flags word.
+const (
+	netFlagDisableSharing = 1 << iota
+	netFlagBoundedJoins
+)
 
 type netWriter struct {
 	w   *bufio.Writer
@@ -118,6 +127,17 @@ func EncodeNetwork(w io.Writer, net *Network) error {
 		return err
 	}
 
+	// Compile-option flags, so dynamic production adds on a decoded
+	// network compile the same variant the original did.
+	var flags uint64
+	if net.opts.DisableSharing {
+		flags |= netFlagDisableSharing
+	}
+	if net.opts.BoundedJoins {
+		flags |= netFlagBoundedJoins
+	}
+	nw.u64(flags)
+
 	// Productions as source text (Production.String round-trips).
 	nw.u64(uint64(len(net.ProdOrder)))
 	for _, name := range net.ProdOrder {
@@ -166,6 +186,12 @@ func EncodeNetwork(w io.Writer, net *Network) error {
 		} else {
 			nw.u64(0)
 		}
+		nw.u64(uint64(n.bPos))
+		if n.bNeg {
+			nw.u64(1)
+		} else {
+			nw.u64(0)
+		}
 		if n.Parent != nil {
 			nw.i64(int64(n.Parent.ID))
 		} else {
@@ -203,6 +229,16 @@ func EncodeNetwork(w io.Writer, net *Network) error {
 		for _, p := range info.TokenPos {
 			nw.i64(int64(p))
 		}
+		// Bounded collector group: member node ids in join order (empty
+		// for the other variants).
+		if g := info.Node.group; g != nil {
+			nw.u64(uint64(len(g.members)))
+			for _, m := range g.members {
+				nw.u64(uint64(m.ID))
+			}
+		} else {
+			nw.u64(0)
+		}
 	}
 
 	if nw.err != nil {
@@ -234,8 +270,15 @@ func DecodeNetwork(r io.Reader) (*Network, error) {
 	if string(magic) != netMagic {
 		return nil, fmt.Errorf("rete: bad network magic %q", magic)
 	}
+	flags, err := nr.u64()
+	if err != nil {
+		return nil, err
+	}
 
-	net := NewNetwork(CompileOptions{})
+	net := NewNetwork(CompileOptions{
+		DisableSharing: flags&netFlagDisableSharing != 0,
+		BoundedJoins:   flags&netFlagBoundedJoins != 0,
+	})
 
 	nprods, err := nr.intn(1 << 20)
 	if err != nil {
@@ -369,6 +412,16 @@ func DecodeNetwork(r io.Reader) (*Network, error) {
 		}
 		if det, err := nr.u64(); err == nil {
 			n.detached = det == 1
+		} else {
+			return nil, err
+		}
+		if bp, err := nr.u64(); err == nil {
+			n.bPos = int(bp)
+		} else {
+			return nil, err
+		}
+		if bn, err := nr.u64(); err == nil {
+			n.bNeg = bn == 1
 		} else {
 			return nil, err
 		}
@@ -508,6 +561,32 @@ func DecodeNetwork(r io.Reader) (*Network, error) {
 				return nil, err
 			}
 			info.TokenPos = append(info.TokenPos, int(pos))
+		}
+		nmembers, err := nr.intn(1 << 16)
+		if err != nil {
+			return nil, err
+		}
+		if nmembers > 0 {
+			g := &boundedGroup{terminal: info.Node}
+			for j := 0; j < nmembers; j++ {
+				mid, err := nr.u64()
+				if err != nil {
+					return nil, err
+				}
+				m, err := nodeAt(int(mid))
+				if err != nil {
+					return nil, err
+				}
+				if m.Kind != KindBounded {
+					return nil, fmt.Errorf("rete: bounded group member %d is a %s node", m.ID, m.Kind)
+				}
+				g.members = append(g.members, m)
+				m.group = g
+				if !m.bNeg {
+					g.nPos++
+				}
+			}
+			info.Node.group = g
 		}
 		net.Prods[p.Name] = info
 		net.ProdOrder = append(net.ProdOrder, p.Name)

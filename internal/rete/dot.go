@@ -35,6 +35,12 @@ func WriteDOT(w io.Writer, net *Network) error {
 			fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"not n%d\\n%s\"];\n", n.ID, n.ID, testsLabel(n))
 		case KindDummy:
 			fmt.Fprintf(&b, "  n%d [shape=circle, label=\"d%d\"];\n", n.ID, n.ID)
+		case KindBounded:
+			neg := ""
+			if n.bNeg {
+				neg = "not "
+			}
+			fmt.Fprintf(&b, "  n%d [shape=hexagon, label=\"%scollect@%d n%d\\n%s\"];\n", n.ID, neg, n.bPos, n.ID, testsLabel(n))
 		default:
 			extra := ""
 			if n.copyCount > 1 {

@@ -113,6 +113,7 @@ type Matcher struct {
 	cycle    int
 	seq      int
 	queue    []queued
+	rootBuf  []Activation // scratch for RootActivationsInto, reused across changes
 }
 
 // NewMatcher creates a matcher over a compiled network.
@@ -164,7 +165,8 @@ func (m *Matcher) ApplyFiltered(changes []Change, allow func(*Node) bool) []Inst
 	}
 
 	for _, ch := range changes {
-		for _, act := range m.proc.RootActivations(ch) {
+		m.rootBuf = m.proc.RootActivationsInto(ch, m.rootBuf[:0])
+		for _, act := range m.rootBuf {
 			if allow != nil && !allow(act.Node) {
 				continue
 			}
@@ -173,11 +175,14 @@ func (m *Matcher) ApplyFiltered(changes []Change, allow func(*Node) bool) []Inst
 	}
 
 	var out []InstChange
-	for len(m.queue) > 0 {
-		q := m.queue[0]
-		m.queue = m.queue[1:]
-		m.step(q, &out)
+	// Drain by index rather than popping the slice front: reslicing
+	// m.queue[1:] would walk the append cursor down the backing array
+	// and force a fresh allocation every few cycles even at steady
+	// state.
+	for head := 0; head < len(m.queue); head++ {
+		m.step(m.queue[head], &out)
 	}
+	m.queue = m.queue[:0]
 
 	if m.listener != nil {
 		m.listener.EndCycle(m.cycle)

@@ -110,6 +110,11 @@ func (m *Memory) removeRight(b int, n *Node, id int) *memEntry {
 	return nil
 }
 
+// entries returns bucket b's entry slice for callers that partition a
+// whole bucket in one pass (the bounded enumerator). Read-only: the
+// slice aliases live storage.
+func (m *Memory) entries(b int) []*memEntry { return m.buckets[b] }
+
 // scan visits every entry for node n in bucket b.
 func (m *Memory) scan(b int, n *Node, visit func(*memEntry)) {
 	for _, e := range m.buckets[b] {

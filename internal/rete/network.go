@@ -27,9 +27,15 @@ const (
 	// KindProduction is a terminal node; left activations become
 	// conflict-set insertions and deletions.
 	KindProduction
+	// KindBounded is a collector node of the worst-case-bounded variant
+	// (CompileOptions.BoundedJoins): it stores only the wmes matching
+	// its own condition element and, on each activation, lazily
+	// enumerates complete instantiations across its group's collectors
+	// instead of materializing intermediate beta tokens (see bounded.go).
+	KindBounded
 )
 
-var kindNames = [...]string{"join", "negative", "dummy", "production"}
+var kindNames = [...]string{"join", "negative", "dummy", "production", "bounded"}
 
 // String names the node kind.
 func (k NodeKind) String() string { return kindNames[k] }
@@ -84,6 +90,14 @@ type Node struct {
 	copyIndex, copyCount int
 	// detached marks nodes excised from the network.
 	detached bool
+
+	// group links the collector nodes and terminal of one
+	// worst-case-bounded production (BoundedJoins); nil elsewhere.
+	// bPos is this collector's join-order position inside the group and
+	// bNeg marks collectors for negated condition elements.
+	group *boundedGroup
+	bPos  int
+	bNeg  bool
 
 	shareKey string
 }
@@ -140,6 +154,12 @@ type CompileOptions struct {
 	// patterns and two-input nodes (the paper's "unsharing",
 	// Section 5.2.1 method 1, applied globally).
 	DisableSharing bool
+	// BoundedJoins compiles every production into the worst-case-bounded
+	// variant: per-CE collector nodes with a selectivity-ordered lazy
+	// enumerator instead of chained two-input nodes with beta memories
+	// (see bounded.go). Join-node prefixes are never shared in this mode;
+	// alpha patterns still are unless DisableSharing is also set.
+	BoundedJoins bool
 }
 
 // NewNetwork returns an empty network ready for AddProduction.
@@ -241,6 +261,9 @@ func (net *Network) addProduction(p *ops5.Production, shareJoins bool) (*ProdInf
 	}
 	if _, dup := net.Prods[p.Name]; dup {
 		return nil, fmt.Errorf("rete: duplicate production %q", p.Name)
+	}
+	if net.opts.BoundedJoins {
+		return net.addProductionBounded(p)
 	}
 
 	// Compiled CE order: positive CEs in original order, then negated
@@ -431,6 +454,7 @@ type Stats struct {
 	NegativeNodes   int
 	DummyNodes      int
 	ProductionNodes int
+	BoundedNodes    int
 }
 
 // Stats computes node counts by kind.
@@ -447,6 +471,8 @@ func (net *Network) Stats() Stats {
 			s.DummyNodes++
 		case KindProduction:
 			s.ProductionNodes++
+		case KindBounded:
+			s.BoundedNodes++
 		}
 	}
 	return s

@@ -31,6 +31,15 @@ type Processor struct {
 	left  *Memory
 	right *Memory
 	arena tokenArena
+	// bstack is the bounded enumerator's reusable DFS stack of candidate
+	// wmes, one slot per positive collector of the group being
+	// enumerated (see bounded.go).
+	bstack []*ops5.WME
+	// bmem is the enumerator's per-activation partition of the group's
+	// bucket: one wme list per collector, rebuilt in a single bucket
+	// pass so the DFS scans only its own position's candidates instead
+	// of re-filtering the whole shared bucket at every level.
+	bmem [][]*ops5.WME
 }
 
 // NewProcessor creates a processor with the given bucket count
@@ -129,6 +138,8 @@ func (p *Processor) ProcessAt(a Activation, bucket int, emit func(Activation), i
 		p.processJoin(a, bucket, emit)
 	case KindNegative:
 		p.processNegative(a, bucket, emit)
+	case KindBounded:
+		p.processBounded(a, bucket, emit)
 	}
 }
 

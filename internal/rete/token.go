@@ -68,11 +68,23 @@ const (
 // The hash is FNV-1a, computed inline with no allocations (the
 // hash/fnv writer and the materialized value keys were the hottest
 // allocation sites of the parallel runtime's message plane).
+//
+// Nodes of a worst-case-bounded group (BoundedJoins) all hash on the
+// group's home node id and ignore equality tests: the lazy enumerator
+// needs every collector memory of a production in one bucket, so the
+// whole group is deliberately clustered on one owner (the bounded
+// analogue of the paper's cluster-on-one-processor remedy).
 func HashKey(n *Node, side Side, t *Token, w *ops5.WME) uint64 {
 	h := uint64(fnvOffset64)
 	id := uint64(n.ID)
+	if n.group != nil {
+		id = uint64(n.group.members[0].ID)
+	}
 	for i := 0; i < 8; i++ {
 		h = (h ^ uint64(byte(id>>(8*i)))) * fnvPrime64
+	}
+	if n.group != nil {
+		return h
 	}
 	for _, jt := range n.EqTests {
 		var v ops5.Value

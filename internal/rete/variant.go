@@ -1,0 +1,71 @@
+package rete
+
+import (
+	"fmt"
+
+	"mpcrete/internal/ops5"
+)
+
+// Variants lists the compile-time network variant names accepted by
+// CompileVariant, in canonical order. The same spellings are used by
+// the difftest oracle matrix, ops5run/ops5d -variant, and the bench
+// join family.
+func Variants() []string { return []string{"shared", "unshared", "candc", "bounded"} }
+
+// CompileVariant compiles prods as the named network variant:
+//
+//	"shared"    default compilation (alpha and join-prefix sharing)
+//	"unshared"  no node sharing (Section 5.2.1 method 1, global)
+//	"candc"     copy-and-constrain k=2 applied to every terminal join
+//	            of a shared network (Section 5.2.2)
+//	"bounded"   worst-case-bounded collector groups with the lazy
+//	            enumerator (see bounded.go)
+//
+// The empty string means "shared". This is the single spelling of
+// variant selection shared by every CLI and the difftest oracle.
+func CompileVariant(prods []*ops5.Production, variant string) (*Network, error) {
+	switch variant {
+	case "", "shared":
+		return Compile(prods)
+	case "unshared":
+		return CompileWith(prods, CompileOptions{DisableSharing: true})
+	case "bounded":
+		return CompileWith(prods, CompileOptions{BoundedJoins: true})
+	case "candc":
+		net, err := Compile(prods)
+		if err != nil {
+			return nil, err
+		}
+		// Split every terminal join (all successors are production
+		// nodes). Chained splits are out: cloning a join rewires only
+		// its original parent's successor list, so stacking copies
+		// through a join-over-join pyramid loses replication paths —
+		// the paper's source-level transformation likewise targets one
+		// culprit node. Snapshot first: CopyAndConstrain appends clones
+		// to net.Nodes.
+		joins := make([]*Node, 0, len(net.Nodes))
+		for _, n := range net.Nodes {
+			if n.Kind != KindJoin {
+				continue
+			}
+			terminal := true
+			for _, s := range n.Succs {
+				if s.Kind != KindProduction {
+					terminal = false
+					break
+				}
+			}
+			if terminal {
+				joins = append(joins, n)
+			}
+		}
+		for _, n := range joins {
+			if _, err := net.CopyAndConstrain(n, 2); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("rete: unknown network variant %q (want one of %v)", variant, Variants())
+	}
+}

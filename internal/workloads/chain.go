@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CrossChain returns the adversarial k-pattern cross-product program:
+// one production whose LHS joins k classes link0..link(k-1) into a
+// value chain — linki's ^b must equal link(i+1)'s ^a — but lists the
+// condition elements in the worst textual order for a left-to-right
+// compiler: all even-indexed classes first, then the odd ones. The
+// first k/2 textual joins then share no variables at all, so classic
+// Rete builds pure cross-product beta memories of N, N², … N^(k/2)
+// tokens before the first chain test prunes anything, even though the
+// final match count is linear in N. The bounded variant's greedy join
+// ordering recovers the chain order and never materializes those
+// memories; candc merely spreads them. k must be at least 2.
+func CrossChain(k int) string {
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "(literalize link%d a b)\n", i)
+	}
+	b.WriteString("(literalize hit lo)\n\n(p chain\n")
+	var order []int
+	for i := 0; i < k; i += 2 {
+		order = append(order, i)
+	}
+	for i := 1; i < k; i += 2 {
+		order = append(order, i)
+	}
+	for _, i := range order {
+		fmt.Fprintf(&b, "    (link%d ^a <x%d> ^b <x%d>)\n", i, i, i+1)
+	}
+	b.WriteString("    -->\n    (make hit ^lo <x0>))\n")
+	return b.String()
+}
+
+// CrossChainWMEs generates n wmes per CrossChain class: linki holds
+// (^a j ^b j+1) for j = 1..n, so exactly n-k+1 complete chains exist.
+func CrossChainWMEs(k, n int) string {
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		for j := 1; j <= n; j++ {
+			fmt.Fprintf(&b, "(link%d ^a %d ^b %d)\n", i, j, j+1)
+		}
+	}
+	return b.String()
+}

@@ -57,6 +57,12 @@ var named = map[string]NamedProgram{
 		WMEs:      "(counter ^value 0 ^limit 50)",
 		MaxCycles: 100,
 	},
+	"chain": {
+		Name:      "chain",
+		Program:   "", // filled in init: generated (CrossChain)
+		WMEs:      "",
+		MaxCycles: 100,
+	},
 }
 
 func init() {
@@ -65,11 +71,15 @@ func init() {
 		"rubik-like":   func() string { return RubikLikeWMEs(6, 8) },
 		"tourney-like": func() string { return TourneyLikeWMEs(8, 6) },
 		"queens":       func() string { return QueensWMEs(6) },
+		"chain":        func() string { return CrossChainWMEs(4, 12) },
 	} {
 		p := named[name]
 		p.WMEs = gen()
 		named[name] = p
 	}
+	p := named["chain"]
+	p.Program = CrossChain(4)
+	named["chain"] = p
 }
 
 // Named resolves a servable workload by name.

@@ -27,6 +27,11 @@
 //	                  the runtime family: N ∈ {1,2,4,8} workers, det ∈
 //	                  {count,four} termination detectors, mode ∈ {bcast,
 //	                  routed} root delivery (Fig 3-3 vs Fig 3-2)
+//	parallel/migrate-w4, adapt-w4, rebalance-idle-w4
+//	                  the migration protocol: forced full rotation every
+//	                  cycle, the adaptive balancer recovering from an
+//	                  all-on-one-worker start, and the armed-but-idle
+//	                  detector's bookkeeping overhead
 //	obs/flight-<off|on>
 //	                  the causal flight recorder's overhead on the same
 //	                  burst: off = nil recorder (the always-paid nil
@@ -63,6 +68,7 @@ import (
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
 	"mpcrete/internal/sweep"
 	"mpcrete/internal/trace"
 	"mpcrete/internal/transport"
@@ -238,6 +244,36 @@ func main() {
 			}
 		}
 	}
+
+	// parallel/migrate-*: the migration protocol's cost on the same
+	// burst. migrate-w4 forces a full partition rotation at every cycle
+	// boundary (every bucket extracted, shipped, and re-injected — the
+	// worst case §5.2.2 priced); adapt-w4 starts with every bucket on
+	// worker 0 and lets the hair-trigger balancer spread it; idle-w4
+	// arms the detector with a threshold no workload reaches, pricing
+	// the always-on bookkeeping alone.
+	rotate := func(workers int) func(cycle int) sched.Partition {
+		return func(cycle int) sched.Partition {
+			p := make(sched.Partition, rete.DefaultNBuckets)
+			for b := range p {
+				p[b] = (b + cycle) % workers
+			}
+			return p
+		}
+	}
+	parallelBench("parallel/migrate-w4",
+		parallel.Options{Workers: 4, ForceMigrate: rotate(4)},
+		map[string]string{"workers": "4", "schedule": "rotate-every-cycle", "workload": "tourney-like 30x25"})
+	parallelBench("parallel/adapt-w4",
+		parallel.Options{
+			Workers:   4,
+			Partition: make(sched.Partition, rete.DefaultNBuckets),
+			Rebalance: sched.Rebalance{Threshold: 1.01, MinInterval: 1},
+		},
+		map[string]string{"workers": "4", "schedule": "adaptive-hair-trigger", "workload": "tourney-like 30x25"})
+	parallelBench("parallel/rebalance-idle-w4",
+		parallel.Options{Workers: 4, Rebalance: sched.Rebalance{Threshold: 1e9, MinInterval: 1}},
+		map[string]string{"workers": "4", "schedule": "armed-never-fires", "workload": "tourney-like 30x25"})
 
 	// transport/*: the pluggable message plane on the same burst — the
 	// in-process reference endpoints against the loopback TCP wire

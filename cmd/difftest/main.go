@@ -47,6 +47,8 @@ func main() {
 		flight   = flag.Int("flight", 64, "cycles of causal flight trace retained per parallel run (0 = off)")
 		force    = flag.String("force-divergence", "", "perturb configs whose name contains this substring (drills the divergence path)")
 		variant  = flag.String("variant", "", "focus the matrix on one network variant (shared, unshared, candc, bounded); empty = full matrix")
+		rebal    = flag.Bool("rebalance", false, "add the migration configurations (adaptive rebalancer + forced full rotations) to the matrix")
+		tcp      = flag.Bool("tcp", false, "add the wire-transport configurations (loopback codec and multi-process control plane) to the matrix")
 	)
 	flag.Parse()
 
@@ -63,6 +65,8 @@ func main() {
 		FlightCycles:    *flight,
 		ForceDivergence: *force,
 		Variant:         *variant,
+		Rebalance:       *rebal,
+		TCP:             *tcp,
 	}
 
 	deadline := time.Now().Add(*duration)

@@ -8,7 +8,7 @@
 //	experiments -all
 //	experiments -fig 5-1        (also: 5-2, 5-4, 5-5, 5-6)
 //	experiments -table 5-1      (also: 5-2)
-//	experiments -exp greedy     (also: probmodel, ablations)
+//	experiments -exp greedy     (also: probmodel, ablations, adaptive)
 //	experiments -json -fig 5-1  (structured JSON instead of text)
 //	experiments -metrics run.csv -section rubik -procs 16
 //
@@ -32,7 +32,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate (5-1, 5-2, 5-3, 5-4, 5-5, 5-6)")
 	table := flag.String("table", "", "table to regenerate (5-1, 5-2)")
-	exp := flag.String("exp", "", "analysis to run (greedy, probmodel, generations, dips, continuum, ablations)")
+	exp := flag.String("exp", "", "analysis to run (greedy, probmodel, generations, dips, continuum, ablations, adaptive)")
 	all := flag.Bool("all", false, "regenerate everything")
 	procs := flag.Int("procs", 16, "processor count for greedy/ablation/metrics analyses")
 	jsonOut := flag.Bool("json", false, "emit structured results as deterministic JSON instead of rendered text")
@@ -212,6 +212,16 @@ func main() {
 				return err
 			}
 			emit("ablations", rs, func() { experiments.RenderAblations(w, rs, *procs) })
+			return nil
+		})
+	}
+	if *all || *exp == "adaptive" {
+		run("adaptive", func() error {
+			rs, err := experiments.AdaptiveExperiment(*procs)
+			if err != nil {
+				return err
+			}
+			emit("adaptive", rs, func() { experiments.RenderAdaptive(w, rs) })
 			return nil
 		})
 	}

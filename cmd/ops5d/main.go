@@ -31,7 +31,9 @@ import (
 	"mpcrete/internal/engine"
 	"mpcrete/internal/obs"
 	"mpcrete/internal/ops5"
+	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
 	"mpcrete/internal/server"
 	"mpcrete/internal/workloads"
 )
@@ -47,16 +49,19 @@ func main() {
 		queueDepth  = flag.Int("queue", 256, "waiting requests beyond inflight before 429")
 		maxCycles   = flag.Int("max-cycles", 1000, "default per-run cycle budget")
 		variant     = flag.String("variant", "shared", "network variant: "+strings.Join(rete.Variants(), ", "))
+		par         = flag.Int("parallel", 0, "give each session a parallel match runtime with this many workers (0 = sequential)")
+		rebalance   = flag.Float64("rebalance", 0, "arm each parallel session's online adaptive repartitioner at this max/mean imbalance threshold, e.g. 1.3 (0 = off; requires -parallel)")
+		rebalanceIv = flag.Int("rebalance-interval", 0, "minimum cycles between adaptive migrations (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *debugAddr, *programPath, *workload, *variant, *maxSessions, *maxInflight, *queueDepth, *maxCycles); err != nil {
+	if err := run(*addr, *debugAddr, *programPath, *workload, *variant, *maxSessions, *maxInflight, *queueDepth, *maxCycles, *par, *rebalance, *rebalanceIv); err != nil {
 		fmt.Fprintln(os.Stderr, "ops5d:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, debugAddr, programPath, workload, variant string, maxSessions, maxInflight, queueDepth, maxCycles int) error {
+func run(addr, debugAddr, programPath, workload, variant string, maxSessions, maxInflight, queueDepth, maxCycles, par int, rebalance float64, rebalanceIv int) error {
 	var named workloads.NamedProgram
 	switch {
 	case programPath != "" && workload != "":
@@ -87,6 +92,37 @@ func run(addr, debugAddr, programPath, workload, variant string, maxSessions, ma
 	}
 
 	metrics := obs.NewRegistry()
+	var newMatcher func() engine.MatchApplier
+	if par > 0 {
+		if rebalance < 0 {
+			return fmt.Errorf("-rebalance %v: threshold must be >= 0", rebalance)
+		}
+		var reb sched.Rebalance
+		if rebalance > 0 {
+			reb = sched.DefaultRebalance()
+			reb.Threshold = rebalance
+			if rebalanceIv > 0 {
+				reb.MinInterval = rebalanceIv
+			}
+		}
+		popts := parallel.Options{Workers: par, Rebalance: reb}
+		// Validate the options once at startup so the per-session
+		// factory cannot fail later.
+		probe, err := parallel.New(compiled.Network(), popts)
+		if err != nil {
+			return fmt.Errorf("parallel session runtime: %w", err)
+		}
+		probe.Close()
+		newMatcher = func() engine.MatchApplier {
+			rt, err := parallel.New(compiled.Network(), popts)
+			if err != nil {
+				panic(fmt.Sprintf("ops5d: session runtime: %v", err))
+			}
+			return rt
+		}
+	} else if rebalance > 0 {
+		return errors.New("-rebalance requires -parallel")
+	}
 	srv, err := server.New(server.Config{
 		Compiled:         compiled,
 		Workload:         named,
@@ -95,6 +131,7 @@ func run(addr, debugAddr, programPath, workload, variant string, maxSessions, ma
 		QueueDepth:       queueDepth,
 		DefaultMaxCycles: maxCycles,
 		Metrics:          metrics,
+		NewMatcher:       newMatcher,
 	})
 	if err != nil {
 		return err

@@ -34,6 +34,7 @@ import (
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
 	"mpcrete/internal/trace"
 	"mpcrete/internal/transport"
 	"mpcrete/internal/workloads"
@@ -57,6 +58,9 @@ func main() {
 	variant := flag.String("variant", "shared", "network variant: "+strings.Join(rete.Variants(), ", "))
 	transportName := flag.String("transport", "inproc", "parallel message plane: inproc (goroutine mailboxes) or tcp (multi-process; match workers are separate ops5worker processes)")
 	listenAddr := flag.String("listen", "127.0.0.1:0", "control listen address for -transport tcp")
+	rebalance := flag.Float64("rebalance", 0, "arm the online adaptive repartitioner at this max/mean imbalance threshold, e.g. 1.3 (0 = off; requires -parallel)")
+	rebalanceInterval := flag.Int("rebalance-interval", 0, "minimum cycles between adaptive migrations (0 = default)")
+	migrateEvery := flag.Int("migrate-every", 0, "force a full partition rotation every N cycles (0 = off; migration stress knob, requires -parallel)")
 	flightPath := flag.String("flight-dump", "", "write the parallel run's causal flight dump (JSON) here (requires -parallel)")
 	flag.Parse()
 
@@ -124,13 +128,35 @@ func main() {
 		}
 		net, err := rete.CompileVariant(prog.Productions, *variant)
 		fatal("compile", err)
+		nb := *nbuckets
+		if nb == 0 {
+			nb = rete.DefaultNBuckets
+		}
 		var causal *obs.CausalRecorder
 		if *flightPath != "" {
-			nb := *nbuckets
-			if nb == 0 {
-				nb = rete.DefaultNBuckets
-			}
 			causal = parallel.NewFlightRecorder(*par, 0, 0, nb)
+		}
+		var reb sched.Rebalance
+		if *rebalance > 0 {
+			reb = sched.DefaultRebalance()
+			reb.Threshold = *rebalance
+			if *rebalanceInterval > 0 {
+				reb.MinInterval = *rebalanceInterval
+			}
+		}
+		var forceMigrate func(cycle int) sched.Partition
+		if *migrateEvery > 0 {
+			every, workers := *migrateEvery, *par
+			forceMigrate = func(cycle int) sched.Partition {
+				if cycle%every != 0 {
+					return nil
+				}
+				p := make(sched.Partition, nb)
+				for b := range p {
+					p[b] = (b + cycle/every) % workers
+				}
+				return p
+			}
 		}
 		switch *transportName {
 		case "inproc":
@@ -138,11 +164,13 @@ func main() {
 				timeline = obs.NewRecorder()
 			}
 			rt, err = parallel.New(net, parallel.Options{
-				Workers:    *par,
-				NBuckets:   *nbuckets,
-				RouteRoots: *routeRoots,
-				Recorder:   timeline,
-				Causal:     causal,
+				Workers:      *par,
+				NBuckets:     *nbuckets,
+				RouteRoots:   *routeRoots,
+				Recorder:     timeline,
+				Causal:       causal,
+				Rebalance:    reb,
+				ForceMigrate: forceMigrate,
 			})
 			fatal("parallel runtime", err)
 			defer rt.Close()
@@ -152,10 +180,12 @@ func main() {
 				fatal("timeline", fmt.Errorf("-timeline hooks the in-process runtime; use -flight-dump with -transport tcp"))
 			}
 			ctl, err = transport.Listen(net, *listenAddr, transport.ControlOptions{
-				Workers:    *par,
-				NBuckets:   *nbuckets,
-				RouteRoots: *routeRoots,
-				Causal:     causal,
+				Workers:      *par,
+				NBuckets:     *nbuckets,
+				RouteRoots:   *routeRoots,
+				Causal:       causal,
+				Rebalance:    reb,
+				ForceMigrate: forceMigrate,
 			})
 			fatal("control listen", err)
 			defer ctl.Close()
@@ -220,6 +250,17 @@ func main() {
 		for w, n := range st.Processed {
 			fmt.Fprintf(os.Stderr, "ops5run: worker %d: %d activations, %d messages sent\n",
 				w, n, st.MsgsSent[w])
+		}
+		if *rebalance > 0 || *migrateEvery > 0 {
+			var migs, buckets, entries int64
+			switch {
+			case rt != nil:
+				migs, buckets, entries = rt.RebalanceStats()
+			case ctl != nil:
+				migs, buckets, entries = ctl.RebalanceStats()
+			}
+			fmt.Fprintf(os.Stderr, "ops5run: %d migrations moved %d buckets (%d memory entries)\n",
+				migs, buckets, entries)
 		}
 	}
 	if *flightPath != "" {

@@ -56,6 +56,10 @@ func WithPartition(p sched.Partition) Option { return func(cfg *Config) { cfg.Pa
 // greedy redistribution experiment).
 func WithPerCycle(ps []sched.Partition) Option { return func(cfg *Config) { cfg.PerCycle = ps } }
 
+// WithRebalance turns on the online adaptive repartitioner with the
+// given detector knobs.
+func WithRebalance(r sched.Rebalance) Option { return func(cfg *Config) { cfg.Rebalance = r } }
+
 // WithSoftwareBroadcast serializes the cycle-start broadcast.
 func WithSoftwareBroadcast() Option { return func(cfg *Config) { cfg.SoftwareBroadcast = true } }
 
@@ -157,6 +161,17 @@ func (c Config) Validate(tr *trace.Trace) error {
 	if c.Replicated && c.PerCycle != nil {
 		return &IncompatibleOptionsError{Reason: "Replicated tables have no per-cycle distribution"}
 	}
+	if c.Rebalance.Enabled() {
+		if c.PerCycle != nil {
+			return &IncompatibleOptionsError{Reason: "Rebalance and PerCycle both control the per-cycle distribution"}
+		}
+		if c.Pairs {
+			return &IncompatibleOptionsError{Reason: "Rebalance is not defined for the pair mapping"}
+		}
+		if c.Replicated {
+			return &IncompatibleOptionsError{Reason: "Replicated tables have no buckets to migrate"}
+		}
+	}
 	if c.Contention {
 		if _, ok := c.Topology.(simnet.RoutedTopology); !ok {
 			return &TopologyError{Topology: c.Topology}
@@ -187,6 +202,14 @@ func (c Config) Fingerprint(tr *trace.Trace) string {
 	fmt.Fprintf(h, "part=%v|", part)
 	if c.PerCycle != nil {
 		fmt.Fprintf(h, "percycle=%v|", c.PerCycle)
+	}
+	// Rebalance knobs change the partition sequence the run evolves
+	// through, so adaptive points must not share a cache entry with the
+	// static point they start from (or with each other across knob
+	// settings). Disabled configs hash as before.
+	if c.Rebalance.Enabled() {
+		fmt.Fprintf(h, "reb=%g,%g,%d,%d|",
+			c.Rebalance.Threshold, c.Rebalance.Hysteresis, c.Rebalance.MinInterval, c.Rebalance.MaxMoves)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -38,6 +38,15 @@ type Config struct {
 	// PerCycle optionally overrides Partition cycle by cycle (the
 	// off-line greedy redistribution experiment).
 	PerCycle []sched.Partition
+	// Rebalance, when enabled, runs the online adaptive repartitioner:
+	// a sched.Balancer observes each cycle's per-bucket load as it
+	// completes (no trace foreknowledge — cycle c's partition depends
+	// only on cycles < c) and migrates hot buckets at cycle
+	// boundaries. Each moved bucket costs two messages (the migrate
+	// order to the old owner and the bucket shipment to the new one)
+	// plus an extract/inject busy charge on both ends. Incompatible
+	// with PerCycle, Pairs, and Replicated.
+	Rebalance sched.Rebalance
 	// SoftwareBroadcast serializes the cycle-start broadcast into
 	// point-to-point sends.
 	SoftwareBroadcast bool
@@ -84,6 +93,11 @@ type Result struct {
 	// Insts is the total number of instantiation messages delivered to
 	// the control processor.
 	Insts int
+	// Migrations counts rebalance events (cycle boundaries at which at
+	// least one bucket moved); BucketsMoved totals the migrated
+	// buckets. Zero unless Config.Rebalance is enabled.
+	Migrations   int `json:"migrations,omitempty"`
+	BucketsMoved int `json:"buckets_moved,omitempty"`
 	// Events counts the discrete events the underlying network
 	// simulator executed — the natural unit of simulation throughput
 	// (cmd/bench reports events/sec from it). It is excluded from JSON
@@ -116,6 +130,15 @@ type pairCompare struct {
 }
 type instMsg struct{}
 
+// migMove is one bucket migration: control orders the old owner to
+// extract (first delivery), the old owner ships the contents to the
+// new owner (second delivery of the same payload, marked by shipped).
+type migMove struct {
+	bucket   int
+	from, to int
+	shipped  bool
+}
+
 // Timeline labels for the busy spans of each payload kind
 // (simnet.TraceKinder).
 func (*bcastStart) TraceKind() string  { return "cycle-start" }
@@ -123,6 +146,7 @@ func (*cyclePacket) TraceKind() string { return "cycle-packet" }
 func (*actTask) TraceKind() string     { return "activation" }
 func (*pairCompare) TraceKind() string { return "pair-compare" }
 func (instMsg) TraceKind() string      { return "inst" }
+func (*migMove) TraceKind() string     { return "migrate" }
 
 // simulator carries the run state shared by the handler closures.
 type simulator struct {
@@ -145,6 +169,11 @@ type simulator struct {
 
 	actFree  *actTask
 	pairFree *pairCompare
+
+	// Rebalance precomputation (see planRebalance): the partition in
+	// force each cycle and the migrations injected at each cycle start.
+	parts []sched.Partition
+	migs  [][]migMove
 }
 
 // newAct draws an activation payload from the free list.
@@ -200,6 +229,9 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 
 	s := &simulator{tr: tr, cfg: cfg, res: &Result{}}
+	if cfg.Rebalance.Enabled() {
+		s.planRebalance()
+	}
 	nprocs := 1 + cfg.MatchProcs
 	if cfg.Pairs {
 		nprocs = 1 + 2*cfg.MatchProcs
@@ -312,6 +344,10 @@ func (s *simulator) publishMetrics(reg *obs.Registry) {
 
 	reg.Counter("sim/messages").Add(int64(res.Net.Messages))
 	reg.Counter("sim/insts").Add(int64(res.Insts))
+	if s.cfg.Rebalance.Enabled() {
+		reg.Counter("sim/migrations").Add(int64(res.Migrations))
+		reg.Counter("sim/buckets_migrated").Add(int64(res.BucketsMoved))
+	}
 	reg.Gauge("sim/makespan_us").Set(res.Makespan.Microseconds())
 	reg.Gauge("sim/avg_utilization").Set(res.Net.AvgUtilization())
 	reg.Gauge("sim/network_idle_frac").Set(res.Net.NetworkIdleFraction())
@@ -319,10 +355,49 @@ func (s *simulator) publishMetrics(reg *obs.Registry) {
 
 // partition returns the bucket map in force for a cycle.
 func (s *simulator) partition(cycle int) sched.Partition {
+	if s.parts != nil {
+		return s.parts[cycle]
+	}
 	if s.cfg.PerCycle != nil {
 		return s.cfg.PerCycle[cycle]
 	}
 	return s.cfg.Partition
+}
+
+// planRebalance replays the trace's per-cycle bucket loads through the
+// online Balancer, producing the partition in force for each cycle and
+// the bucket migrations injected at each cycle start. The balancer
+// only ever sees loads from cycles that have already completed — the
+// same information the live runtime's activation counters provide — so
+// this is an online policy, not an oracle like PerCycle.
+func (s *simulator) planRebalance() {
+	nc := len(s.tr.Cycles)
+	loads := s.tr.BucketLoad(false)
+	bl := sched.NewBalancer(s.cfg.Rebalance, s.cfg.Partition, s.cfg.MatchProcs)
+	s.parts = make([]sched.Partition, nc)
+	s.migs = make([][]migMove, nc)
+	for ci := 0; ci < nc; ci++ {
+		s.parts[ci] = bl.Partition()
+		bl.ObserveCycle(loads[ci])
+		if np, ok := bl.EndCycle(); ok && ci+1 < nc {
+			old := s.parts[ci]
+			for _, b := range sched.PartitionMoves(old, np) {
+				s.migs[ci+1] = append(s.migs[ci+1], migMove{bucket: b, from: old[b], to: np[b]})
+			}
+		}
+	}
+	for _, moves := range s.migs {
+		if len(moves) > 0 {
+			s.res.Migrations++
+			s.res.BucketsMoved += len(moves)
+		}
+	}
+}
+
+// migCost is the busy charge for extracting or injecting one migrated
+// bucket pair.
+func (s *simulator) migCost() simnet.Time {
+	return s.cfg.Costs.LeftAddDel + s.cfg.Costs.RightAddDel
 }
 
 // Processor layout: 0 is control. Single mapping: slot s -> proc 1+s.
@@ -422,6 +497,16 @@ func (s *simulator) handle(ctx *simnet.Ctx, p simnet.Payload) {
 		s.putPair(v)
 	case instMsg:
 		s.res.Insts++ // control bookkeeping; conflict resolution is out of match scope
+	case *migMove:
+		if !v.shipped {
+			// Old owner: extract the bucket pair and ship it.
+			v.shipped = true
+			ctx.Busy(s.migCost())
+			ctx.Send(s.leftProcOf(v.to), v)
+		} else {
+			// New owner: inject the shipped contents.
+			ctx.Busy(s.migCost())
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown payload %T", p))
 	}
@@ -430,6 +515,14 @@ func (s *simulator) handle(ctx *simnet.Ctx, p simnet.Payload) {
 // handleCycleStart runs on the control processor.
 func (s *simulator) handleCycleStart(ctx *simnet.Ctx, cycle int) {
 	cy := s.tr.Cycles[cycle]
+	if s.migs != nil {
+		// Migrations planned for this boundary: order each old owner to
+		// extract and ship before the cycle's match work lands.
+		for i := range s.migs[cycle] {
+			mv := &s.migs[cycle][i]
+			ctx.Send(s.leftProcOf(mv.from), mv)
+		}
+	}
 	if !s.cfg.CentralRoots {
 		s.packet.cycle = cycle
 		ctx.Broadcast(s.matchIDs, &s.packet)
@@ -588,6 +681,7 @@ func Baseline(cfg Config) Config {
 	base.Overhead = OverheadSetting{Name: "base"}
 	base.Partition = nil
 	base.PerCycle = nil
+	base.Rebalance = sched.Rebalance{}
 	base.Pairs = false
 	base.CentralRoots = false
 	base.Replicated = false

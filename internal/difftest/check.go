@@ -12,6 +12,7 @@ import (
 	"mpcrete/internal/ops5"
 	"mpcrete/internal/parallel"
 	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
 	"mpcrete/internal/transport"
 )
 
@@ -64,6 +65,18 @@ type CheckOptions struct {
 	// message-plane modes across every worker count — the cmd/difftest
 	// -variant knob. Empty runs the full default matrix.
 	Variant string
+	// Rebalance, when true, adds the migration configurations to the
+	// matrix: every multi-worker count in both message-plane modes with
+	// the online adaptive rebalancer armed hair-trigger from a
+	// pathological all-on-worker-0 assignment (adapt-*), and with a
+	// forced full-rotation schedule that moves every bucket at every
+	// cycle boundary (migrate-*). With TCP also set, the same two
+	// schedules run over the loopback wire codec (tcpadapt-*,
+	// tcpmigrate-*) and the multi-process control plane
+	// (tcpprocadapt-*, tcpprocmigrate-*). ChaosSeed composes: chaos
+	// scheduling applies to the in-process migration configurations
+	// like any other parallel run.
+	Rebalance bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -240,6 +253,156 @@ func parConfig(workers int, routed bool, variant string) config {
 	}}
 }
 
+// hairTrigger is the adaptive-rebalance tuning the migration
+// configurations arm: any imbalance above 1% replans immediately, so
+// the skewed starting assignment guarantees mid-run migrations on any
+// case with a few activations.
+func hairTrigger() sched.Rebalance {
+	return sched.Rebalance{Threshold: 1.01, MinInterval: 1}
+}
+
+// skewedPartition assigns every bucket to worker 0 — the pathological
+// start the adaptive configurations recover from.
+func skewedPartition() sched.Partition {
+	return make(sched.Partition, checkNBuckets)
+}
+
+// rotateEvery is the forced-migration schedule: every cycle boundary
+// rotates the whole partition by one worker, so every bucket (and
+// every resident token) changes owner between every pair of cycles.
+func rotateEvery(workers int) func(cycle int) sched.Partition {
+	return func(cycle int) sched.Partition {
+		p := make(sched.Partition, checkNBuckets)
+		for b := range p {
+			p[b] = (b + cycle) % workers
+		}
+		return p
+	}
+}
+
+// adaptConfig is the parallel runtime with the online adaptive
+// rebalancer armed hair-trigger from an all-on-worker-0 assignment;
+// migrateConfig is the runtime under the forced full-rotation
+// schedule. Both must produce conflict sets identical to the static
+// sequential reference — migration moves state, never match semantics.
+func adaptConfig(workers int, routed bool) config {
+	return migrationConfig("adapt", workers, routed, true, false)
+}
+
+func migrateConfig(workers int, routed bool) config {
+	return migrationConfig("migrate", workers, routed, false, true)
+}
+
+func migrationConfig(kind string, workers int, routed, adaptive, forced bool) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("%s-w%d-%s", kind, workers, mode)
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
+		net, err := compileVariant(prods, "shared")
+		if err != nil {
+			return built{}, err
+		}
+		popts := parallel.Options{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+			ChaosSeed:  opts.ChaosSeed,
+			Metrics:    opts.Metrics,
+		}
+		if adaptive {
+			popts.Partition = skewedPartition()
+			popts.Rebalance = hairTrigger()
+		}
+		if forced {
+			popts.ForceMigrate = rotateEvery(workers)
+		}
+		rt, err := parallel.New(net, popts)
+		if err != nil {
+			return built{}, err
+		}
+		return built{net: net, matcher: rt, close: rt.Close}, nil
+	}}
+}
+
+// tcpMigrationConfig is the same two schedules over the loopback wire
+// codec: every migrated bucket's tokens serialize through the frame
+// codec and a real localhost socket.
+func tcpMigrationConfig(kind string, workers int, routed, adaptive, forced bool) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("tcp%s-w%d-%s", kind, workers, mode)
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
+		net, err := compileVariant(prods, "shared")
+		if err != nil {
+			return built{}, err
+		}
+		popts := parallel.Options{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+			Metrics:    opts.Metrics,
+			Transport:  transport.NewLoopback(net),
+		}
+		if adaptive {
+			popts.Partition = skewedPartition()
+			popts.Rebalance = hairTrigger()
+		}
+		if forced {
+			popts.ForceMigrate = rotateEvery(workers)
+		}
+		rt, err := parallel.New(net, popts)
+		if err != nil {
+			return built{}, err
+		}
+		return built{net: net, matcher: rt, close: rt.Close}, nil
+	}}
+}
+
+// tcpProcMigrationConfig runs the schedules on the multi-process
+// control plane: buckets migrate between worker protocol loops across
+// real TCP connections mid-run.
+func tcpProcMigrationConfig(kind string, workers int, routed, adaptive, forced bool) config {
+	mode := "bcast"
+	if routed {
+		mode = "routed"
+	}
+	name := fmt.Sprintf("tcpproc%s-w%d-%s", kind, workers, mode)
+	return config{name: name, build: func(prods []*ops5.Production, opts CheckOptions) (built, error) {
+		net, err := compileVariant(prods, "shared")
+		if err != nil {
+			return built{}, err
+		}
+		copts := transport.ControlOptions{
+			Workers:    workers,
+			NBuckets:   checkNBuckets,
+			RouteRoots: routed,
+		}
+		if adaptive {
+			copts.Partition = skewedPartition()
+			copts.Rebalance = hairTrigger()
+		}
+		if forced {
+			copts.ForceMigrate = rotateEvery(workers)
+		}
+		ctl, err := transport.Listen(net, "127.0.0.1:0", copts)
+		if err != nil {
+			return built{}, err
+		}
+		for i := 0; i < workers; i++ {
+			go transport.Serve(ctl.Addr(), 10*time.Second)
+		}
+		if err := ctl.WaitWorkers(); err != nil {
+			ctl.Close()
+			return built{}, err
+		}
+		return built{net: net, matcher: ctl, close: func() { ctl.Close() }}, nil
+	}}
+}
+
 // tcpConfig is the in-process runtime with its mailboxes replaced by
 // the loopback TCP transport: identical scheduling, but every message
 // crosses the full wire codec and a real localhost socket.
@@ -347,6 +510,25 @@ func configMatrix(opts CheckOptions) []config {
 			tcpConfig(2, false), tcpConfig(2, true),
 			tcpProcConfig(2, false), tcpProcConfig(2, true),
 		)
+	}
+	if opts.Rebalance {
+		for _, w := range opts.Workers {
+			if w < 2 {
+				continue // migration between one worker is vacuous
+			}
+			configs = append(configs,
+				adaptConfig(w, false), adaptConfig(w, true),
+				migrateConfig(w, false), migrateConfig(w, true),
+			)
+		}
+		if opts.TCP {
+			configs = append(configs,
+				tcpMigrationConfig("adapt", 2, true, true, false),
+				tcpMigrationConfig("migrate", 2, false, false, true),
+				tcpProcMigrationConfig("adapt", 2, false, true, false),
+				tcpProcMigrationConfig("migrate", 2, true, false, true),
+			)
+		}
 	}
 	return configs
 }

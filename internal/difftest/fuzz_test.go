@@ -60,6 +60,30 @@ func FuzzMatcherDifferential(f *testing.F) {
 	})
 }
 
+// FuzzMigrationDifferential fuzzes the migration oracle: generated
+// cases (engine-level and scripted) through the adapt-*/migrate-*
+// configurations with chaos composed on top — the rebalancer's plans,
+// the forced rotations, and randomized mailbox interleavings must
+// never perturb the netted conflict-set trajectory.
+func FuzzMigrationDifferential(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(2), int64(14)) // chaos + migration composed
+	f.Add(int64(3), int64(0))
+	f.Add(int64(5), int64(35))
+	f.Fuzz(func(t *testing.T, seed, chaosSeed int64) {
+		opts := CheckOptions{MaxCycles: 15, Workers: []int{2, 4}, Budget: 8000, Rebalance: true, ChaosSeed: chaosSeed}
+		var c Case
+		if seed%2 == 0 {
+			c = GenScript(seed, ConfigFromBytes(nil))
+		} else {
+			c = Gen(seed, ConfigFromBytes(nil))
+		}
+		if mis := Check(c, opts); mis != nil {
+			fatalDivergence(t, mis, opts)
+		}
+	})
+}
+
 // FuzzCase fuzzes the corpus file format itself: the committed .ops5
 // cases seed the corpus, and any mutation that still decodes runs
 // through the differential oracle. Undecodable mutations only assert

@@ -112,6 +112,13 @@ type SessionOptions struct {
 	// matcher. A supplied matcher cannot be pooled (Session.Reset
 	// reports false unless it implements Reset()).
 	Matcher MatchApplier
+	// NewMatcher, when non-nil (and Matcher nil), constructs a fresh
+	// match implementation per session — the pooling-compatible form of
+	// Matcher, e.g. a parallel.Runtime with the online rebalancer armed
+	// over the shared network (ops5d -parallel). Sessions whose matcher
+	// does not implement Reset() are closed on SessionPool.Put rather
+	// than shelved, so per-session worker goroutines never leak.
+	NewMatcher func() MatchApplier
 	// Watch sets the OPS5 watch level written to Output (as in
 	// Options.Watch).
 	Watch int
@@ -129,6 +136,9 @@ func (c *Compiled) NewSession(opts SessionOptions) *Session {
 		opts.Output = io.Discard
 	}
 	matcher := opts.Matcher
+	if matcher == nil && opts.NewMatcher != nil {
+		matcher = opts.NewMatcher()
+	}
 	if matcher == nil {
 		matcher = rete.NewMatcher(c.net, rete.MatcherOptions{NBuckets: opts.NBuckets, Listener: opts.Listener})
 	}
@@ -150,9 +160,10 @@ func (c *Compiled) NewSession(opts SessionOptions) *Session {
 // a fresh one. The multi-tenant server uses it so steady-state
 // open/close churn does not recompile or reallocate hash tables.
 //
-// Pooled sessions must use the default sequential matcher:
-// NewSessionPool panics when opts.Matcher is set, because a single
-// matcher instance cannot back multiple pooled sessions.
+// Pooled sessions must not share one matcher instance: NewSessionPool
+// panics when opts.Matcher is set. A per-session factory
+// (opts.NewMatcher) is fine — each Get that misses the shelf builds a
+// fresh matcher, and Put closes sessions whose matcher cannot Reset.
 type SessionPool struct {
 	c    *Compiled
 	opts SessionOptions
@@ -188,7 +199,13 @@ func (p *SessionPool) Get() *Session {
 // Put resets s and shelves it for reuse. Sessions whose matcher cannot
 // be reset are dropped (never shelved dirty).
 func (p *SessionPool) Put(s *Session) {
-	if s == nil || !s.Reset() {
+	if s == nil {
+		return
+	}
+	if !s.Reset() {
+		// Not reusable (matcher without Reset): release its resources —
+		// a per-session parallel runtime's workers must not leak.
+		s.Close()
 		return
 	}
 	p.mu.Lock()

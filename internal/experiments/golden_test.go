@@ -68,6 +68,12 @@ func renderAll(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	RenderAblations(&buf, abl, 16)
+
+	ad, err := AdaptiveExperiment(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderAdaptive(&buf, ad)
 	return buf.Bytes()
 }
 

@@ -7,29 +7,25 @@ import (
 	"mpcrete/internal/obs"
 )
 
-// seqMsg encodes a sequence number in a message via inject pointer
-// identity (message has no spare integer field).
-func seqMsg(seqs map[*migrateIn]int, seq int) Message {
-	mi := &migrateIn{}
-	seqs[mi] = seq
-	return Message{Kind: MsgAct, inject: mi}
+// seqMsg encodes a sequence number in a message's Depth field.
+func seqMsg(seq int) Message {
+	return Message{Kind: MsgAct, Depth: int32(seq)}
 }
 
 func TestMailboxDrainFIFO(t *testing.T) {
 	m := newMailbox(nil, false)
-	seqs := map[*migrateIn]int{}
 	sent, next := 0, 0
 	var batch []Message
 	// Interleave single pushes, batched pushes, and drains so both the
 	// swap path and buffer reuse are exercised with messages pending.
 	for round := 0; round < 50; round++ {
 		for i := 0; i < 3; i++ {
-			m.Push(seqMsg(seqs, sent), 0, 0)
+			m.Push(seqMsg(sent), 0, 0)
 			sent++
 		}
 		var b []Message
 		for i := 0; i < 17; i++ {
-			b = append(b, seqMsg(seqs, sent))
+			b = append(b, seqMsg(sent))
 			sent++
 		}
 		m.PushBatch(b, 0, 0)
@@ -42,7 +38,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 			t.Fatal("unexpected close")
 		}
 		for _, msg := range batch {
-			if got := seqs[msg.inject]; got != next {
+			if got := int(msg.Depth); got != next {
 				t.Fatalf("out of order: got %d want %d", got, next)
 			}
 			next++
@@ -57,7 +53,7 @@ func TestMailboxDrainFIFO(t *testing.T) {
 			t.Fatalf("closed with %d of %d undelivered", sent-next, sent)
 		}
 		for _, msg := range batch {
-			if got := seqs[msg.inject]; got != next {
+			if got := int(msg.Depth); got != next {
 				t.Fatalf("drain out of order: got %d want %d", got, next)
 			}
 			next++
@@ -70,18 +66,17 @@ func TestMailboxDrainFIFO(t *testing.T) {
 
 func TestMailboxPushBatchCopies(t *testing.T) {
 	m := newMailbox(nil, false)
-	seqs := map[*migrateIn]int{}
-	buf := []Message{seqMsg(seqs, 0), seqMsg(seqs, 1)}
+	buf := []Message{seqMsg(0), seqMsg(1)}
 	m.PushBatch(buf, 0, 0)
 	// The sender reuses its buffer immediately, as workers do.
-	buf[0] = seqMsg(seqs, 99)
-	buf[1] = seqMsg(seqs, 99)
+	buf[0] = seqMsg(99)
+	buf[1] = seqMsg(99)
 	batch, _, ok := m.Drain(nil, nil)
 	if !ok || len(batch) != 2 {
 		t.Fatalf("drain = %d messages, ok=%v; want 2", len(batch), ok)
 	}
 	for i, msg := range batch {
-		if got := seqs[msg.inject]; got != i {
+		if got := int(msg.Depth); got != i {
 			t.Fatalf("message %d overwritten by buffer reuse: seq %d", i, got)
 		}
 	}

@@ -3,15 +3,13 @@ package parallel
 import (
 	"fmt"
 
-	"mpcrete/internal/rete"
 	"mpcrete/internal/sched"
 )
 
-// MigrationStats reports the cost of one Repartition call — the
-// quantity the paper declined to pay ("moving hash-buckets around to
-// change the token distribution is too costly", Section 5.2.2). The
-// runtime implements migration so the cost can be measured instead of
-// assumed.
+// MigrationStats reports the cost of one migration — the quantity the
+// paper declined to pay ("moving hash-buckets around to change the
+// token distribution is too costly", Section 5.2.2). The runtime
+// implements migration so the cost can be measured instead of assumed.
 type MigrationStats struct {
 	// BucketsMoved is the number of bucket pairs that changed owner.
 	BucketsMoved int
@@ -22,28 +20,29 @@ type MigrationStats struct {
 	Messages int
 }
 
-// migration protocol messages (handled in worker.loop).
-type migrateOut struct {
-	// moves maps bucket -> new owner for buckets this worker loses.
-	moves map[int]int
-}
-
-type migrateIn struct {
-	contents *rete.BucketContents
-}
-
 // Repartition changes the bucket-to-worker assignment of a quiescent
 // runtime, migrating stored tokens to their new owners, and returns
-// the measured cost. It must be called between Apply calls.
+// the measured cost. It must be called between Apply calls. The same
+// machinery runs automatically at cycle boundaries when
+// Options.Rebalance or Options.ForceMigrate is set.
 func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) {
 	if rt.closed {
 		return MigrationStats{}, fmt.Errorf("parallel: Repartition after Close")
 	}
-	if !rt.refDelivery {
-		// Migration messages carry live *rete.BucketContents pointers;
-		// only a by-reference transport (see RefTransport) can deliver
-		// them.
-		return MigrationStats{}, fmt.Errorf("parallel: Repartition requires an in-process (by-reference) transport")
+	return rt.migrate(newPart)
+}
+
+// migrate executes a bucket migration on the quiescent runtime: each
+// losing worker extracts the moved buckets and ships their contents to
+// the new owners; the work counter provides the barrier; routing
+// switches atomically (from the workers' point of view, between
+// cycles) when rt.opts.Partition is replaced at the end.
+func (rt *Runtime) migrate(newPart sched.Partition) (MigrationStats, error) {
+	if !rt.canMigrate {
+		// Migration messages carry *rete.BucketContents; they travel by
+		// pointer on a RefTransport and serialized on a
+		// MigrationTransport. Anything else cannot deliver them.
+		return MigrationStats{}, fmt.Errorf("parallel: migration requires a transport that carries the migration protocol (RefTransport or MigrationTransport)")
 	}
 	if len(newPart) != rt.opts.NBuckets {
 		return MigrationStats{}, fmt.Errorf("parallel: partition covers %d buckets, want %d", len(newPart), rt.opts.NBuckets)
@@ -52,34 +51,33 @@ func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) 
 		return MigrationStats{}, err
 	}
 
-	// Plan the moves per losing worker.
-	perWorker := make([]map[int]int, rt.opts.Workers)
+	// Plan the moves per losing worker, sorted by bucket (the loop
+	// ascends buckets) for reproducible message counts.
+	perWorker := make([][]BucketMove, rt.opts.Workers)
 	var stats MigrationStats
 	for b := range newPart {
 		oldOwner, newOwner := rt.opts.Partition[b], newPart[b]
 		if oldOwner == newOwner {
 			continue
 		}
-		if perWorker[oldOwner] == nil {
-			perWorker[oldOwner] = map[int]int{}
-		}
-		perWorker[oldOwner][b] = newOwner
+		perWorker[oldOwner] = append(perWorker[oldOwner], BucketMove{Bucket: int32(b), NewOwner: int32(newOwner)})
 		stats.BucketsMoved++
 	}
 
-	// Execute: each losing worker extracts and ships; receivers inject.
-	// The work counter provides the barrier.
 	for w, moves := range perWorker {
 		if moves == nil {
 			continue
 		}
 		rt.counter.Add(1)
 		rt.controlCounts().IncSent()
-		rt.workers[w].inbox.Push(Message{Kind: MsgMigrateOut, migrate: &migrateOut{moves: moves}}, rt.causal.NextBatch(), int32(rt.opts.Workers))
+		rt.workers[w].inbox.Push(Message{Kind: MsgMigrateOut, Moves: moves}, rt.causal.NextBatch(), int32(rt.opts.Workers))
 	}
 	rt.counter.Wait()
+	if err := rt.counter.Err(); err != nil {
+		return MigrationStats{}, err
+	}
 
-	// Collect measured costs from the workers.
+	// Collect measured costs from the workers (quiescent again).
 	for _, w := range rt.workers {
 		stats.EntriesMoved += w.migratedEntries
 		stats.Messages += w.migrationMsgs
@@ -89,22 +87,12 @@ func (rt *Runtime) Repartition(newPart sched.Partition) (MigrationStats, error) 
 	return stats, nil
 }
 
-// handleMigrateOut runs on the losing worker: extract each bucket and
-// ship its contents to the new owner.
-func (w *worker) handleMigrateOut(m *migrateOut) {
+// handleMigrateOut runs on the losing worker: extract each listed
+// bucket and ship its contents to the new owner.
+func (w *worker) handleMigrateOut(moves []BucketMove) {
 	rt := w.rt
-	// Deterministic order for reproducible message counts.
-	buckets := make([]int, 0, len(m.moves))
-	for b := range m.moves {
-		buckets = append(buckets, b)
-	}
-	for i := 1; i < len(buckets); i++ {
-		for j := i; j > 0 && buckets[j] < buckets[j-1]; j-- {
-			buckets[j], buckets[j-1] = buckets[j-1], buckets[j]
-		}
-	}
-	for _, b := range buckets {
-		bc := w.proc.ExtractBucket(b)
+	for _, mv := range moves {
+		bc := w.proc.ExtractBucket(int(mv.Bucket))
 		if bc.Entries() == 0 {
 			continue // nothing stored; ownership transfer is free
 		}
@@ -112,6 +100,6 @@ func (w *worker) handleMigrateOut(m *migrateOut) {
 		w.migrationMsgs++
 		rt.counter.Add(1)
 		rt.counts[w.id].IncSent()
-		rt.workers[m.moves[b]].inbox.Push(Message{Kind: MsgMigrateIn, inject: &migrateIn{contents: bc}}, rt.causal.NextBatch(), int32(w.id))
+		rt.workers[mv.NewOwner].inbox.Push(Message{Kind: MsgMigrateIn, Inject: bc}, rt.causal.NextBatch(), int32(w.id))
 	}
 }

@@ -62,6 +62,25 @@ type Options struct {
 	NBuckets int
 	// Partition maps bucket -> worker (default round-robin).
 	Partition sched.Partition
+	// Rebalance, when enabled, turns on the online adaptive
+	// repartitioner: workers count activations per bucket, the control
+	// goroutine folds the counters into a sched.Balancer at every
+	// quiescence, and when the detector arms (threshold, hysteresis,
+	// min-interval knobs — see sched.Rebalance) hot buckets migrate to
+	// new owners at the cycle boundary through the Repartition
+	// machinery. The netted conflict-set output is byte-identical to
+	// the static run — migration moves state, never match semantics.
+	// Requires a transport that can carry the migration protocol
+	// (RefTransport or MigrationTransport).
+	Rebalance sched.Rebalance
+	// ForceMigrate, when non-nil, is consulted at every cycle boundary
+	// (after the cycle's quiescence) with the 1-based number of the
+	// cycle just completed; a non-nil returned partition is migrated to
+	// before the next cycle. It is the migration-parity test hook: a
+	// schedule can force migrations the detector would never choose.
+	// When both ForceMigrate and Rebalance are set, a non-nil forced
+	// partition wins that boundary and resets the detector.
+	ForceMigrate func(cycle int) sched.Partition
 	// Detector selects the termination-detection scheme.
 	Detector Detector
 	// RouteRoots selects the paper's Fig 3-2 scheme: the control
@@ -131,18 +150,32 @@ type CyclePacket struct {
 	Changes []rete.Change
 }
 
-// Message is the worker-mailbox protocol. The exported fields are the
-// wire-visible protocol a Transport must carry; migrate/inject stay
-// unexported because they move live pointers and are only meaningful
-// inside one process (see RefTransport).
+// Message is the worker-mailbox protocol. All fields are the
+// wire-visible protocol a Transport must carry; the migration fields
+// (Moves, Inject) reference live Rete state in-process, so a wire
+// transport must serialize them at Push time (see MigrationTransport)
+// — the synchronous-capture rule already requires that.
 type Message struct {
-	Kind    MsgKind
-	Bucket  int32           // MsgAct: the activation's hash bucket, computed by the sender for routing
-	Depth   int32           // MsgAct: dependency depth within the cycle (roots are 1)
-	Cycle   *CyclePacket    // MsgCycle: shared, read-only
-	Act     rete.Activation // MsgAct
-	migrate *migrateOut     // MsgMigrateOut
-	inject  *migrateIn      // MsgMigrateIn
+	Kind   MsgKind
+	Bucket int32           // MsgAct: the activation's hash bucket, computed by the sender for routing
+	Depth  int32           // MsgAct: dependency depth within the cycle (roots are 1)
+	Cycle  *CyclePacket    // MsgCycle: shared, read-only
+	Act    rete.Activation // MsgAct
+	// Moves lists the buckets the receiving worker loses, with their
+	// new owners, sorted by bucket (MsgMigrateOut).
+	Moves []BucketMove
+	// Inject carries one extracted bucket pair to its new owner
+	// (MsgMigrateIn). In-process the pointer is the live contents; a
+	// wire transport decodes a fresh copy, which is safe because memory
+	// removal matches by value (wme ID / Token.Same), not identity.
+	Inject *rete.BucketContents
+}
+
+// BucketMove is one entry of a MsgMigrateOut: the receiving worker
+// must extract Bucket and ship its contents to NewOwner.
+type BucketMove struct {
+	Bucket   int32
+	NewOwner int32
 }
 
 type MsgKind uint8
@@ -178,10 +211,23 @@ type Runtime struct {
 	cyclePkt *CyclePacket
 
 	// transport owns the message plane; refDelivery records whether it
-	// delivers by reference (required by Repartition's pointer-carrying
-	// migration messages).
+	// delivers by reference, canMigrate whether it can carry the
+	// migration protocol at all (by reference or serialized — see
+	// MigrationTransport).
 	transport   Transport
 	refDelivery bool
+	canMigrate  bool
+
+	// balancer is the online rebalance detector/planner (nil unless
+	// Options.Rebalance is enabled); rebSeries is the obs series
+	// migrations publish into, and the counters below aggregate
+	// migration costs across the run (also surfaced via
+	// RebalanceStats).
+	balancer     *sched.Balancer
+	rebSeries    *obs.Series
+	migrations   atomic.Int64
+	bucketsMoved atomic.Int64
+	entriesMoved atomic.Int64
 
 	// root-routing state (RouteRoots mode): the control goroutine's
 	// constant-test processor plus reusable per-destination buffers.
@@ -276,6 +322,13 @@ type worker struct {
 	migratedEntries int
 	migrationMsgs   int
 
+	// bucketLoad counts activations per bucket for the rebalance
+	// detector (nil unless Options.Rebalance is enabled — the hot path
+	// then pays one nil check). The control goroutine drains it at
+	// quiescence (foldBucketLoads); the termination-detector barrier
+	// orders the worker's writes before the control read.
+	bucketLoad []int64
+
 	// chaos is the worker's scheduling perturbator (nil unless
 	// Options.ChaosSeed is set).
 	chaos *chaos
@@ -337,6 +390,18 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 		rt.transport = InProc()
 	}
 	_, rt.refDelivery = rt.transport.(RefTransport)
+	_, wireMigration := rt.transport.(MigrationTransport)
+	rt.canMigrate = rt.refDelivery || wireMigration
+	if opts.Rebalance.Enabled() || opts.ForceMigrate != nil {
+		if !rt.canMigrate {
+			return nil, fmt.Errorf("parallel: Rebalance/ForceMigrate require a transport that carries the migration protocol (RefTransport or MigrationTransport)")
+		}
+		if opts.Rebalance.Enabled() {
+			rt.balancer = sched.NewBalancer(opts.Rebalance, opts.Partition, opts.Workers)
+			rt.rebSeries = opts.Metrics.Series("parallel/rebalance",
+				"cycle", "imbalance", "buckets_moved", "entries_moved", "messages")
+		}
+	}
 	if rt.rec != nil {
 		for i := 0; i < opts.Workers; i++ {
 			rt.rec.SetTrack(i, fmt.Sprintf("worker %d", i))
@@ -369,6 +434,9 @@ func New(net *rete.Network, opts Options) (*Runtime, error) {
 			inbox:   eps[i],
 			outBufs: make([][]Message, opts.Workers),
 			ctrack:  rt.causal.Track(i),
+		}
+		if rt.balancer != nil {
+			w.bucketLoad = make([]int64, opts.NBuckets)
 		}
 		if opts.ChaosSeed != 0 {
 			w.chaos = newChaos(opts.ChaosSeed, i)
@@ -459,8 +527,85 @@ func (rt *Runtime) Apply(changes []rete.Change) []rete.InstChange {
 		rt.causal.EndCycle(cycle, rt.nowNS())
 	}
 
+	if rt.balancer != nil || rt.opts.ForceMigrate != nil {
+		rt.maybeRebalance(cycle)
+	}
+
 	rt.cyclePkt.Changes = nil // release the caller's slice
 	return rt.netting.net(rt.insts)
+}
+
+// maybeRebalance runs at the cycle boundary, on the quiescent runtime:
+// fold the workers' per-bucket activation counters into the balancer,
+// ask it (or the ForceMigrate test hook) for a new assignment, and
+// migrate. Migration happens strictly between cycles, so the match
+// semantics of neighbouring cycles are untouched — only where state
+// lives changes.
+func (rt *Runtime) maybeRebalance(cycle int32) {
+	var newPart sched.Partition
+	forced := false
+	if rt.opts.ForceMigrate != nil {
+		newPart = rt.opts.ForceMigrate(int(cycle))
+		forced = newPart != nil
+	}
+	var imbalance float64
+	if rt.balancer != nil && !forced {
+		rt.foldBucketLoads()
+		imbalance = rt.balancer.Imbalance()
+		if np, ok := rt.balancer.EndCycle(); ok {
+			newPart = np
+		}
+	}
+	if newPart == nil {
+		return
+	}
+	var t0 int64
+	if rt.rec != nil {
+		t0 = rt.nowNS()
+	}
+	stats, err := rt.migrate(newPart)
+	if err != nil {
+		// The transport was vetted in New and the partition shape in
+		// migrate; an error here means a ForceMigrate hook returned a
+		// bad partition — surface it like any other fatal Apply error.
+		panic(err)
+	}
+	if forced && rt.balancer != nil {
+		// A forced move invalidates the balancer's notion of the
+		// current assignment; restart it from the imposed partition.
+		rt.balancer = sched.NewBalancer(rt.opts.Rebalance, newPart, rt.opts.Workers)
+	}
+	rt.migrations.Add(1)
+	rt.bucketsMoved.Add(int64(stats.BucketsMoved))
+	rt.entriesMoved.Add(int64(stats.EntriesMoved))
+	rt.rebSeries.Append(float64(cycle), imbalance,
+		float64(stats.BucketsMoved), float64(stats.EntriesMoved), float64(stats.Messages))
+	if rt.rec != nil {
+		rt.rec.Span(rt.controlTrack(), "migrate", t0, rt.nowNS(),
+			obs.Label{Key: "buckets", Value: strconv.Itoa(stats.BucketsMoved)},
+			obs.Label{Key: "entries", Value: strconv.Itoa(stats.EntriesMoved)})
+	}
+}
+
+// foldBucketLoads drains every worker's per-bucket activation counter
+// into the balancer. Runs at quiescence: the workers' last counter
+// writes happened before their termination-detector decrements, which
+// the control goroutine's Wait observed.
+func (rt *Runtime) foldBucketLoads() {
+	for _, w := range rt.workers {
+		for b, n := range w.bucketLoad {
+			if n > 0 {
+				rt.balancer.Observe(b, n)
+				w.bucketLoad[b] = 0
+			}
+		}
+	}
+}
+
+// RebalanceStats reports the adaptive repartitioner's cumulative cost:
+// migration events, bucket pairs moved, and entries shipped.
+func (rt *Runtime) RebalanceStats() (migrations, bucketsMoved, entriesMoved int64) {
+	return rt.migrations.Load(), rt.bucketsMoved.Load(), rt.entriesMoved.Load()
 }
 
 // broadcast ships the cycle packet to every worker (Fig 3-3): one
@@ -623,9 +768,9 @@ func (w *worker) loop() {
 				w.localQ = append(w.localQ, localAct{act: msg.Act, bucket: msg.Bucket, depth: msg.Depth})
 				w.drainLocal()
 			case MsgMigrateOut:
-				w.handleMigrateOut(msg.migrate)
+				w.handleMigrateOut(msg.Moves)
 			case MsgMigrateIn:
-				w.proc.InjectBucket(msg.inject.contents)
+				w.proc.InjectBucket(msg.Inject)
 			}
 			w.flushActs(false)
 		}
@@ -770,6 +915,9 @@ func (w *worker) processOne(act rete.Activation, bucket int, depth int32) {
 		return
 	}
 	w.turnProcessed++
+	if w.bucketLoad != nil {
+		w.bucketLoad[bucket]++
+	}
 
 	fanout := int32(0)
 	w.proc.ProcessAt(act, bucket,

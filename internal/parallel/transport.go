@@ -73,11 +73,21 @@ type Endpoint interface {
 }
 
 // RefTransport marks transports that deliver messages by reference
-// within one address space. Only such transports can carry the
-// migration protocol (MsgMigrateOut/MsgMigrateIn move live bucket
-// contents by pointer); Runtime.Repartition refuses otherwise.
+// within one address space. Such transports carry the migration
+// protocol (MsgMigrateOut/MsgMigrateIn) for free: the live bucket
+// contents travel by pointer.
 type RefTransport interface {
 	DeliversByReference()
+}
+
+// MigrationTransport marks wire transports that can carry the
+// migration protocol by value: their codec serializes Message.Moves
+// and Message.Inject (bucket contents) across the wire. Every
+// RefTransport implicitly carries migration; a transport implementing
+// neither interface makes Runtime.Repartition (and therefore
+// Options.Rebalance / Options.ForceMigrate) fail.
+type MigrationTransport interface {
+	CarriesMigration()
 }
 
 // NewEndpoint returns one in-process double-buffer mailbox endpoint —

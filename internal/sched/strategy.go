@@ -79,12 +79,13 @@ func Strategies(seed int64) []Strategy {
 		RandomStrategy{Seed: seed},
 		GreedyAggregateStrategy{},
 		GreedyPerCycleStrategy{},
+		AdaptiveStrategy{},
 	}
 }
 
 // StrategyNames lists the canonical names StrategyByName accepts.
 func StrategyNames() []string {
-	names := make([]string, 0, 4)
+	names := make([]string, 0, 5)
 	for _, s := range Strategies(0) {
 		names = append(names, s.Name())
 	}
@@ -104,6 +105,8 @@ func StrategyByName(name string, seed int64) (Strategy, error) {
 		return GreedyAggregateStrategy{}, nil
 	case "greedy-per-cycle", "greedy":
 		return GreedyPerCycleStrategy{}, nil
+	case "adaptive":
+		return AdaptiveStrategy{}, nil
 	}
 	return nil, fmt.Errorf("sched: unknown strategy %q (have %s)", name, strings.Join(StrategyNames(), ", "))
 }

@@ -67,7 +67,7 @@ func TestStrategyByName(t *testing.T) {
 }
 
 func TestStrategyNames(t *testing.T) {
-	want := []string{"round-robin", "random", "greedy-aggregate", "greedy-per-cycle"}
+	want := []string{"round-robin", "random", "greedy-aggregate", "greedy-per-cycle", "adaptive"}
 	if got := StrategyNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("StrategyNames() = %v, want %v", got, want)
 	}

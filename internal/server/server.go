@@ -63,6 +63,11 @@ type Config struct {
 	// Metrics receives server counters and backs /metrics; a private
 	// registry is created when nil.
 	Metrics *obs.Registry
+	// NewMatcher, when non-nil, constructs each session's match
+	// implementation (e.g. a parallel runtime with the adaptive
+	// rebalancer armed — ops5d -parallel/-rebalance). Sessions whose
+	// matcher cannot reset are closed on release instead of pooled.
+	NewMatcher func() engine.MatchApplier
 }
 
 // Server is the multi-tenant session service. Create with New, mount
@@ -107,7 +112,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
-		sessions: newSessionTable(cfg.Compiled, cfg.MaxSessions),
+		sessions: newSessionTable(cfg.Compiled, cfg.MaxSessions, cfg.NewMatcher),
 		adm:      newAdmission(cfg.MaxInflight, cfg.QueueDepth),
 
 		reqs:      cfg.Metrics.Counter("server.requests"),

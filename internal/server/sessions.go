@@ -44,12 +44,12 @@ type sessionTable struct {
 	pool   *engine.SessionPool
 }
 
-func newSessionTable(c *engine.Compiled, max int) *sessionTable {
+func newSessionTable(c *engine.Compiled, max int, newMatcher func() engine.MatchApplier) *sessionTable {
 	return &sessionTable{
 		compiled: c,
 		max:      max,
 		byID:     make(map[string]*session),
-		pool:     engine.NewSessionPool(c, engine.SessionOptions{}),
+		pool:     engine.NewSessionPool(c, engine.SessionOptions{NewMatcher: newMatcher}),
 	}
 }
 

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"testing"
+
+	"mpcrete/internal/sched"
+	"mpcrete/internal/trace"
+)
+
+// rebalanceTrace is a persistently skewed trace: two hot buckets that
+// round-robin co-locates on one worker, so the adaptive policy has
+// something real to fix.
+func rebalanceTrace(cycles int) *trace.Trace {
+	tr := &trace.Trace{Name: "sweep-skewed", NBuckets: 16}
+	for c := 0; c < cycles; c++ {
+		cy := &trace.Cycle{Changes: 1}
+		for _, hot := range []int{1, 9} {
+			for i := 0; i < 25; i++ {
+				cy.Roots = append(cy.Roots, &trace.Activation{
+					Node: 10 + i%7, Side: trace.LeftSide, Tag: trace.AddTag, Bucket: hot,
+				})
+			}
+		}
+		for b := 0; b < tr.NBuckets; b++ {
+			cy.Roots = append(cy.Roots, &trace.Activation{
+				Node: 50 + b, Side: trace.RightSide, Tag: trace.AddTag, Bucket: b,
+			})
+		}
+		tr.Cycles = append(tr.Cycles, cy)
+	}
+	return tr
+}
+
+// TestAdaptivePointDoesNotCollideInCache is the memoization-collision
+// regression for the rebalance knobs. The adaptive strategy's static
+// assignment is exactly round-robin, so before Config.Fingerprint
+// included Config.Rebalance the two points shared a cache key and the
+// engine served the static result for the adaptive cell.
+func TestAdaptivePointDoesNotCollideInCache(t *testing.T) {
+	e := New(Workers(2))
+	res, err := e.Run(Spec{
+		Name:       "adaptive-collision",
+		Traces:     []*trace.Trace{rebalanceTrace(40)},
+		Procs:      []int{4},
+		Strategies: []sched.Strategy{sched.RoundRobinStrategy{}, sched.AdaptiveStrategy{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Simulations(); got != 2 {
+		t.Errorf("engine ran %d simulations for 2 distinct points (cache collision?)", got)
+	}
+	static, adaptive := res.Cells[0], res.Cells[1]
+	if static.Key.Strategy != "round-robin" || adaptive.Key.Strategy != "adaptive" {
+		t.Fatalf("unexpected cell order: %v, %v", static.Key, adaptive.Key)
+	}
+	if adaptive.Result.Migrations == 0 {
+		t.Error("adaptive cell recorded no migrations — served the static result?")
+	}
+	if static.Result.Migrations != 0 {
+		t.Error("static cell recorded migrations — served the adaptive result?")
+	}
+	if adaptive.Result.Makespan == static.Result.Makespan {
+		t.Error("adaptive and static cells have identical makespans on a skewed trace")
+	}
+}
+
+// TestAdaptiveKnobsDistinctInCache pins that two adaptive points with
+// different knob settings simulate separately too.
+func TestAdaptiveKnobsDistinctInCache(t *testing.T) {
+	e := New(Workers(1))
+	res, err := e.Run(Spec{
+		Name:   "adaptive-knobs",
+		Traces: []*trace.Trace{rebalanceTrace(20)},
+		Procs:  []int{4},
+		Strategies: []sched.Strategy{
+			sched.AdaptiveStrategy{},
+			sched.AdaptiveStrategy{Rebalance: sched.Rebalance{Threshold: 100, MinInterval: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Simulations(); got != 2 {
+		t.Errorf("engine ran %d simulations for 2 distinct knob settings", got)
+	}
+	// Threshold 100 never triggers; the default knobs do.
+	if res.Cells[1].Result.Migrations != 0 {
+		t.Errorf("threshold-100 point migrated %d times", res.Cells[1].Result.Migrations)
+	}
+	if res.Cells[0].Result.Migrations == 0 {
+		t.Error("default-knob point never migrated on a skewed trace")
+	}
+}

@@ -48,7 +48,9 @@ type Spec struct {
 	Overheads []core.OverheadSetting
 	// Strategies are the bucket-distribution policies; nil means the
 	// simulator's round-robin default. A sched.PerCycleStrategy is
-	// applied through Config.PerCycle (the off-line oracle), any other
+	// applied through Config.PerCycle (the off-line oracle), a
+	// sched.RebalanceStrategy through Config.Partition plus
+	// Config.Rebalance (the online adaptive policy), any other
 	// strategy through Config.Partition.
 	Strategies []sched.Strategy
 	// Variants are ablation toggles applied after Configure.
@@ -186,9 +188,18 @@ func (s Spec) Expand() ([]Point, error) {
 							if load == nil {
 								load = tr.BucketLoad(false)
 							}
-							if pc, ok := st.(sched.PerCycleStrategy); ok {
-								cfg.PerCycle = pc.AssignPerCycle(load, tr.NBuckets, p)
-							} else {
+							switch v := st.(type) {
+							case sched.PerCycleStrategy:
+								cfg.PerCycle = v.AssignPerCycle(load, tr.NBuckets, p)
+							case sched.RebalanceStrategy:
+								// Online policy: static starting assignment
+								// plus live rebalance knobs. The knobs enter
+								// Config.Fingerprint, so adaptive points
+								// never collide with the static point they
+								// start from in the memoization cache.
+								cfg.Partition = st.Assign(load, tr.NBuckets, p)
+								cfg.Rebalance = v.RebalanceConfig()
+							default:
 								cfg.Partition = st.Assign(load, tr.NBuckets, p)
 							}
 							key.Strategy = st.Name()

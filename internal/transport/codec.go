@@ -400,11 +400,99 @@ func (d *dec) instChange(net *rete.Network) (rete.InstChange, error) {
 	return ic, nil
 }
 
+// --- bucket contents (the migration protocol's payload) ---
+
+// bucketContents encodes one extracted hash-bucket pair. Node
+// references travel as compiled-network ids; tokens and wmes travel by
+// value. The decoded copy is safe to inject on the receiver because
+// memory removal matches by value (wme ID / Token.Same), never by
+// pointer identity.
+func (e *enc) bucketContents(bc *rete.BucketContents) {
+	e.int(bc.Bucket)
+	e.count(len(bc.LeftTokens))
+	for i, tok := range bc.LeftTokens {
+		e.int(bc.LeftNodes[i].ID)
+		e.int(bc.LeftCounts[i])
+		e.count(len(tok.WMEs))
+		for _, w := range tok.WMEs {
+			e.wme(w)
+		}
+	}
+	e.count(len(bc.RightWMEs))
+	for i, w := range bc.RightWMEs {
+		e.int(bc.RightNodes[i].ID)
+		e.wme(w)
+	}
+}
+
+func (d *dec) node(net *rete.Network) (*rete.Node, error) {
+	id, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= len(net.Nodes) {
+		return nil, d.fail(fmt.Sprintf("node id %d out of range [0,%d)", id, len(net.Nodes)))
+	}
+	return net.Nodes[id], nil
+}
+
+func (d *dec) bucketContents(net *rete.Network) (*rete.BucketContents, error) {
+	bc := &rete.BucketContents{}
+	var err error
+	if bc.Bucket, err = d.int(); err != nil {
+		return nil, err
+	}
+	nl, err := d.count(1 << 24)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nl; i++ {
+		n, err := d.node(net)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		nw, err := d.count(1 << 16)
+		if err != nil {
+			return nil, err
+		}
+		tok := &rete.Token{WMEs: make([]*ops5.WME, nw)}
+		for j := range tok.WMEs {
+			if tok.WMEs[j], err = d.wme(); err != nil {
+				return nil, err
+			}
+		}
+		bc.LeftNodes = append(bc.LeftNodes, n)
+		bc.LeftTokens = append(bc.LeftTokens, tok)
+		bc.LeftCounts = append(bc.LeftCounts, cnt)
+	}
+	nr, err := d.count(1 << 24)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nr; i++ {
+		n, err := d.node(net)
+		if err != nil {
+			return nil, err
+		}
+		w, err := d.wme()
+		if err != nil {
+			return nil, err
+		}
+		bc.RightNodes = append(bc.RightNodes, n)
+		bc.RightWMEs = append(bc.RightWMEs, w)
+	}
+	return bc, nil
+}
+
 // --- message batches (the Loopback transport's ftBatch payload) ---
 
 // appendBatch encodes a pushed message batch with its causal stamp.
-// Migration messages cannot cross the wire (they carry live pointers;
-// see parallel.RefTransport) — encoding one is an error.
+// Migration messages ship by value: moves as (bucket, owner) pairs,
+// injected contents through the bucketContents codec.
 func appendBatch(buf []byte, ms []parallel.Message, batch, src int32) ([]byte, error) {
 	e := enc{buf: buf}
 	e.i32(batch)
@@ -424,8 +512,18 @@ func appendBatch(buf []byte, ms []parallel.Message, batch, src int32) ([]byte, e
 			e.i32(m.Bucket)
 			e.i32(m.Depth)
 			e.activation(m.Act)
+		case parallel.MsgMigrateOut:
+			e.byte(byte(parallel.MsgMigrateOut))
+			e.count(len(m.Moves))
+			for _, mv := range m.Moves {
+				e.i32(mv.Bucket)
+				e.i32(mv.NewOwner)
+			}
+		case parallel.MsgMigrateIn:
+			e.byte(byte(parallel.MsgMigrateIn))
+			e.bucketContents(m.Inject)
 		default:
-			return nil, fmt.Errorf("transport: message kind %d cannot cross the wire (in-process only)", m.Kind)
+			return nil, fmt.Errorf("transport: message kind %d cannot cross the wire", m.Kind)
 		}
 	}
 	return e.buf, nil
@@ -479,6 +577,27 @@ func decodeBatch(net *rete.Network, payload []byte, ms []parallel.Message) ([]pa
 				return nil, 0, 0, err
 			}
 			ms = append(ms, m)
+		case parallel.MsgMigrateOut:
+			nm, err := d.count(1 << 24)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			moves := make([]parallel.BucketMove, nm)
+			for j := range moves {
+				if moves[j].Bucket, err = d.i32(); err != nil {
+					return nil, 0, 0, err
+				}
+				if moves[j].NewOwner, err = d.i32(); err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			ms = append(ms, parallel.Message{Kind: parallel.MsgMigrateOut, Moves: moves})
+		case parallel.MsgMigrateIn:
+			bc, err := d.bucketContents(net)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			ms = append(ms, parallel.Message{Kind: parallel.MsgMigrateIn, Inject: bc})
 		default:
 			return nil, 0, 0, d.fail(fmt.Sprintf("message kind %d", kind))
 		}

@@ -28,6 +28,19 @@ type ControlOptions struct {
 	// the constant tests once per cycle and routes each root to its
 	// owner, instead of broadcasting the changes (Fig 3-3).
 	RouteRoots bool
+	// Rebalance, when enabled, turns on the online adaptive
+	// repartitioner across OS processes: workers report per-bucket
+	// activation counts in their turn frames, the control process folds
+	// them into a sched.Balancer at every quiescence, and armed replans
+	// migrate buckets over the wire (ftRepart/ftBucketRelay/ftBucket)
+	// at cycle boundaries. The netted conflict-set output is identical
+	// to the static run.
+	Rebalance sched.Rebalance
+	// ForceMigrate mirrors parallel.Options.ForceMigrate: consulted at
+	// every quiescent cycle boundary with the 1-based completed cycle
+	// number; a non-nil partition is migrated to before the next cycle
+	// (and wins over the detector, resetting it).
+	ForceMigrate func(cycle int) sched.Partition
 	// Causal, when non-nil, attaches a flight recorder with Workers+1
 	// tracks (workers first, control last; build it with
 	// parallel.NewFlightRecorder). Worker-process handle aggregates are
@@ -69,6 +82,19 @@ type Control struct {
 	processed []atomic.Int64
 	msgsSent  []atomic.Int64
 	instCount atomic.Int64
+
+	// balancer is the online rebalance detector (nil unless
+	// ControlOptions.Rebalance); loadMu guards bucketLoad, the
+	// per-bucket activation counts accumulated from turn frames by the
+	// conn readers and folded into the balancer at quiescence. The
+	// migration counters mirror parallel.Runtime's RebalanceStats.
+	balancer     *sched.Balancer
+	loadMu       sync.Mutex
+	bucketLoad   []int64
+	migrations   atomic.Int64
+	bucketsMoved atomic.Int64
+	entriesMoved atomic.Int64
+	migMsgs      atomic.Int64
 
 	causal   *obs.CausalRecorder
 	ctlTrack *obs.TrackRecorder
@@ -155,6 +181,10 @@ func Listen(network *rete.Network, addr string, opts ControlOptions) (*Control, 
 		c.rootProc = rete.NewProcessor(network, opts.NBuckets)
 		c.rootBufs = make([][]wireAct, opts.Workers)
 	}
+	if opts.Rebalance.Enabled() {
+		c.balancer = sched.NewBalancer(opts.Rebalance, opts.Partition, opts.Workers)
+		c.bucketLoad = make([]int64, opts.NBuckets)
+	}
 	for i := 0; i <= opts.Workers; i++ {
 		c.counts = append(c.counts, &termdet.ChannelCounts{})
 	}
@@ -191,6 +221,7 @@ func (c *Control) WaitWorkers() error {
 			workers:    c.opts.Workers,
 			nbuckets:   c.opts.NBuckets,
 			routeRoots: c.opts.RouteRoots,
+			trackLoads: c.balancer != nil,
 			partition:  c.opts.Partition,
 		}, c.network)
 		if err != nil {
@@ -341,6 +372,25 @@ func (c *Control) readLoop(cc *ctlConn) {
 				c.instMu.Unlock()
 				c.instCount.Add(int64(ninsts))
 			}
+			nloads, err := d.count(1 << 24)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if nloads > 0 {
+				c.loadMu.Lock()
+				for i := 0; i < nloads; i++ {
+					b, err1 := d.i32()
+					l, err2 := d.i64()
+					if err1 != nil || err2 != nil || int(b) < 0 || int(b) >= len(c.bucketLoad) {
+						c.loadMu.Unlock()
+						c.fail(fmt.Errorf("%w: turn load pair", ErrBadPayload))
+						return
+					}
+					c.bucketLoad[b] += l
+				}
+				c.loadMu.Unlock()
+			}
 			if err := d.done(); err != nil {
 				c.fail(err)
 				return
@@ -350,6 +400,35 @@ func (c *Control) readLoop(cc *ctlConn) {
 			// published above).
 			c.counts[cc.id].AddRecv(n)
 			c.counter.Add(-n)
+		case ftBucketRelay:
+			// A migrated bucket in flight: register the forwarded
+			// delivery before the sender's closing turn frame can
+			// deregister its work, then forward the contents verbatim —
+			// the control process never decodes them.
+			d := dec{b: payload}
+			dst32, err := d.i32()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			dst := int(dst32)
+			if dst < 0 || dst >= len(c.conns) || dst == cc.id {
+				c.fail(fmt.Errorf("%w: worker %d shipped a bucket to %d", ErrBadPayload, cc.id, dst))
+				return
+			}
+			entries, err := d.int()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.counter.Add(1)
+			c.counts[cc.id].IncSent()
+			c.entriesMoved.Add(int64(entries))
+			c.migMsgs.Add(1)
+			if err := c.conns[dst].write(ftBucket, d.b); err != nil {
+				c.fail(fmt.Errorf("transport: forwarding bucket to worker %d: %w", dst, err))
+				return
+			}
 		default:
 			c.fail(fmt.Errorf("%w: control got unexpected %s frame from worker %d", ErrBadPayload, ft, cc.id))
 			return
@@ -390,7 +469,108 @@ func (c *Control) Cycle(changes []rete.Change) ([]rete.InstChange, error) {
 		return nil, fmt.Errorf("transport: channel counts diverged at quiescence: sent=%d recv=%d", sent, recv)
 	}
 	c.causal.EndCycle(cycle, c.nowNS())
+	if c.balancer != nil || c.opts.ForceMigrate != nil {
+		if err := c.maybeRebalance(int(cycle)); err != nil {
+			return nil, err
+		}
+	}
 	return parallel.NetInsts(c.insts), nil
+}
+
+// maybeRebalance runs at the quiescent cycle boundary: fold the
+// accumulated per-bucket loads into the balancer, ask it (or the
+// ForceMigrate hook) for a new assignment, and migrate over the wire.
+// Mirrors parallel.Runtime.maybeRebalance.
+func (c *Control) maybeRebalance(cycle int) error {
+	var newPart sched.Partition
+	forced := false
+	if c.opts.ForceMigrate != nil {
+		newPart = c.opts.ForceMigrate(cycle)
+		forced = newPart != nil
+	}
+	if c.balancer != nil && !forced {
+		c.loadMu.Lock()
+		for b, l := range c.bucketLoad {
+			if l > 0 {
+				c.balancer.Observe(b, l)
+				c.bucketLoad[b] = 0
+			}
+		}
+		c.loadMu.Unlock()
+		if np, ok := c.balancer.EndCycle(); ok {
+			newPart = np
+		}
+	}
+	if newPart == nil {
+		return nil
+	}
+	if err := c.migrate(newPart); err != nil {
+		return err
+	}
+	if forced && c.balancer != nil {
+		// A forced move invalidates the detector's notion of the
+		// current assignment; restart it from the imposed partition.
+		c.balancer = sched.NewBalancer(c.opts.Rebalance, newPart, c.opts.Workers)
+	}
+	return nil
+}
+
+// migrate executes one wire migration: an ftRepart order to every
+// worker (all must switch routing; losers additionally extract and
+// ship), then the credit-counter barrier until every shipped bucket
+// has been injected at its new owner.
+func (c *Control) migrate(newPart sched.Partition) error {
+	if len(newPart) != c.opts.NBuckets {
+		return fmt.Errorf("transport: partition covers %d buckets, want %d", len(newPart), c.opts.NBuckets)
+	}
+	if err := newPart.Validate(c.opts.Workers); err != nil {
+		return err
+	}
+	perWorker := make([][]parallel.BucketMove, c.opts.Workers)
+	moved := 0
+	for b := range newPart {
+		oldOwner, newOwner := c.opts.Partition[b], newPart[b]
+		if oldOwner == newOwner {
+			continue
+		}
+		perWorker[oldOwner] = append(perWorker[oldOwner], parallel.BucketMove{Bucket: int32(b), NewOwner: int32(newOwner)})
+		moved++
+	}
+	c.counter.Add(len(c.conns))
+	c.controlCounts().AddSent(len(c.conns))
+	var ebuf []byte
+	for _, cc := range c.conns {
+		e := enc{buf: ebuf[:0]}
+		e.count(len(newPart))
+		for _, owner := range newPart {
+			e.int(owner)
+		}
+		e.count(len(perWorker[cc.id]))
+		for _, mv := range perWorker[cc.id] {
+			e.i32(mv.Bucket)
+			e.i32(mv.NewOwner)
+		}
+		ebuf = e.buf[:0]
+		if err := cc.write(ftRepart, e.buf); err != nil {
+			err = fmt.Errorf("transport: repartition order to worker %d: %w", cc.id, err)
+			c.fail(err)
+			return err
+		}
+	}
+	c.counter.Wait()
+	if err := c.counter.Err(); err != nil {
+		return err
+	}
+	c.opts.Partition = newPart
+	c.migrations.Add(1)
+	c.bucketsMoved.Add(int64(moved))
+	return nil
+}
+
+// RebalanceStats reports the adaptive repartitioner's cumulative cost
+// across the run, in the parallel.Runtime.RebalanceStats shape.
+func (c *Control) RebalanceStats() (migrations, bucketsMoved, entriesMoved int64) {
+	return c.migrations.Load(), c.bucketsMoved.Load(), c.entriesMoved.Load()
 }
 
 // Apply implements engine.MatchApplier. Transport failures panic (the

@@ -57,17 +57,32 @@ const (
 	ftRelay
 	// ftTurn ends a worker's turn: how many messages it fully
 	// processed, the recv stamps it drained, its per-turn measurement
-	// aggregate, and the conflict-set deltas it produced.
+	// aggregate, the conflict-set deltas it produced, and (when load
+	// tracking is on) its per-bucket activation counts.
 	ftTurn
 	// ftShutdown asks a worker to exit cleanly.
 	ftShutdown
+	// ftRepart is the control→worker migration order: the new
+	// partition plus the buckets this worker must extract and ship.
+	// Sent to every worker at a quiescent cycle boundary — routing
+	// switches everywhere before the next cycle's delivery.
+	ftRepart
+	// ftBucketRelay is a worker→control shipment of one extracted
+	// bucket pair: destination worker, entry count, then the encoded
+	// contents, which the control process forwards verbatim (without
+	// decoding) as ftBucket.
+	ftBucketRelay
+	// ftBucket is the control→worker delivery of one migrated bucket
+	// pair; the receiver injects it and closes the turn.
+	ftBucket
 
-	maxFrameType = ftShutdown
+	maxFrameType = ftBucket
 )
 
 var frameTypeNames = [...]string{
 	ftHello: "hello", ftReady: "ready", ftBatch: "batch", ftCycle: "cycle",
 	ftActs: "acts", ftRelay: "relay", ftTurn: "turn", ftShutdown: "shutdown",
+	ftRepart: "repart", ftBucketRelay: "bucket-relay", ftBucket: "bucket",
 }
 
 func (t frameType) String() string {

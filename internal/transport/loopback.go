@@ -26,9 +26,11 @@ import (
 // deadlock two workers exchanging cross-product bursts: the reader
 // goroutine always drains the socket.
 //
-// Because Loopback does not implement parallel.RefTransport, the
-// runtime refuses Repartition on it — migration messages move live
-// bucket memories by pointer.
+// Loopback implements parallel.MigrationTransport: the batch codec
+// serializes migration messages (bucket moves and extracted bucket
+// contents) like any other kind, so Repartition and the online
+// rebalancer work over it — the receiver injects fresh value copies,
+// which is safe because memory removal matches by value.
 //
 // The point of Loopback is validation, not deployment: it runs the
 // exact wire codec and framing of the multi-process runtime inside one
@@ -48,6 +50,10 @@ type Loopback struct {
 func NewLoopback(network *rete.Network) *Loopback {
 	return &Loopback{net: network}
 }
+
+// CarriesMigration implements parallel.MigrationTransport: the wire
+// codec serializes the migration protocol by value.
+func (*Loopback) CarriesMigration() {}
 
 // Open implements parallel.Transport.
 func (l *Loopback) Open(workers int, opts parallel.EndpointOptions) ([]parallel.Endpoint, error) {

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mpcrete/internal/ops5"
+	"mpcrete/internal/rete"
+	"mpcrete/internal/sched"
+)
+
+// compileProdsT compiles production sources into a network for the
+// migration tests (the named workloads don't exercise enough distinct
+// buckets per cycle to arm the detector deterministically).
+func compileProdsT(t *testing.T, srcs ...string) *rete.Network {
+	t.Helper()
+	var prods []*ops5.Production
+	for _, src := range srcs {
+		p, err := ops5.ParseProduction(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prods = append(prods, p)
+	}
+	net, err := rete.Compile(prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// foldInsts folds conflict-set deltas into a set.
+func foldInsts(cs map[string]bool, deltas []rete.InstChange) {
+	for _, ic := range deltas {
+		if ic.Tag == rete.Add {
+			cs[ic.Key()] = true
+		} else {
+			delete(cs, ic.Key())
+		}
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestControlForcedMigrationParity is the cross-process form of the
+// migration metamorphic property: buckets migrate between worker
+// processes over real TCP connections mid-run — extraction, wire
+// serialization, relay through the control process, and injection at
+// the new owner — and the netted conflict-set trajectory must stay
+// identical to the sequential matcher's. The forced schedule rotates
+// the whole partition at every cycle boundary, so every resident token
+// crosses the wire between every pair of cycles.
+func TestControlForcedMigrationParity(t *testing.T) {
+	srcs := []string{
+		`(p join (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))`,
+		`(p neg (a ^x <v>) -(d ^x <v>) --> (halt))`,
+	}
+	const nbuckets = 64
+	for _, routed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("routed=%v", routed), func(t *testing.T) {
+			const workers = 3
+			net := compileProdsT(t, srcs...)
+			seq := rete.NewMatcher(compileProdsT(t, srcs...), rete.MatcherOptions{NBuckets: nbuckets})
+			ctl, err := Listen(net, "127.0.0.1:0", ControlOptions{
+				Workers:    workers,
+				NBuckets:   nbuckets,
+				RouteRoots: routed,
+				ForceMigrate: func(cycle int) sched.Partition {
+					p := make(sched.Partition, nbuckets)
+					for b := range p {
+						p[b] = (b + cycle) % workers
+					}
+					return p
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctl.Close()
+			werrs := startWorkers(t, ctl.Addr(), workers)
+			if err := ctl.WaitWorkers(); err != nil {
+				t.Fatal(err)
+			}
+
+			seqCS, wireCS := map[string]bool{}, map[string]bool{}
+			cycles := 0
+			id := 1
+			var live []*ops5.WME
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 30; i++ {
+				var ch []rete.Change
+				if len(live) > 0 && rng.Intn(3) == 0 {
+					j := rng.Intn(len(live))
+					ch = []rete.Change{{Tag: rete.Delete, WME: live[j]}}
+					live = append(live[:j], live[j+1:]...)
+				} else {
+					class := []string{"a", "b", "c", "d"}[rng.Intn(4)]
+					w := ops5.NewWME(class, "x", rng.Intn(3))
+					w.ID, w.TimeTag = id, id
+					id++
+					ch = []rete.Change{{Tag: rete.Add, WME: w}}
+					live = append(live, w)
+				}
+				foldInsts(seqCS, seq.Apply(ch))
+				got, err := ctl.Cycle(ch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				foldInsts(wireCS, got)
+				cycles++
+				if !sameSet(seqCS, wireCS) {
+					t.Fatalf("divergence at step %d:\nseq:  %v\nwire: %v", i, seqCS, wireCS)
+				}
+			}
+			migs, moved, entries := ctl.RebalanceStats()
+			if int(migs) != cycles {
+				t.Errorf("forced schedule migrated %d times over %d cycles", migs, cycles)
+			}
+			if moved == 0 {
+				t.Error("forced full rotations moved no buckets")
+			}
+			if entries == 0 {
+				t.Error("no entries crossed the wire despite resident state")
+			}
+
+			if err := ctl.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < workers; i++ {
+				select {
+				case err := <-werrs:
+					if err != nil {
+						t.Fatalf("worker exit: %v", err)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("worker did not exit")
+				}
+			}
+		})
+	}
+}
+
+// TestControlAdaptiveParity runs the online detector across worker
+// processes: a pathologically bad initial assignment (every bucket on
+// worker 0), per-bucket loads reported in turn frames, and the control
+// plane's balancer migrating buckets over the wire — with the netted
+// conflict sets identical to the sequential matcher throughout.
+func TestControlAdaptiveParity(t *testing.T) {
+	const (
+		workers  = 3
+		nbuckets = 64
+	)
+	src := `(p j (a ^x <v>) (b ^x <v>) --> (halt))`
+	net := compileProdsT(t, src)
+	seq := rete.NewMatcher(compileProdsT(t, src), rete.MatcherOptions{NBuckets: nbuckets})
+	ctl, err := Listen(net, "127.0.0.1:0", ControlOptions{
+		Workers:   workers,
+		NBuckets:  nbuckets,
+		Partition: make(sched.Partition, nbuckets), // everything on worker 0
+		Rebalance: sched.Rebalance{Threshold: 1.01, MinInterval: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	werrs := startWorkers(t, ctl.Addr(), workers)
+	if err := ctl.WaitWorkers(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqCS, wireCS := map[string]bool{}, map[string]bool{}
+	id := 1
+	for cycle := 0; cycle < 8; cycle++ {
+		var ch []rete.Change
+		for x := 0; x < 8; x++ {
+			for _, class := range []string{"a", "b"} {
+				w := ops5.NewWME(class, "x", cycle*8+x)
+				w.ID, w.TimeTag = id, id
+				id++
+				ch = append(ch, rete.Change{Tag: rete.Add, WME: w})
+			}
+		}
+		foldInsts(seqCS, seq.Apply(ch))
+		got, err := ctl.Cycle(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foldInsts(wireCS, got)
+		if !sameSet(seqCS, wireCS) {
+			t.Fatalf("divergence at cycle %d:\nseq:  %v\nwire: %v", cycle, seqCS, wireCS)
+		}
+	}
+	migs, moved, _ := ctl.RebalanceStats()
+	if migs == 0 {
+		t.Fatal("detector never armed on an all-on-one-worker assignment")
+	}
+	if moved == 0 {
+		t.Fatal("migration moved no buckets")
+	}
+	owners := map[int]bool{}
+	for _, o := range ctl.opts.Partition {
+		owners[o] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("partition still on a single owner after %d migrations", migs)
+	}
+
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case err := <-werrs:
+			if err != nil {
+				t.Fatalf("worker exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit")
+		}
+	}
+}

@@ -29,8 +29,10 @@ import (
 // in-process runtime keeps with function-call ordering.
 
 // protoVersion is the handshake protocol version; a mismatch aborts
-// the handshake rather than mis-decoding frames.
-const protoVersion = 1
+// the handshake rather than mis-decoding frames. Version 2 added the
+// migration protocol (ftRepart/ftBucketRelay/ftBucket), the trackLoads
+// hello flag, and the per-bucket load section of ftTurn.
+const protoVersion = 2
 
 // wireAct is one routed activation with its routing metadata.
 type wireAct struct {
@@ -85,6 +87,10 @@ type hello struct {
 	workers    int
 	nbuckets   int
 	routeRoots bool
+	// trackLoads asks the worker to count activations per bucket and
+	// report nonzero counts in each ftTurn frame (the control plane's
+	// rebalance detector feeds on them).
+	trackLoads bool
 	partition  []int
 	net        *rete.Network
 }
@@ -96,6 +102,7 @@ func encodeHello(buf []byte, h hello, network *rete.Network) ([]byte, error) {
 	e.int(h.workers)
 	e.int(h.nbuckets)
 	e.bool(h.routeRoots)
+	e.bool(h.trackLoads)
 	e.count(len(h.partition))
 	for _, owner := range h.partition {
 		e.int(owner)
@@ -129,6 +136,9 @@ func decodeHello(payload []byte) (hello, error) {
 		return h, err
 	}
 	if h.routeRoots, err = d.bool(); err != nil {
+		return h, err
+	}
+	if h.trackLoads, err = d.bool(); err != nil {
 		return h, err
 	}
 	if h.id < 0 || h.workers < 1 || h.id >= h.workers || h.nbuckets < 1 {
@@ -208,6 +218,9 @@ func ServeConn(conn net.Conn) error {
 		proc:    rete.NewProcessor(h.net, h.nbuckets),
 		outBufs: make([][]wireAct, h.workers),
 	}
+	if h.trackLoads {
+		w.bucketLoad = make([]int64, h.nbuckets)
+	}
 
 	var ready enc
 	ready.int(h.id)
@@ -235,6 +248,20 @@ func ServeConn(conn net.Conn) error {
 			if err := bw.Flush(); err != nil {
 				return fmt.Errorf("transport: worker %d write: %w", h.id, err)
 			}
+		case ftRepart:
+			if err := w.repartition(payload, bw); err != nil {
+				return fmt.Errorf("transport: worker %d repartition: %w", h.id, err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("transport: worker %d write: %w", h.id, err)
+			}
+		case ftBucket:
+			if err := w.injectBucket(payload, bw); err != nil {
+				return fmt.Errorf("transport: worker %d bucket inject: %w", h.id, err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("transport: worker %d write: %w", h.id, err)
+			}
 		default:
 			return fmt.Errorf("%w: worker got unexpected %s frame", ErrBadPayload, ft)
 		}
@@ -255,6 +282,12 @@ type wireWorker struct {
 
 	agg     turnAgg
 	pending int // acts buffered in outBufs this turn
+
+	// bucketLoad counts activations per bucket since the last turn
+	// frame (nil unless hello.trackLoads); dirty lists the nonzero
+	// entries so the turn encoder never scans the whole bucket space.
+	bucketLoad []int64
+	dirty      []int32
 }
 
 // turn handles one incoming protocol frame end to end and writes the
@@ -326,12 +359,23 @@ func (w *wireWorker) turn(ft frameType, payload []byte, out *bufio.Writer) error
 		w.pending = 0
 	}
 
+	return w.writeTurn(out, n, true, batch, src)
+}
+
+// writeTurn ends a turn on the wire: processed count, recv stamps
+// (none for migration acks — they carry no causal batch), measurement
+// aggregate, conflict-set deltas, and the per-bucket load section.
+func (w *wireWorker) writeTurn(out *bufio.Writer, n int, stamped bool, batch, src int32) error {
 	e := enc{buf: w.ebuf[:0]}
 	e.int(n)
-	e.count(1)
-	e.i32(batch)
-	e.i32(src)
-	e.i32(int32(n))
+	if stamped {
+		e.count(1)
+		e.i32(batch)
+		e.i32(src)
+		e.i32(int32(n))
+	} else {
+		e.count(0)
+	}
 	e.i64(w.agg.handles)
 	e.i64(w.agg.flushes)
 	e.i32(w.agg.maxDepth)
@@ -339,10 +383,90 @@ func (w *wireWorker) turn(ft frameType, payload []byte, out *bufio.Writer) error
 	for i := range w.instBuf {
 		e.instChange(w.instBuf[i])
 	}
+	e.count(len(w.dirty))
+	for _, b := range w.dirty {
+		e.i32(b)
+		e.i64(w.bucketLoad[b])
+		w.bucketLoad[b] = 0
+	}
+	w.dirty = w.dirty[:0]
 	w.ebuf = e.buf[:0]
 	w.agg = turnAgg{}
 	w.instBuf = w.instBuf[:0]
 	return writeFrame(out, ftTurn, e.buf)
+}
+
+// repartition handles an ftRepart order: switch to the new partition,
+// extract every listed bucket, ship each nonempty one through the
+// control process (ftBucketRelay precedes the closing ftTurn on this
+// stream, so the control registers the forwarded work before it
+// deregisters this turn — the same ordering argument as relays).
+func (w *wireWorker) repartition(payload []byte, out *bufio.Writer) error {
+	d := dec{b: payload}
+	np, err := d.count(1 << 24)
+	if err != nil {
+		return err
+	}
+	if np != w.nbuckets {
+		return fmt.Errorf("%w: repartition covers %d buckets, want %d", ErrBadPayload, np, w.nbuckets)
+	}
+	newPart := make([]int, np)
+	for i := range newPart {
+		if newPart[i], err = d.int(); err != nil {
+			return err
+		}
+		if newPart[i] < 0 || newPart[i] >= w.workers {
+			return fmt.Errorf("%w: bucket %d owned by worker %d of %d", ErrBadPayload, i, newPart[i], w.workers)
+		}
+	}
+	nm, err := d.count(1 << 24)
+	if err != nil {
+		return err
+	}
+	type move struct{ bucket, dst int32 }
+	moves := make([]move, nm)
+	for i := range moves {
+		if moves[i].bucket, err = d.i32(); err != nil {
+			return err
+		}
+		if moves[i].dst, err = d.i32(); err != nil {
+			return err
+		}
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	w.partition = newPart
+	for _, mv := range moves {
+		bc := w.proc.ExtractBucket(int(mv.bucket))
+		if bc.Entries() == 0 {
+			continue // nothing stored; ownership transfer is free
+		}
+		e := enc{buf: w.ebuf[:0]}
+		e.i32(mv.dst)
+		e.int(bc.Entries())
+		e.bucketContents(bc)
+		w.ebuf = e.buf[:0]
+		if err := writeFrame(out, ftBucketRelay, e.buf); err != nil {
+			return err
+		}
+	}
+	return w.writeTurn(out, 1, false, 0, 0)
+}
+
+// injectBucket handles an ftBucket delivery: install the migrated
+// contents and close the turn.
+func (w *wireWorker) injectBucket(payload []byte, out *bufio.Writer) error {
+	d := dec{b: payload}
+	bc, err := d.bucketContents(w.net)
+	if err != nil {
+		return err
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	w.proc.InjectBucket(bc)
+	return w.writeTurn(out, 1, false, 0, 0)
 }
 
 // drainLocal expands locally-owned activations breadth-first, exactly
@@ -364,6 +488,12 @@ func (w *wireWorker) processOne(act rete.Activation, bucket int, depth int32) {
 	w.agg.handles++
 	if depth > w.agg.maxDepth {
 		w.agg.maxDepth = depth
+	}
+	if w.bucketLoad != nil {
+		if w.bucketLoad[bucket] == 0 {
+			w.dirty = append(w.dirty, int32(bucket))
+		}
+		w.bucketLoad[bucket]++
 	}
 	w.proc.ProcessAt(act, bucket,
 		func(child rete.Activation) {

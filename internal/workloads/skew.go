@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"mpcrete/internal/trace"
+)
+
+// Skewed sections for the adaptive-repartitioning ablation. The three
+// calibrated paper sections are nearly stationary — their hot buckets
+// sit still, so a load-aware static assignment (greedy over the
+// aggregate) already captures most of the achievable balance and the
+// paper's Section 5.2.2 verdict ("migration too costly") holds
+// trivially. These two generators produce the workload family where
+// the question is actually open: per-cycle bucket load that is skewed
+// (a few buckets dominate each cycle), with a hot set that either
+// stays put (Congest) or drifts between phases (Drift).
+
+// DriftBuckets is the hash-table size of the skewed sections.
+const DriftBuckets = SectionBuckets
+
+// Drift generates the non-stationary skewed section: 4 phases of 6
+// cycles. Each phase concentrates its left activations on a different
+// random cluster of 16 buckets with geometrically decaying weights;
+// between phases the hot cluster moves wholesale. Aggregated over the
+// run every cluster carries the same total load, so a static
+// load-aware assignment balances the aggregate but still collides the
+// live hot buckets within individual phases — only an online policy
+// that watches per-cycle counters can track the drift.
+func Drift() *trace.Trace {
+	rng := rand.New(rand.NewSource(404))
+	tr := &trace.Trace{Name: "drift", NBuckets: DriftBuckets}
+	const (
+		phases         = 4
+		cyclesPerPhase = 6
+		hotBuckets     = 16
+		hotLefts       = 420
+		bgRights       = 60
+	)
+	perm := rng.Perm(DriftBuckets)
+	for p := 0; p < phases; p++ {
+		hot := perm[p*hotBuckets : (p+1)*hotBuckets]
+		for c := 0; c < cyclesPerPhase; c++ {
+			tr.Cycles = append(tr.Cycles, skewedCycle(rng, hot, hotLefts, bgRights))
+		}
+	}
+	return tr
+}
+
+// Congest generates the stationary skewed section: the same per-cycle
+// concentration as Drift, but the hot cluster never moves and is
+// chosen adversarially for the count-based default — all 16 hot
+// buckets share residue 0 mod 16, so a round-robin partition piles
+// every one of them onto the same processor. A load-aware static
+// assignment fixes this once and for all; the section exists as the
+// control showing the adaptive policy matches (rather than beats)
+// static balance when the skew does not move.
+func Congest() *trace.Trace {
+	rng := rand.New(rand.NewSource(505))
+	tr := &trace.Trace{Name: "congest", NBuckets: DriftBuckets}
+	const (
+		cycles   = 24
+		hotLefts = 420
+		bgRights = 60
+	)
+	hot := make([]int, 16)
+	for i := range hot {
+		hot[i] = i * 16 // all ≡ 0 (mod 16)
+	}
+	for c := 0; c < cycles; c++ {
+		tr.Cycles = append(tr.Cycles, skewedCycle(rng, hot, hotLefts, bgRights))
+	}
+	return tr
+}
+
+// skewedCycle builds one cycle: nl left activations geometrically
+// concentrated on the hot cluster plus nr evenly hashed rights.
+func skewedCycle(rng *rand.Rand, hot []int, nl, nr int) *trace.Cycle {
+	cy := &trace.Cycle{Changes: 8}
+	for i, b := range geometricFill(hot, nl, 0.9) {
+		cy.Roots = append(cy.Roots, &trace.Activation{
+			Node:   800 + i%31,
+			Side:   trace.LeftSide,
+			Tag:    addOrDelete(rng, 0.2),
+			Bucket: b,
+			Insts:  btoi(rng.Intn(50) == 0),
+		})
+	}
+	for i := 0; i < nr; i++ {
+		cy.Roots = append(cy.Roots, &trace.Activation{
+			Node:   900 + i%13,
+			Side:   trace.RightSide,
+			Tag:    trace.AddTag,
+			Bucket: rng.Intn(DriftBuckets),
+		})
+	}
+	return cy
+}
+
+// SkewedSections returns the two skewed sections used by the
+// adaptive-vs-static ablation.
+func SkewedSections() []*trace.Trace {
+	return []*trace.Trace{Drift(), Congest()}
+}
